@@ -1,0 +1,22 @@
+"""Ablation: the M(l) bottleneck-set refinement vs ADVERTISE flooding.
+
+Section 5.3.1 claims the refinement "significantly reduces the number of
+overhead messages".  Same scenarios, same fixed point, fewer messages.
+"""
+
+from conftest import once
+
+from repro.experiments import mlist_overhead, render_mlist_overhead
+
+
+def test_mlist_overhead(benchmark, report):
+    rows = once(
+        benchmark, lambda: mlist_overhead(conns=6, switches=6, seeds=(3, 4, 5))
+    )
+    savings = []
+    for _seed, refined, flooding, err_r, err_f in rows:
+        assert err_r < 1e-3 and err_f < 1e-3
+        assert refined <= flooding
+        savings.append(1.0 - refined / flooding)
+    assert sum(savings) / len(savings) > 0.15  # a real reduction, on average
+    report("ablation_mlist", render_mlist_overhead(rows))

@@ -1,0 +1,24 @@
+"""Ablation: B_dyn pool sizing vs sudden mobility of static portables.
+
+Section 4.3 prescribes a dynamically adjustable 5-20% pool to absorb
+"unforeseen events (e.g. sudden mobility of static portables)".  The sweep
+shows the drop rate of sudden movers versus the pool fraction.
+"""
+
+from conftest import once
+
+from repro.experiments import pool_fraction_sweep, render_pool_fraction
+
+
+def test_pool_fraction_sweep(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: pool_fraction_sweep(
+            fractions=(0.0, 0.05, 0.10, 0.20), trials=300
+        ),
+    )
+    rates = [rate for _f, _n, _d, rate in rows]
+    assert rates == sorted(rates, reverse=True)  # bigger pool, fewer drops
+    assert rates[0] > 0.5
+    assert rates[-1] == 0.0
+    report("ablation_pool", render_pool_fraction(rows))

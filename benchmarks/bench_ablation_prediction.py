@@ -1,0 +1,19 @@
+"""Ablation: contribution of each prediction level (Section 6).
+
+Runs the three-level next-cell predictor on the Figure 4 workweek with
+levels selectively disabled: the full cascade must dominate each single
+level.
+"""
+
+from conftest import once
+
+from repro.experiments import prediction_levels, render_prediction_levels
+
+
+def test_prediction_levels(benchmark, report):
+    rows = once(benchmark, lambda: prediction_levels(seed=1996))
+    rates = {name: rate for name, _n, rate in rows}
+    full = rates["full three-level"]
+    assert full >= rates["level 1 only (portable profile)"]
+    assert full >= rates["level 2 only (cell profile)"]
+    report("ablation_prediction", render_prediction_levels(rows))

@@ -1,0 +1,39 @@
+"""Ablation: static reservation vs the probabilistic look-ahead.
+
+The paper's closing claim (Section 7.2): "our reservation algorithm
+outperforms the static reservation algorithm in all scenarios we have
+simulated."  We trace both policies' (P_d, P_b) operating curves on the
+Figure 6 workload; the predictive frontier should dominate (lower P_b at
+comparable P_d).
+"""
+
+from conftest import once
+
+from repro.experiments import render_static_vs_predictive, static_vs_predictive
+
+
+def frontier_dominates(rows, tolerance=0.004):
+    """For each static point, some predictive point is no worse in both."""
+    wins = 0
+    for _knob, s_pd, s_pb in rows["static"]:
+        if any(
+            p_pd <= s_pd + tolerance and p_pb <= s_pb + tolerance
+            for _k, p_pd, p_pb in rows["predictive"]
+        ):
+            wins += 1
+    return wins, len(rows["static"])
+
+
+def test_static_vs_predictive(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: static_vs_predictive(
+            static_reserves=(0.0, 2.0, 4.0, 6.0, 8.0),
+            p_qos_values=(0.001, 0.005, 0.02, 0.1, 0.5),
+            seeds=(1, 2, 3),
+            horizon=300.0,
+        ),
+    )
+    wins, total = frontier_dominates(rows)
+    assert wins >= total - 1  # dominance across (nearly) all operating points
+    report("ablation_static_vs_predictive", render_static_vs_predictive(rows))

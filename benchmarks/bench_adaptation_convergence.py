@@ -1,0 +1,81 @@
+"""Section 5.3 / Theorem 1: convergence of the distributed adaptation.
+
+Measures wall-clock and message cost for the event-driven protocol to reach
+the max-min fixed point on growing topologies, verifying exactness against
+the centralized reference each time.
+"""
+
+from conftest import once
+
+from repro.core import AdaptationProtocol, QoSBounds, QoSRequest
+from repro.des import Environment
+from repro.experiments.common import format_table
+from repro.network import line_topology
+from repro.network.routing import shortest_path
+from repro.traffic import Connection, FlowSpec
+
+
+def build_and_converge(switches, conns_per_hop=2):
+    topo = line_topology(switches, capacity=1000.0, prop_delay=0.001)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    cid = 0
+    for start in range(switches - 1):
+        for k in range(conns_per_hop):
+            end = min(switches - 1, start + 1 + k)
+            qos = QoSRequest(
+                flowspec=FlowSpec(sigma=1.0, rho=5.0),
+                bounds=QoSBounds(5.0, 5.0 + [45.0, 195.0][k % 2]),
+            )
+            conn = Connection(
+                src=f"s{start}", dst=f"s{end}", qos=qos, conn_id=f"c{cid}"
+            )
+            conn.activate(shortest_path(topo, conn.src, conn.dst), 5.0, 0.0)
+            protocol.register_connection(conn)
+            cid += 1
+    env.run()
+    return protocol
+
+
+def max_error(protocol):
+    reference = protocol.reference_allocation()
+    return max(
+        abs(protocol.rate_of(c) - protocol.connections[c].b_min - reference[c])
+        for c in reference
+    )
+
+
+def test_convergence_exactness_and_cost(benchmark, report):
+    def run():
+        rows = []
+        for switches in (4, 8, 16):
+            protocol = build_and_converge(switches)
+            rows.append(
+                (
+                    switches,
+                    len(protocol.connections),
+                    protocol.rounds_initiated,
+                    protocol.signaling.messages_sent,
+                    max_error(protocol),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    for _sw, _n, _rounds, _msgs, err in rows:
+        assert err < 1e-3
+
+    report(
+        "adaptation_convergence",
+        format_table(
+            ["switches", "connections", "rounds", "messages", "max |err|"],
+            rows,
+            title="Theorem 1: event-driven adaptation converges to max-min",
+        ),
+    )
+
+
+def test_single_round_latency(benchmark):
+    """Wall-clock cost of one full register-and-converge on a small net."""
+    result = benchmark(lambda: build_and_converge(4, conns_per_hop=1))
+    assert max_error(result) < 1e-3

@@ -1,0 +1,38 @@
+"""Figure 1: the full resource-management pipeline, end to end.
+
+Runs the campus-day scenario (offices, corridor spine, scheduled meeting,
+cafeteria lunch rush, lounge walkers) through every algorithm of the paper
+simultaneously and reports the day's teletraffic summary.
+"""
+
+from conftest import once
+
+from repro.experiments.common import format_table
+from repro.sim import run_campus_day
+
+
+def test_campus_day_pipeline(benchmark, report):
+    result = once(
+        benchmark,
+        lambda: run_campus_day(seed=42, day_length=8 * 3600.0),
+    )
+    stats = result.stats
+    assert stats.admitted > 0
+    assert stats.handoff_attempts > 50
+    assert result.static_upgrades > 0
+
+    rows = [
+        ("connection requests", stats.new_requests),
+        ("admitted", stats.admitted),
+        ("blocked", stats.blocked),
+        ("P_b", round(stats.blocking_probability, 4)),
+        ("handoff attempts", stats.handoff_attempts),
+        ("handoff drops", stats.handoff_drops),
+        ("P_d", round(stats.dropping_probability, 4)),
+        ("static upgrades at close", result.static_upgrades),
+    ]
+    report(
+        "e2e_campus_day",
+        format_table(["metric", "value"], rows,
+                     title="Figure 1 pipeline: a campus day"),
+    )

@@ -1,0 +1,58 @@
+"""Figure 2: handoff activity in a lounge (the motivating illustration).
+
+The paper's Figure 2 sketches the spiky handoff profile of a meeting-room
+lounge.  This bench regenerates the spike series from a day of scheduled
+meetings and verifies the shape the classification relies on: activity
+concentrates around meeting boundaries, with quiet in between.
+"""
+
+from conftest import once
+
+from repro.experiments.common import format_series
+from repro.mobility import class_session_trace
+from repro.stats import BinnedSeries
+
+
+def build_day_series():
+    """Three scheduled meetings; per-10-minute handoff counts at the room."""
+    series = BinnedSeries(bin_width=600.0)
+    sessions = [
+        (101, 24, 9 * 3600.0, 10 * 3600.0),
+        (102, 40, 11 * 3600.0, 12.5 * 3600.0),
+        (103, 15, 15 * 3600.0, 16 * 3600.0),
+    ]
+    for seed, students, start, end in sessions:
+        trace = class_session_trace(
+            seed=seed, students=students, start_time=start, end_time=end,
+            walkby_rate=0.0,
+        )
+        for event in trace:
+            if "class" in (event.from_cell, event.to_cell):
+                series.add(event.time)
+    return series, sessions
+
+
+def test_figure2_reproduction(benchmark, report):
+    series, sessions = once(benchmark, build_day_series)
+
+    rows = series.series(8 * 3600.0, 17 * 3600.0)
+    counts = [c for _, c in rows]
+    total = sum(counts)
+    # Spikes: the busiest 20% of slots carry most of the activity.
+    top = sorted(counts, reverse=True)[: max(1, len(counts) // 5)]
+    assert sum(top) / total > 0.6
+    # Quiet between meetings: many empty slots.
+    assert sum(1 for c in counts if c == 0) / len(counts) > 0.4
+    # Every meeting produces activity near its boundaries.
+    for _seed, students, start, end in sessions:
+        boundary = sum(
+            series.count_at(t)
+            for t in (start - 600.0, start, end, end + 600.0)
+        )
+        assert boundary > 0
+
+    report(
+        "figure2_lounge",
+        "Figure 2: handoff activity in a lounge (10-minute bins, 08:00-17:00)\n"
+        + format_series("meeting-room handoffs", rows, width=54),
+    )

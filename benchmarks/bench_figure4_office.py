@@ -1,0 +1,35 @@
+"""Figure 4 / Section 7.1: the office-case measurement study.
+
+Regenerates the handoff-split table (94/20/13, 12/173/31, ...) from the
+calibrated workweek trace and scores the three reservation strategies at
+cell D — validating the paper's two take-aways: occupant reservation is
+valid, brute force is extremely wasteful.
+"""
+
+from conftest import once
+
+from repro.experiments import render_figure4, run_figure4
+from repro.mobility import OFFICE_WEEK_TARGETS
+
+
+def test_figure4_reproduction(benchmark, report):
+    result = once(benchmark, lambda: run_figure4(seed=1996))
+
+    # Calibration sanity: within a few journeys of the paper's counts.
+    for group, (a, b, away) in result.split.items():
+        ta, tb, taway = OFFICE_WEEK_TARGETS[group]
+        assert abs(a - ta) <= 3 and abs(b - tb) <= 3
+
+    brute, aggregate, threelevel = result.strategies
+    assert brute.waste_rate > aggregate.waste_rate
+    assert brute.waste_rate > threelevel.waste_rate
+
+    report("figure4_office", render_figure4(result))
+
+
+def test_trace_generation_speed(benchmark):
+    """Throughput of the calibrated workweek generator."""
+    from repro.mobility import office_week_trace
+
+    trace = benchmark(lambda: office_week_trace(seed=7))
+    assert len(trace) > 2000

@@ -1,0 +1,26 @@
+"""Figure 5: meeting-room handoff activity and the drop comparison.
+
+Regenerates the four activity panels (a-d) for the 35-student lecture and
+the 55-student laboratory, and the drop table for the three reservation
+algorithms.  Paper numbers: brute force 2 & 7 drops, aggregation 0 & 4,
+meeting room 0 & 0 — our calibrated traces give the same ordering (2 & ~6,
+0 & ~1, 0 & 0).
+"""
+
+from conftest import once
+
+from repro.experiments import POLICIES, render_figure5, run_figure5_comparison
+
+
+def test_figure5_reproduction(benchmark, report):
+    results = once(benchmark, run_figure5_comparison)
+
+    for students in (35, 55):
+        brute = results[(students, "brute_force")].drops
+        aggregate = results[(students, "aggregation")].drops
+        meeting = results[(students, "meeting_room")].drops
+        assert meeting == 0
+        assert brute >= aggregate >= meeting
+    assert results[(55, "brute_force")].drops > 0
+
+    report("figure5_meeting", render_figure5(results))

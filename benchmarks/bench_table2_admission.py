@@ -1,0 +1,36 @@
+"""Table 2: the admission round trip, WFQ and RCSP.
+
+Reproduces the admission-test outcomes and per-hop commitments for the
+paper's QoS rows (bandwidth / delay / jitter / buffer / loss), plus a
+throughput microbenchmark of the admission controller itself.
+"""
+
+from conftest import once
+
+from repro.core import AdmissionController, audio_request
+from repro.experiments import render_table2, run_table2
+from repro.network import Discipline, Topology
+from repro.traffic import Connection
+
+
+def test_table2_reproduction(benchmark, report):
+    cases = once(benchmark, run_table2)
+    assert sum(1 for c in cases if c.result.accepted) == 5
+    report("table2_admission", render_table2(cases))
+
+
+def test_admission_throughput(benchmark):
+    """Ops/sec of one full round-trip admission test (probe mode)."""
+
+    topo = Topology()
+    topo.add_link("air", "bs", capacity=1e9, error_prob=0.001)
+    topo.add_link("bs", "router", capacity=1e9)
+    topo.add_link("router", "server", capacity=1e9)
+    controller = AdmissionController(topo, Discipline.RCSP)
+    route = ["air", "bs", "router", "server"]
+    conn = Connection(src="air", dst="server", qos=audio_request())
+
+    result = benchmark(
+        lambda: controller.admit(conn, route, static_portable=True, commit=False)
+    )
+    assert result.accepted

@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark renders the table/figure it reproduces, prints it (visible
+with ``pytest -s``), and writes it under ``benchmarks/results/`` so the
+artifacts survive the run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable ``report(name, text)`` printing + persisting an artifact."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

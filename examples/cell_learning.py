@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Cell-type learning: classifying an unprofiled cell from its behavior.
+
+Section 6.4's closing remark: a cell without a profile runs the default
+reservation algorithm while the profile server aggregates its handoff
+behavior and categorizes it.  This example feeds three synthetic behavior
+patterns into fresh learners and shows the classification converging.
+
+Run:  python examples/cell_learning.py
+"""
+
+import random
+
+from repro.core import CellTypeLearner
+from repro.profiles import CellClass
+
+
+def simulate_office(learner: CellTypeLearner, rng: random.Random) -> None:
+    """One regular occupant, long dwells, long quiet stretches."""
+    now = 0.0
+    for _day in range(15):
+        learner.observe_entry("owner", "hall", now)
+        learner.observe_exit("owner", "hall", now + rng.uniform(2000, 4000))
+        learner.close_slot()
+        for _ in range(8):
+            learner.close_slot()
+        now += 3600.0
+
+
+def simulate_corridor(learner: CellTypeLearner, rng: random.Random) -> None:
+    """Many distinct users flowing west -> east with sub-slot dwells."""
+    now = 0.0
+    for i in range(150):
+        pid = f"passerby-{i}"
+        learner.observe_entry(pid, "west", now)
+        learner.observe_exit(pid, "east", now + rng.uniform(5, 15))
+        now += rng.uniform(10, 40)
+        if i % 3 == 0:
+            learner.close_slot()
+
+
+def simulate_meeting_room(learner: CellTypeLearner, rng: random.Random) -> None:
+    """Bursts of arrivals at scheduled times, silence in between."""
+    for session in range(3):
+        start = session * 7200.0
+        for i in range(30):
+            learner.observe_entry(f"s{session}-{i}", "hall", start + rng.uniform(0, 300))
+        learner.close_slot()
+        for _ in range(9):
+            learner.close_slot()
+
+
+def main() -> None:
+    rng = random.Random(17)
+    scenarios = [
+        ("office-like behavior", simulate_office, CellClass.OFFICE),
+        ("corridor-like behavior", simulate_corridor, CellClass.CORRIDOR),
+        ("meeting-room-like behavior", simulate_meeting_room, CellClass.MEETING_ROOM),
+    ]
+    print(f"{'behavior fed to the learner':<30} {'classified as':<15} expected")
+    print("-" * 62)
+    for name, simulate, expected in scenarios:
+        learner = CellTypeLearner(name, slot_duration=300.0)
+        before = learner.classify()
+        assert before is CellClass.UNKNOWN  # starts unclassified
+        simulate(learner, rng)
+        label = learner.classify()
+        marker = "OK" if label is expected else "??"
+        print(f"{name:<30} {label.value:<15} {expected.value}  [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The meeting-room reservation algorithm, step by step.
+
+Reproduces the Section 6.2.1 timeline for one scheduled class:
+
+* 10 minutes before the start, the room books resources for all expected
+  attendees and shrinks the booking as they arrive;
+* 5 minutes after the start, unused bookings are released;
+* 5 minutes before the end, the *neighbors* book resources for the leavers,
+  shrinking as people actually leave;
+* 15 minutes after the end, the neighbor bookings are released.
+
+Also prints the Figure 5 drop comparison against brute-force and
+aggregate-history reservation.
+
+Run:  python examples/meeting_room.py
+"""
+
+from repro.core import MeetingRoomReservation
+from repro.des import Environment
+from repro.experiments import render_figure5, run_figure5_comparison
+from repro.profiles import BookingCalendar, CellClass, Meeting
+from repro.wireless import Cell
+
+
+def timeline_demo() -> None:
+    env = Environment()
+    room = Cell("room", capacity=1600.0, cell_class=CellClass.MEETING_ROOM)
+    hall = Cell("hall", capacity=1600.0, cell_class=CellClass.CORRIDOR)
+    room.add_neighbor("hall")
+    hall.add_neighbor("room")
+
+    meeting = Meeting(start=1200.0, end=4800.0, attendees=10)
+    process = MeetingRoomReservation(
+        env,
+        "room",
+        room.reservations,
+        {"hall": hall.reservations},
+        handoff_distribution=lambda: {"hall": 1.0},
+        per_user_bandwidth=16.0,
+    )
+    env.process(process.run(BookingCalendar([meeting])))
+
+    def probe(label):
+        print(
+            f"[t={env.now:6.0f}] {label:<34} "
+            f"room booking={room.reservations.aggregate_for(process.tag):6.0f}  "
+            f"hall booking={hall.reservations.aggregate_for(process.tag):6.0f}"
+        )
+
+    checkpoints = [
+        (meeting.start - 700, "before the reservation window", 0),
+        (meeting.start - 300, "T_s - 5 min (booking active)", 0),
+        (meeting.start - 100, "arrivals trickling in", 6),
+        (meeting.start + 200, "after the start", 10),
+        (meeting.start + 400, "start release timer fired", 10),
+        (meeting.end - 200, "T_a - 3.3 min (neighbors booked)", 10),
+        (meeting.end + 600, "leavers heading out", 10),
+        (meeting.end + 1000, "end release timer fired", 10),
+    ]
+    arrived = left = 0
+    for t, label, want_arrived in checkpoints:
+        env.run(until=t)
+        while arrived < want_arrived:
+            process.attendee_arrived()
+            arrived += 1
+        if t > meeting.end and left < 6:
+            for _ in range(6 - left):
+                process.attendee_left()
+            left = 6
+        probe(label)
+
+
+def main() -> None:
+    print("Meeting-room reservation timeline")
+    print("=================================")
+    timeline_demo()
+    print()
+    print("Figure 5 comparison (lecture of 35 / laboratory of 55)")
+    print("======================================================")
+    print(render_figure5(run_figure5_comparison()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table2               # run one experiment, print it
+    python -m repro figure5
+    python -m repro all                  # run everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _table2() -> str:
+    from .experiments import render_table2, run_table2
+
+    return render_table2(run_table2())
+
+
+def _figure2() -> str:
+    from .experiments.common import format_series
+    from .mobility import class_session_trace
+    from .stats import BinnedSeries
+
+    series = BinnedSeries(bin_width=600.0)
+    for seed, students, start, end in (
+        (101, 24, 9 * 3600.0, 10 * 3600.0),
+        (102, 40, 11 * 3600.0, 12.5 * 3600.0),
+        (103, 15, 15 * 3600.0, 16 * 3600.0),
+    ):
+        trace = class_session_trace(
+            seed=seed, students=students, start_time=start, end_time=end,
+            walkby_rate=0.0,
+        )
+        for event in trace:
+            if "class" in (event.from_cell, event.to_cell):
+                series.add(event.time)
+    return (
+        "Figure 2: handoff activity in a lounge (10-minute bins)\n"
+        + format_series(
+            "meeting-room handoffs", series.series(8 * 3600.0, 17 * 3600.0)
+        )
+    )
+
+
+def _figure4() -> str:
+    from .experiments import render_figure4, run_figure4
+
+    return render_figure4(run_figure4())
+
+
+def _figure5() -> str:
+    from .experiments import render_figure5, run_figure5_comparison
+
+    return render_figure5(run_figure5_comparison())
+
+
+def _figure6() -> str:
+    from .experiments import render_figure6, run_figure6, run_plain_baseline
+
+    points = run_figure6(seeds=(1, 2), horizon=200.0)
+    baseline = run_plain_baseline(seeds=(1, 2), horizon=200.0)
+    return render_figure6(points, baseline)
+
+
+def _ablations() -> str:
+    from .experiments import (
+        mlist_overhead,
+        pool_fraction_sweep,
+        prediction_levels,
+        render_mlist_overhead,
+        render_pool_fraction,
+        render_prediction_levels,
+        render_static_vs_predictive,
+        static_vs_predictive,
+    )
+
+    parts = [
+        render_mlist_overhead(mlist_overhead()),
+        render_prediction_levels(prediction_levels()),
+        render_pool_fraction(pool_fraction_sweep(trials=200)),
+        render_static_vs_predictive(
+            static_vs_predictive(seeds=(1, 2), horizon=200.0)
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def _adaptation_value() -> str:
+    from .experiments import render_adaptation_value, run_adaptation_value
+
+    return render_adaptation_value(run_adaptation_value(duration=200.0))
+
+
+def _campus_day() -> str:
+    from .experiments.common import format_table
+    from .sim import run_campus_day
+
+    result = run_campus_day()
+    stats = result.stats
+    return format_table(
+        ["metric", "value"],
+        [
+            ("requests", stats.new_requests),
+            ("admitted", stats.admitted),
+            ("P_b", stats.blocking_probability),
+            ("handoffs", stats.handoff_attempts),
+            ("P_d", stats.dropping_probability),
+            ("static upgrades", result.static_upgrades),
+        ],
+        title="Campus day (Figure 1 pipeline)",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table2": _table2,
+    "figure2": _figure2,
+    "figure4": _figure4,
+    "figure5": _figure5,
+    "figure6": _figure6,
+    "ablations": _ablations,
+    "campus-day": _campus_day,
+    "adaptation-value": _adaptation_value,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate results from Lu & Bharghavan (SIGCOMM 1996).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="which experiment to run ('list' to enumerate, 'all' for every one)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

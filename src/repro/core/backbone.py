@@ -1,0 +1,210 @@
+"""End-to-end backbone management: routing, admission, neighbor multicast.
+
+Section 4 of the paper: besides admitting the primary route, "the backbone
+network will also set up multicast routes for the connection in all
+neighboring cells so that the network can multicast the packets to the
+pre-allocated buffer space in these neighbors".  These multicast branches
+run the same end-to-end admission test (at the minimum pre-negotiated QoS),
+but their failure never rejects the primary connection — failed branches
+are simply served without reserved buffers.
+
+On handoff, the multicast tree is re-rooted at the new cell's base station
+and the branch reservations move accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..network.multicast import MulticastTree, build_neighbor_multicast
+from ..network.routing import NoRouteError, qos_route
+from ..network.scheduling import Discipline
+from ..network.topology import Topology
+from ..traffic.connection import Connection
+from .admission import AdmissionController, AdmissionResult
+
+__all__ = ["BackboneSetup", "BackboneManager"]
+
+
+@dataclass
+class BackboneSetup:
+    """Everything the backbone committed for one connection."""
+
+    conn: Connection
+    result: AdmissionResult
+    route: List[Hashable]
+    tree: Optional[MulticastTree] = None
+    #: Branch admission outcomes keyed by leaf base station.
+    branch_results: Dict[Hashable, AdmissionResult] = field(default_factory=dict)
+    #: (link key, buffer amount) pairs reserved for the multicast branches.
+    branch_buffers: List[Tuple[Tuple[Hashable, Hashable], float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def covered_neighbors(self) -> Set[Hashable]:
+        """Neighbor base stations with successfully reserved branches."""
+        return {
+            leaf
+            for leaf, result in self.branch_results.items()
+            if result.accepted
+        }
+
+
+class BackboneManager:
+    """Wired-side connection setup per Section 4.
+
+    Parameters
+    ----------
+    topo:
+        The backbone topology (e.g. :func:`repro.network.campus_backbone`).
+    discipline:
+        Scheduling discipline for the admission math.
+    neighbor_bs:
+        Mapping cell id -> list of *neighbor* base-station node ids; drives
+        the multicast fan-out from a mobile's current cell.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        neighbor_bs: Dict[Hashable, List[Hashable]],
+        discipline: Discipline = Discipline.WFQ,
+    ):
+        self.topo = topo
+        self.neighbor_bs = dict(neighbor_bs)
+        self.admission = AdmissionController(topo, discipline)
+        self.setups: Dict[Hashable, BackboneSetup] = {}
+
+    # -- setup / teardown -----------------------------------------------------------
+
+    def setup_connection(
+        self,
+        conn: Connection,
+        cell_id: Hashable,
+        static_portable: bool = False,
+        multicast: bool = True,
+    ) -> BackboneSetup:
+        """Admit ``conn`` end-to-end and pre-provision neighbor branches.
+
+        Returns a setup whose ``result.accepted`` reflects the primary
+        admission outcome (``False`` with reason ``"no-route"`` when no
+        QoS-feasible route exists).  Branch failures are recorded, never
+        raised.
+        """
+        try:
+            route = qos_route(self.topo, conn.src, conn.dst, conn.b_min)
+        except NoRouteError:
+            conn.block(0.0)
+            result = AdmissionResult(accepted=False, reason="no-route")
+            return BackboneSetup(conn=conn, result=result, route=[])
+        result = self.admission.admit(
+            conn, route, static_portable=static_portable
+        )
+        setup = BackboneSetup(conn=conn, result=result, route=route)
+        if result.accepted:
+            conn.activate(route, result.granted_rate, 0.0)
+            if multicast:
+                self._provision_branches(setup, cell_id)
+            self.setups[conn.conn_id] = setup
+        else:
+            conn.block(0.0)
+        return setup
+
+    def teardown_connection(self, conn: Connection) -> None:
+        """Release the primary route and all branch buffers."""
+        setup = self.setups.pop(conn.conn_id, None)
+        if setup is None:
+            return
+        self.admission.release(conn, setup.route)
+        self._release_branches(setup)
+
+    # -- handoff -------------------------------------------------------------------------
+
+    def handoff(self, conn: Connection, new_cell: Hashable,
+                new_src: Hashable) -> BackboneSetup:
+        """Re-admit ``conn`` from ``new_src`` and re-root its multicast tree.
+
+        The handoff admission may claim the branch buffer already reserved
+        toward the new cell's base station (the point of multicasting);
+        failure drops the connection.
+        """
+        old = self.setups.pop(conn.conn_id, None)
+        if old is None:
+            raise KeyError(f"connection {conn.conn_id!r} has no backbone setup")
+        self.admission.release(conn, old.route)
+        self._release_branches(old)
+
+        try:
+            route = qos_route(self.topo, new_src, conn.dst, conn.b_min)
+        except NoRouteError:
+            conn.drop(0.0)
+            raise
+        result = self.admission.admit(conn, route, is_handoff=True)
+        setup = BackboneSetup(conn=conn, result=result, route=route)
+        if not result.accepted:
+            conn.drop(0.0)
+            return setup
+        conn.route = list(route)
+        conn.rate = result.granted_rate
+        conn.src = new_src
+        conn.handoffs += 1
+        self._provision_branches(setup, new_cell)
+        self.setups[conn.conn_id] = setup
+        return setup
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _branch_root(self, route: List[Hashable]) -> Hashable:
+        """The base station on the primary route (roots the multicast tree).
+
+        For an uplink route starting at the air interface the root is the
+        second hop; otherwise the route's first node.
+        """
+        if len(route) >= 2 and str(route[0]).startswith("air:"):
+            return route[1]
+        return route[0]
+
+    def _provision_branches(self, setup: BackboneSetup, cell_id: Hashable) -> None:
+        neighbors = self.neighbor_bs.get(cell_id, [])
+        if not neighbors:
+            return
+        root = self._branch_root(setup.route)
+        tree = build_neighbor_multicast(self.topo, root, neighbors)
+        setup.tree = tree
+        conn = setup.conn
+        buffer_per_link = conn.qos.flowspec.sigma + conn.qos.flowspec.l_max
+
+        for leaf, path in tree.branches.items():
+            links = self.topo.path_links(path)
+            if not links:
+                # Leaf == root (single-cell island): trivially covered.
+                setup.branch_results[leaf] = AdmissionResult(accepted=True)
+                continue
+            feasible = all(
+                link.excess_available >= conn.b_min for link in links
+            ) and all(
+                link.buffer_available >= buffer_per_link for link in links
+            )
+            if not feasible:
+                setup.branch_results[leaf] = AdmissionResult(
+                    accepted=False, reason="branch-capacity"
+                )
+                tree.failed_leaves.add(leaf)
+                continue
+            for link in links:
+                key = (f"mc:{conn.conn_id}", link.key)
+                link.reserve_buffer(key, buffer_per_link)
+                setup.branch_buffers.append((link.key, buffer_per_link))
+            setup.branch_results[leaf] = AdmissionResult(accepted=True)
+
+    def _release_branches(self, setup: BackboneSetup) -> None:
+        seen = set()
+        for link_key, _amount in setup.branch_buffers:
+            if link_key in seen:
+                continue
+            seen.add(link_key)
+            link = self.topo.link(*link_key)
+            link.release_buffer((f"mc:{setup.conn.conn_id}", link_key))
+        setup.branch_buffers.clear()

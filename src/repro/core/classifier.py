@@ -1,0 +1,264 @@
+"""Cell-type learning (Section 6.4, final paragraph).
+
+A cell without a profile initially runs the default reservation algorithm
+while the profile server aggregates its handoff behavior and "tries to
+categorize the cell on basis of its profile behavior".  This module
+implements that learning process as feature extraction over the observed
+behavior plus a transparent rule cascade:
+
+========  =============================================================
+office    a small set of users accounts for nearly all activity
+corridor  movement is directional: the previous cell almost determines
+          the next, and dwell times are short
+meeting   activity is spiky: long quiet stretches, bursts near schedule
+          boundaries (high peak-to-mean, many empty slots)
+cafeteria activity varies slowly: adjacent slots are similar, and the
+          3-point linear extrapolation beats one-step memory
+default   anything else
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from ..profiles.records import CellClass
+from .prediction import linear_ls_predict, one_step_memory_predict
+
+__all__ = [
+    "CellFeatures",
+    "extract_features",
+    "CellBehaviorClassifier",
+    "CellTypeLearner",
+]
+
+
+@dataclass(frozen=True)
+class CellFeatures:
+    """Behavior features computed from a cell's observation window."""
+
+    #: Share of handoffs from the most active ``k`` users (k = 5).
+    top_user_share: float
+    #: Number of distinct users observed.
+    distinct_users: int
+    #: Max over previous-cells of the next-cell concentration
+    #: (1.0 = previous cell fully determines the next cell).
+    directionality: float
+    #: Mean dwell time, normalized by the slot duration.
+    mean_dwell_slots: float
+    #: Peak slot count divided by the overall mean slot count.
+    peak_to_mean: float
+    #: Fraction of slots with zero handoffs.
+    quiet_fraction: float
+    #: Mean |n_t - n_{t-1}| / (mean count + 1): slot-to-slot roughness.
+    roughness: float
+    #: Linear-model advantage: one-step MAE minus LS MAE, normalized.
+    linear_advantage: float
+
+
+def _prediction_errors(counts: Sequence[float]):
+    """Mean absolute error of LS-linear and one-step predictors over counts."""
+    ls_err, onestep_err, n = 0.0, 0.0, 0
+    for i in range(3, len(counts)):
+        window = counts[i - 3 : i]
+        ls_err += abs(linear_ls_predict(window) - counts[i])
+        onestep_err += abs(one_step_memory_predict(counts[i - 1]) - counts[i])
+        n += 1
+    if n == 0:
+        return 0.0, 0.0
+    return ls_err / n, onestep_err / n
+
+
+def extract_features(
+    slot_counts: Sequence[float],
+    user_visits: Mapping[Hashable, int],
+    transitions: Mapping[Hashable, Mapping[Hashable, int]],
+    mean_dwell_slots: float,
+    top_k: int = 5,
+) -> CellFeatures:
+    """Compute :class:`CellFeatures` from raw observation aggregates.
+
+    ``slot_counts`` are per-slot handoff counts; ``user_visits`` maps user ->
+    visit count; ``transitions`` maps previous-cell -> {next-cell: count}.
+    """
+    total_visits = sum(user_visits.values())
+    if total_visits > 0:
+        top = sorted(user_visits.values(), reverse=True)[:top_k]
+        top_user_share = sum(top) / total_visits
+    else:
+        top_user_share = 0.0
+
+    directionality = 0.0
+    for nexts in transitions.values():
+        total = sum(nexts.values())
+        if total >= 3:  # require a minimal sample per context
+            directionality = max(directionality, max(nexts.values()) / total)
+
+    counts = list(slot_counts)
+    mean_count = sum(counts) / len(counts) if counts else 0.0
+    peak_to_mean = (max(counts) / mean_count) if mean_count > 0 else 0.0
+    quiet_fraction = (
+        sum(1 for c in counts if c == 0) / len(counts) if counts else 1.0
+    )
+    diffs = [abs(b - a) for a, b in zip(counts, counts[1:])]
+    roughness = (sum(diffs) / len(diffs)) / (mean_count + 1.0) if diffs else 0.0
+
+    ls_err, onestep_err = _prediction_errors(counts)
+    linear_advantage = (onestep_err - ls_err) / (mean_count + 1.0)
+
+    return CellFeatures(
+        top_user_share=top_user_share,
+        distinct_users=len(user_visits),
+        directionality=directionality,
+        mean_dwell_slots=mean_dwell_slots,
+        peak_to_mean=peak_to_mean,
+        quiet_fraction=quiet_fraction,
+        roughness=roughness,
+        linear_advantage=linear_advantage,
+    )
+
+
+class CellBehaviorClassifier:
+    """Rule-cascade classifier from :class:`CellFeatures` to a cell class.
+
+    Thresholds are deliberately explicit attributes so deployments can tune
+    them; the defaults separate the synthetic behaviors our mobility models
+    generate (see ``tests/core/test_classifier.py``).
+    """
+
+    def __init__(
+        self,
+        office_user_share: float = 0.8,
+        office_max_users: int = 8,
+        corridor_directionality: float = 0.7,
+        corridor_max_dwell_slots: float = 1.0,
+        meeting_peak_to_mean: float = 3.0,
+        meeting_quiet_fraction: float = 0.6,
+        cafeteria_max_roughness: float = 0.35,
+        min_observations: int = 12,
+    ):
+        self.office_user_share = office_user_share
+        self.office_max_users = office_max_users
+        self.corridor_directionality = corridor_directionality
+        self.corridor_max_dwell_slots = corridor_max_dwell_slots
+        self.meeting_peak_to_mean = meeting_peak_to_mean
+        self.meeting_quiet_fraction = meeting_quiet_fraction
+        self.cafeteria_max_roughness = cafeteria_max_roughness
+        self.min_observations = min_observations
+
+    def classify(
+        self, features: CellFeatures, observations: Optional[int] = None
+    ) -> CellClass:
+        """Assign a class; UNKNOWN while the sample is too small."""
+        if observations is not None and observations < self.min_observations:
+            return CellClass.UNKNOWN
+
+        if (
+            features.top_user_share >= self.office_user_share
+            and features.distinct_users <= self.office_max_users
+        ):
+            return CellClass.OFFICE
+
+        if (
+            features.directionality >= self.corridor_directionality
+            and features.mean_dwell_slots <= self.corridor_max_dwell_slots
+        ):
+            return CellClass.CORRIDOR
+
+        if (
+            features.peak_to_mean >= self.meeting_peak_to_mean
+            and features.quiet_fraction >= self.meeting_quiet_fraction
+        ):
+            return CellClass.MEETING_ROOM
+
+        if features.roughness <= self.cafeteria_max_roughness:
+            return CellClass.CAFETERIA
+
+        return CellClass.DEFAULT
+
+
+class CellTypeLearner:
+    """Online cell-type learning (the final paragraph of Section 6.4).
+
+    "In the case that a cell does not have its cell profile, the base
+    station has to execute the default reservation algorithm initially;
+    meanwhile ... the profile server aggregates the handoff information for
+    the cell ... and tries to categorize the cell on basis of its profile
+    behavior."
+
+    Feed it handoff observations (:meth:`observe_handoff`) and close time
+    slots (:meth:`close_slot`, e.g. every minute); :meth:`classify` runs the
+    rule cascade once enough behavior has accumulated.  Until then the cell
+    reports :attr:`~repro.profiles.records.CellClass.UNKNOWN` and should be
+    driven by the default reservation algorithm.
+    """
+
+    def __init__(
+        self,
+        cell_id: Hashable,
+        classifier: Optional[CellBehaviorClassifier] = None,
+        slot_window: int = 96,
+        slot_duration: float = 60.0,
+    ):
+        if slot_window < 4:
+            raise ValueError(f"slot_window must be >= 4, got {slot_window}")
+        self.cell_id = cell_id
+        self.classifier = classifier or CellBehaviorClassifier()
+        self.slot_duration = slot_duration
+        self._slots: Deque[int] = deque(maxlen=slot_window)
+        self._current_slot = 0
+        self._user_visits: Counter = Counter()
+        self._transitions: Dict[Hashable, Counter] = {}
+        self._dwells: Deque[float] = deque(maxlen=500)
+        self._entries: Dict[Hashable, Tuple[Optional[Hashable], float]] = {}
+        self.observations = 0
+
+    # -- feeding observations --------------------------------------------------
+
+    def observe_entry(
+        self, portable_id: Hashable, from_cell: Optional[Hashable], now: float
+    ) -> None:
+        """A portable handed *into* this cell."""
+        self._entries[portable_id] = (from_cell, now)
+        self._user_visits[portable_id] += 1
+        self._current_slot += 1
+        self.observations += 1
+
+    def observe_exit(
+        self, portable_id: Hashable, to_cell: Hashable, now: float
+    ) -> None:
+        """A portable handed *out of* this cell."""
+        previous, entered_at = self._entries.pop(portable_id, (None, now))
+        self._dwells.append(max(0.0, now - entered_at))
+        if previous is not None:
+            self._transitions.setdefault(previous, Counter())[to_cell] += 1
+        self._current_slot += 1
+        self.observations += 1
+
+    def close_slot(self) -> int:
+        """End the current time slot; returns its handoff count."""
+        closed = self._current_slot
+        self._slots.append(closed)
+        self._current_slot = 0
+        return closed
+
+    # -- classification ------------------------------------------------------------
+
+    def features(self) -> CellFeatures:
+        mean_dwell = (
+            sum(self._dwells) / len(self._dwells) / self.slot_duration
+            if self._dwells
+            else 0.0
+        )
+        return extract_features(
+            slot_counts=list(self._slots),
+            user_visits=dict(self._user_visits),
+            transitions={k: dict(v) for k, v in self._transitions.items()},
+            mean_dwell_slots=mean_dwell,
+        )
+
+    def classify(self) -> CellClass:
+        """The current best guess (UNKNOWN while under-observed)."""
+        return self.classifier.classify(self.features(), self.observations)

@@ -1,0 +1,130 @@
+"""Resource-conflict resolution (Section 5.2).
+
+With loose QoS bounds, two conflicts arise: (a) excess capacity appears and
+must be divided among competing (static-portable) connections, and (b) a new
+connection fits the *floors* but the headroom is currently handed out as
+excess to ongoing connections.  Both are resolved by recomputing the max-min
+fair division of excess bandwidth and shrinking/growing ongoing connections
+within their pre-negotiated bounds — floors are never violated.
+
+This is the *centralized* resolver used by the cell-level simulations; the
+message-passing realization is :mod:`repro.core.adaptation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..network.topology import Topology
+from ..traffic.connection import Connection, ConnectionState
+from .maxmin import MaxMinProblem, maxmin_allocation
+
+__all__ = ["ConflictResolver"]
+
+
+class ConflictResolver:
+    """Recomputes and applies max-min excess shares across a topology.
+
+    The resolver tracks the set of adaptive connections and which of them
+    belong to *static* portables: per Section 4.3 only static portables'
+    connections are upgraded beyond ``b_min`` (mobile portables stay at the
+    floor to minimize adaptation churn during handoffs).
+    """
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self._routes: Dict[Hashable, List[Hashable]] = {}
+        self._connections: Dict[Hashable, Connection] = {}
+        self._static: Dict[Hashable, bool] = {}
+        #: Number of reallocation rounds performed (observability).
+        self.rounds = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def track(self, conn: Connection, static_portable: bool) -> None:
+        """Start managing ``conn``'s excess share (route must be set)."""
+        if not conn.route:
+            raise ValueError(f"connection {conn.conn_id!r} has no route")
+        self._connections[conn.conn_id] = conn
+        self._routes[conn.conn_id] = list(conn.route)
+        self._static[conn.conn_id] = static_portable
+
+    def untrack(self, conn_id: Hashable) -> None:
+        self._connections.pop(conn_id, None)
+        self._routes.pop(conn_id, None)
+        self._static.pop(conn_id, None)
+
+    def set_static(self, conn_id: Hashable, static_portable: bool) -> None:
+        """Flip a connection's upgrade eligibility (portable state change)."""
+        if conn_id in self._static:
+            self._static[conn_id] = static_portable
+
+    @property
+    def tracked(self) -> List[Hashable]:
+        return list(self._connections)
+
+    # -- resolution ------------------------------------------------------------
+
+    def build_problem(self) -> Tuple[MaxMinProblem, Dict[Hashable, float]]:
+        """Snapshot the current excess-sharing instance.
+
+        Returns the problem plus the demand map used (0 for mobile-owned
+        connections, ``b_max - b_min`` for static-owned ones).
+        """
+        problem = MaxMinProblem()
+        for link in self.topo.links:
+            problem.add_link(link.key, max(0.0, link.excess_available))
+        demands: Dict[Hashable, float] = {}
+        for conn_id, conn in self._connections.items():
+            if conn.state is not ConnectionState.ACTIVE:
+                continue
+            if conn.qos.bounds is None:
+                continue
+            span = conn.qos.bounds.span
+            demand = span if self._static.get(conn_id, False) else 0.0
+            demands[conn_id] = demand
+            links = [l.key for l in self.topo.path_links(self._routes[conn_id])]
+            problem.add_connection(conn_id, links, demand)
+        return problem, demands
+
+    def resolve(self) -> Dict[Hashable, float]:
+        """Recompute max-min excess shares and apply them to the links.
+
+        Returns the new excess share per connection id.  Connections' stored
+        ``rate`` fields are refreshed to ``b_min + excess``.
+        """
+        problem, _ = self.build_problem()
+        shares = maxmin_allocation(problem)
+        self._apply(shares)
+        self.rounds += 1
+        return shares
+
+    def excess_capacity_event(self) -> Dict[Hashable, float]:
+        """Entry point for "excess resources appeared" (conflict case (a))."""
+        return self.resolve()
+
+    def squeeze_for(self, route_links: Iterable[Tuple[Hashable, Hashable]],
+                    b_min: float) -> bool:
+        """Conflict case (b): can a new floor ``b_min`` fit on ``route_links``?
+
+        True iff every link's *floor-level* headroom (capacity minus advance
+        reservations minus existing floors) covers ``b_min`` — excess shares
+        do not count because resolution can always reclaim them.
+        """
+        for key in route_links:
+            link = self.topo.link(*key)
+            if b_min > link.excess_available + 1e-9:
+                return False
+        return True
+
+    # -- internals ----------------------------------------------------------------
+
+    def _apply(self, shares: Dict[Hashable, float]) -> None:
+        for conn_id, share in shares.items():
+            conn = self._connections[conn_id]
+            route = self._routes[conn_id]
+            for link in self.topo.path_links(route):
+                if conn_id in link.allocations:
+                    link.set_excess(conn_id, share)
+            if conn.qos.bounds is not None:
+                conn.rate = conn.qos.bounds.clamp(conn.b_min + share)

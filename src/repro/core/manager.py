@@ -1,0 +1,291 @@
+"""Cell-level resource-management orchestration (Figure 1).
+
+``CellularResourceManager`` glues the pieces together the way the paper's
+overview describes: connection requests run admission (with conflict
+resolution squeezing excess shares), the static/mobile test gates both QoS
+upgrades and advance reservations, handoffs consume advance reservations,
+and the ``B_dyn`` pools adapt to static portables in neighboring cells.
+
+This manager operates on the *wireless* hop of each cell — the scarce,
+contended resource the paper's evaluation exercises.  End-to-end wired-path
+admission is available separately via
+:class:`~repro.core.admission.AdmissionController`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, List, Optional
+
+from typing import TYPE_CHECKING
+
+from ..profiles.server import ProfileServer
+from ..traffic.connection import Connection, ConnectionState
+from .maxmin import MaxMinProblem, maxmin_allocation
+from .qos import QoSRequest
+from .statmob import StaticMobileClassifier
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..wireless.basestation import BaseStation
+    from ..wireless.cell import Cell
+    from ..wireless.handoff import HandoffOutcome
+
+__all__ = ["CellularResourceManager"]
+
+
+class CellularResourceManager:
+    """Resource management across a set of cells.
+
+    Parameters
+    ----------
+    env:
+        DES environment (supplies the clock).
+    cells:
+        The managed cells, keyed by id.
+    server:
+        Zone profile server recording handoffs and backing predictions.
+    static_threshold:
+        ``T_th`` of the static/mobile test.
+    on_handoff:
+        Optional extra observer for handoff outcomes.
+    """
+
+    def __init__(
+        self,
+        env,
+        cells: Dict[Hashable, Cell],
+        server: Optional[ProfileServer] = None,
+        static_threshold: float = 300.0,
+        on_handoff: Optional[Callable[[HandoffOutcome, float], None]] = None,
+    ):
+        from ..wireless.basestation import BaseStation
+        from ..wireless.handoff import HandoffEngine
+
+        self.env = env
+        self.cells = dict(cells)
+        self.server = server or ProfileServer()
+        self.statmob = StaticMobileClassifier(static_threshold)
+        self._extra_on_handoff = on_handoff
+        self.handoffs = HandoffEngine(
+            get_cell=self.get_cell, on_handoff=self._handoff_observed
+        )
+        self.base_stations: Dict[Hashable, BaseStation] = {
+            cell_id: BaseStation(cell, self.server, self.statmob, self.get_cell)
+            for cell_id, cell in self.cells.items()
+        }
+        for cell_id, cell in self.cells.items():
+            self.server.register_cell(
+                cell_id, cell.cell_class, neighbors=sorted(cell.neighbors, key=repr)
+            )
+        #: All connections ever admitted, by id.
+        self.connections: Dict[Hashable, Connection] = {}
+        self._portables: Dict[Hashable, "Portable"] = {}
+        self.blocked = 0
+        self.admitted = 0
+        self.dropped = 0
+
+    # -- lookups --------------------------------------------------------------
+
+    def get_cell(self, cell_id: Hashable) -> Cell:
+        return self.cells[cell_id]
+
+    def base_station(self, cell_id: Hashable) -> BaseStation:
+        return self.base_stations[cell_id]
+
+    # -- portables --------------------------------------------------------------
+
+    def attach_portable(self, portable, cell_id: Hashable) -> None:
+        """Register a portable's initial location (no handoff recorded)."""
+        self._portables[portable.portable_id] = portable
+        portable.move_to(cell_id, self.env.now)
+        self.cells[cell_id].enter(portable.portable_id, self.env.now)
+        self.server.seed_presence(portable.portable_id, cell_id)
+        self.statmob.observe(portable.portable_id, cell_id, self.env.now)
+
+    # -- connection lifecycle -------------------------------------------------------
+
+    def request_connection(
+        self, portable, qos: QoSRequest, ctype: int = 0
+    ) -> Optional[Connection]:
+        """Admit a new connection on the portable's current cell.
+
+        Conflict resolution is implicit: admission tests the *floor*
+        headroom (``C - b_resv - sum(b_min)``), so excess granted to ongoing
+        connections never blocks a newcomer — the rebalance step afterwards
+        shrinks their shares within bounds (Section 5.2, case (b)).
+
+        Returns the ACTIVE connection, or None when blocked.
+        """
+        now = self.env.now
+        cell = self.cells[portable.current_cell]
+        conn = Connection(
+            src=f"air:{cell.cell_id}",
+            dst=f"bs:{cell.cell_id}",
+            qos=qos,
+            portable_id=portable.portable_id,
+            ctype=ctype,
+        )
+        if qos.bounds is None:
+            conn.activate([conn.src, conn.dst], 0.0, now)
+            portable.attach(conn)
+            self.connections[conn.conn_id] = conn
+            return conn
+
+        if qos.b_min > cell.link.excess_available + 1e-9:
+            conn.block(now)
+            self.blocked += 1
+            return None
+
+        cell.link.admit(conn.conn_id, qos.b_min)
+        conn.activate([conn.src, conn.dst], qos.b_min, now)
+        portable.attach(conn)
+        self.connections[conn.conn_id] = conn
+        self.admitted += 1
+        self.rebalance(cell.cell_id)
+        return conn
+
+    def terminate_connection(self, conn: Connection) -> None:
+        """Normal teardown; freed capacity is redistributed."""
+        portable = self._portables.get(conn.portable_id)
+        cell_id = portable.current_cell if portable else None
+        if cell_id is not None:
+            link = self.cells[cell_id].link
+            if conn.conn_id in link.allocations:
+                link.release(conn.conn_id)
+        conn.terminate(self.env.now)
+        if portable is not None and conn in portable.connections:
+            portable.detach(conn)
+        if cell_id is not None:
+            self.rebalance(cell_id)
+
+    def renegotiate(self, conn: Connection, new_qos: QoSRequest) -> bool:
+        """Application-initiated adaptation (Sections 4.2 and 5.3).
+
+        The network "essentially treats it as a new connection request":
+        the new bounds are admission-tested at floor level; on success the
+        connection's QoS is swapped in place (no service interruption) and
+        the cell rebalances, on failure the old contract stays untouched.
+
+        Returns True if the new contract was accepted.
+        """
+        portable = self._portables.get(conn.portable_id)
+        if portable is None or conn.state is not ConnectionState.ACTIVE:
+            raise RuntimeError("only active, attached connections renegotiate")
+        if new_qos.bounds is None:
+            raise ValueError("renegotiation requires bandwidth bounds")
+        cell = self.cells[portable.current_cell]
+        link = cell.link
+
+        old_floor = conn.b_min if conn.qos.bounds is not None else 0.0
+        extra_floor = new_qos.b_min - old_floor
+        if extra_floor > 0 and extra_floor > link.excess_available + 1e-9:
+            return False  # cannot grow the guarantee
+
+        if conn.conn_id in link.allocations:
+            link.release(conn.conn_id)
+        link.admit(conn.conn_id, new_qos.b_min)
+        conn.qos = new_qos
+        conn.rate = new_qos.b_min
+        self.rebalance(cell.cell_id)
+        return True
+
+    # -- mobility ----------------------------------------------------------------
+
+    def move_portable(self, portable, to_cell: Hashable) -> HandoffOutcome:
+        """Hand a portable off to ``to_cell`` (must be a neighbor)."""
+        now = self.env.now
+        from_cell = portable.current_cell
+        if to_cell not in self.cells[from_cell].neighbors:
+            raise ValueError(f"{to_cell!r} is not a neighbor of {from_cell!r}")
+
+        # Withdraw any reservation the old base station placed elsewhere.
+        self.base_stations[from_cell].withdraw_reservation(portable.portable_id)
+        self.server.report_handoff(portable.portable_id, from_cell, to_cell)
+
+        outcome = self.handoffs.execute(portable, to_cell, now)
+        self.dropped += len(outcome.dropped)
+
+        # Mobility resets the static clock and triggers the new cell's
+        # advance-reservation planning.
+        self.statmob.observe(portable.portable_id, to_cell, now)
+        self.base_stations[to_cell].plan_advance_reservation(portable, now)
+
+        self.rebalance(from_cell)
+        self.rebalance(to_cell)
+        return outcome
+
+    # -- adaptation ---------------------------------------------------------------------
+
+    def rebalance(self, cell_id: Hashable) -> Dict[Hashable, float]:
+        """Max-min redistribution of the cell's excess among static owners.
+
+        Single-link instance of the Section 5.2 policy: mobile portables'
+        connections are pinned at ``b_min`` (demand 0), static portables'
+        connections share the leftover up to their ``b_max``.
+        """
+        now = self.env.now
+        cell = self.cells[cell_id]
+        link = cell.link
+        problem = MaxMinProblem()
+        problem.add_link(cell_id, max(0.0, link.excess_available))
+        conns: List[Connection] = []
+        for conn_id in link.allocations:
+            conn = self.connections.get(conn_id)
+            if conn is None or conn.state is not ConnectionState.ACTIVE:
+                continue
+            if conn.qos.bounds is None:
+                continue
+            owner_static = self.statmob.is_static(conn.portable_id, now)
+            demand = conn.qos.bounds.span if owner_static else 0.0
+            problem.add_connection(conn_id, [cell_id], demand)
+            conns.append(conn)
+        shares = maxmin_allocation(problem)
+        for conn in conns:
+            share = shares.get(conn.conn_id, 0.0)
+            link.set_excess(conn.conn_id, share)
+            conn.rate = conn.qos.bounds.clamp(conn.b_min + share)
+        return shares
+
+    def refresh_static_states(self) -> None:
+        """Re-run the static/mobile test everywhere and react to flips.
+
+        Newly static portables get their reservations withdrawn, their
+        profiles refreshed from the server, and their cells rebalanced (the
+        QoS-upgrade path of Section 3.4.2).
+        """
+        now = self.env.now
+        for pid, portable in self._portables.items():
+            cell_id = portable.current_cell
+            if cell_id is None:
+                continue
+            if self.statmob.is_static(pid, now):
+                self.base_stations[cell_id].withdraw_reservation(pid)
+                self.base_stations[cell_id].cache.refresh_static(pid)
+        for cell_id in self.cells:
+            self.rebalance(cell_id)
+        self.update_pools()
+
+    def update_pools(self) -> None:
+        """Section 5.3's ``B_dyn`` policy for every cell.
+
+        Each cell sizes its pool to fit at least one maximum-rate connection
+        of a static portable residing in a neighboring cell.
+        """
+        now = self.env.now
+        for cell in self.cells.values():
+            peak = 0.0
+            for neighbor_id in cell.neighbors:
+                neighbor = self.cells[neighbor_id]
+                for pid in neighbor.present:
+                    if not self.statmob.is_static(pid, now):
+                        continue
+                    portable = self._portables.get(pid)
+                    if portable is not None:
+                        peak = max(peak, portable.max_allocated_rate)
+            cell.reservations.adapt_pool_for_static_neighbors(peak)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _handoff_observed(self, outcome: HandoffOutcome, now: float) -> None:
+        if self._extra_on_handoff is not None:
+            self._extra_on_handoff(outcome, now)

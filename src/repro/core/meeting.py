@@ -1,0 +1,181 @@
+"""Meeting-room advance reservation (Section 6.2.1).
+
+Handoff activity in a meeting room is spiky: a burst of arrivals around the
+meeting start ``T_s`` and a burst of departures around its end ``T_a``.  The
+booking calendar makes both bursts predictable:
+
+* From ``T_s - Delta_s`` the room's base station advance-reserves resources
+  for ``N_m - N_arrived(t)`` attendees (shrinking as attendees arrive); a
+  release timer fires ``start_release`` after ``T_s`` and frees whatever is
+  still unused.
+* From ``T_a - Delta_a`` the room asks its *neighbors* to reserve for the
+  expected leavers, distributed according to the room's handoff profile and
+  shrinking as attendees actually leave; a release timer fires
+  ``end_release`` after ``T_a``.
+
+Paper parameters: ``Delta_s`` = 10 min, ``Delta_a`` = 5 min, start release
+timer = 5 min, end release timer = 15 min.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from ..des import Environment
+from ..profiles.records import BookingCalendar, Meeting
+from .reservation import CellReservations
+
+__all__ = ["MeetingRoomReservation"]
+
+
+class MeetingRoomReservation:
+    """Drives reservations in and around one meeting room.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (time unit: seconds).
+    cell_id:
+        The meeting room's cell id; reservations booked under the tag
+        ``("meeting", cell_id)``.
+    reservations:
+        The room's own reservation ledger.
+    neighbor_ledgers:
+        Ledgers of the neighboring cells, for the departure-side bookings.
+    handoff_distribution:
+        Callable returning ``{neighbor: probability}`` from the room's cell
+        profile (how leavers historically spread over neighbors); an empty
+        dict falls back to a uniform split.
+    per_user_bandwidth:
+        Resources per attendee (the paper specifies ``N_m`` "in terms of the
+        number of users"; Section 7.1 uses one connection per user).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cell_id: Hashable,
+        reservations: CellReservations,
+        neighbor_ledgers: Dict[Hashable, CellReservations],
+        handoff_distribution: Callable[[], Dict[Hashable, float]],
+        per_user_bandwidth: float = 16.0,
+        delta_s: float = 600.0,
+        delta_a: float = 300.0,
+        start_release: float = 300.0,
+        end_release: float = 900.0,
+    ):
+        self.env = env
+        self.cell_id = cell_id
+        self.reservations = reservations
+        self.neighbor_ledgers = dict(neighbor_ledgers)
+        self.handoff_distribution = handoff_distribution
+        self.per_user_bandwidth = per_user_bandwidth
+        self.delta_s = delta_s
+        self.delta_a = delta_a
+        self.start_release = start_release
+        self.end_release = end_release
+
+        self.tag = ("meeting", cell_id)
+        self._arrived = 0
+        self._left = 0
+        self._active_meeting: Optional[Meeting] = None
+        self._outbound_base = 0  # attendees present at T_a - Delta_a
+        self._left_at_outbound = 0
+        self._outbound_active = False
+
+    # -- lifecycle driving ---------------------------------------------------------
+
+    def run(self, calendar: BookingCalendar):
+        """DES process serving every meeting on the calendar in order."""
+        for meeting in calendar.meetings:
+            yield from self._serve_meeting(meeting)
+
+    def _serve_meeting(self, meeting: Meeting):
+        env = self.env
+        # Phase 1: pre-start reservation ramp.
+        t_reserve = max(env.now, meeting.start - self.delta_s)
+        if t_reserve > env.now:
+            yield env.timeout(t_reserve - env.now)
+        self._active_meeting = meeting
+        self._arrived = 0
+        self._left = 0
+        self._outbound_active = False
+        self._update_inbound()
+
+        # Phase 2: release timer after the start.
+        release_at = meeting.start + self.start_release
+        if release_at > env.now:
+            yield env.timeout(release_at - env.now)
+        self.reservations.reserve_aggregate(self.tag, 0.0)
+
+        # Phase 3: pre-end neighbor reservations.
+        t_outbound = max(env.now, meeting.end - self.delta_a)
+        if t_outbound > env.now:
+            yield env.timeout(t_outbound - env.now)
+        self._outbound_base = self._arrived - self._left
+        self._left_at_outbound = self._left
+        self._outbound_active = True
+        self._update_outbound()
+
+        # Phase 4: release neighbors after the end timer.
+        release_at = meeting.end + self.end_release
+        if release_at > env.now:
+            yield env.timeout(release_at - env.now)
+        self._outbound_active = False
+        for ledger in self.neighbor_ledgers.values():
+            ledger.release_aggregate(self.tag)
+        self._active_meeting = None
+
+    # -- attendance callbacks (wired to the handoff layer) ----------------------------
+
+    def attendee_arrived(self) -> None:
+        """An expected attendee handed into the room."""
+        self._arrived += 1
+        self._update_inbound()
+
+    def attendee_left(self) -> None:
+        """An attendee handed out of the room."""
+        self._left += 1
+        if self._outbound_active:
+            self._update_outbound()
+
+    @property
+    def arrived(self) -> int:
+        return self._arrived
+
+    @property
+    def left(self) -> int:
+        return self._left
+
+    # -- reservation arithmetic ------------------------------------------------------
+
+    def _update_inbound(self) -> None:
+        """Reserve for ``N_m - N_arrived(t)`` attendees yet to come."""
+        meeting = self._active_meeting
+        if meeting is None:
+            return
+        missing = max(0, meeting.attendees - self._arrived)
+        self.reservations.reserve_aggregate(
+            self.tag, missing * self.per_user_bandwidth
+        )
+
+    def _update_outbound(self) -> None:
+        """Neighbors reserve for the attendees still expected to leave.
+
+        The paper's text counts leavers from ``N_m``; we count from the
+        attendees actually present at ``T_a - Delta_a`` (``N_arrived - N_left``
+        then), which is the quantity the base station can observe and what
+        the worked example in Section 7.1 requires (a half-empty meeting
+        should not trigger full-size neighbor reservations).
+        """
+        left_since = self._left - self._left_at_outbound
+        expected = max(0, self._outbound_base - left_since)
+        share = self.handoff_distribution() or {}
+        if not share:
+            neighbors = list(self.neighbor_ledgers)
+            share = {n: 1.0 / len(neighbors) for n in neighbors} if neighbors else {}
+        for neighbor, ledger in self.neighbor_ledgers.items():
+            fraction = share.get(neighbor, 0.0)
+            ledger.reserve_aggregate(
+                self.tag, expected * fraction * self.per_user_bandwidth
+            )

@@ -1,0 +1,148 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from .errors import EmptySchedule, StopProcess
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "NORMAL", "URGENT"]
+
+#: Priority for interrupt/initialize events (processed first at a timestamp).
+URGENT = 0
+#: Priority for ordinary events.
+NORMAL = 1
+
+
+class Environment:
+    """Execution environment for a deterministic discrete-event simulation.
+
+    Time is a float starting at ``initial_time``.  Events scheduled at the
+    same time are processed in (priority, insertion order), which makes runs
+    fully reproducible.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active_proc
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def exit(self, value=None):
+        """Terminate the active process, making ``value`` its result."""
+        raise StopProcess(value)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed ``delay`` units from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raise :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An unhandled failed event crashes the simulation, mirroring the
+            # SimPy behaviour: errors should never pass silently.
+            raise event._value
+
+    def run(self, until=None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number (run
+        until that simulation time), or an :class:`Event` (run until it fires
+        and return its value).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} lies in the past (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, priority=URGENT, delay=at - self._now)
+
+        if until is not None:
+            if until.callbacks is None:
+                # Already processed: just report its value.
+                return until.value
+            until.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if until is not None and not until.triggered:
+                raise RuntimeError(
+                    "simulation ended before the awaited event fired"
+                ) from None
+            return None
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception ending :meth:`Environment.run`."""
+
+    def __init__(self, value):
+        super().__init__(value)
+        self.value = value
+
+
+def _stop_simulation(event: Event) -> None:
+    if event._ok:
+        raise _StopSimulation(event._value)
+    event.defused = True
+    raise event._value

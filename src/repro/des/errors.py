@@ -1,0 +1,38 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StopProcess(Exception):
+    """Raised internally to terminate a process early with a return value.
+
+    User code should call :meth:`repro.des.engine.Environment.exit` rather
+    than raising this directly.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt ``cause`` is an arbitrary object supplied by the
+    interrupter (often a short string explaining why).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        return self.args[0]
+
+
+class EmptySchedule(SimulationError):
+    """Raised when the event queue is exhausted but more time was requested."""

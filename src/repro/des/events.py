@@ -1,0 +1,183 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The design follows the classic SimPy model: an :class:`Event` is a one-shot
+occurrence with a value; processes (generators) yield events to suspend until
+they fire.  Events can be combined with ``&`` (all-of) and ``|`` (any-of).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = ["PENDING", "Event", "Timeout", "Condition", "AllOf", "AnyOf"]
+
+#: Sentinel for "event has no value yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling it on the environment's queue; once the
+    environment pops it, the event is *processed* and its callbacks run.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: Set to True by a callback that handles a failure, suppressing the
+        #: "unhandled failure" crash.
+        self.defused: bool = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise AttributeError("value of untriggered event is not ready")
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's payload (or exception for failed events)."""
+        if self._value is PENDING:
+            raise AttributeError("value of untriggered event is not ready")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (processed) event."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise ValueError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    # -- composition ------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__} object at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    def __init__(self, env, delay: float, value=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def __repr__(self):
+        return f"<Timeout({self._delay}) object at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Event that fires when a boolean function of sub-events is satisfied.
+
+    The condition's value is a dict mapping each *processed* sub-event to its
+    value, in the order the sub-events were given.
+    """
+
+    def __init__(self, env, evaluate, events):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events from different environments")
+
+        # Check for already-processed events first (immediate conditions).
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        return {e: e._value for e in self._events if e.callbacks is None}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self._ok = True
+            self._value = self._collect_values()
+            self.env.schedule(self)
+
+    def trigger(self, event):  # pragma: no cover - not used for conditions
+        raise NotImplementedError("conditions cannot be re-triggered")
+
+    @staticmethod
+    def all_events(events, count) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events, count) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires once *all* of ``events`` have fired."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once *any* of ``events`` has fired."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_events, events)

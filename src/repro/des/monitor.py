@@ -1,0 +1,54 @@
+"""Lightweight instrumentation helpers for simulations."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+__all__ = ["TimeSeriesProbe", "periodic_sampler"]
+
+
+class TimeSeriesProbe:
+    """Records (time, value) samples pushed by simulation code."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self.samples]
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def last(self):
+        """Most recent sample, or None if empty."""
+        return self.samples[-1] if self.samples else None
+
+    def time_average(self, until: float = None) -> float:
+        """Time-weighted average assuming piecewise-constant values."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        end = until if until is not None else self.samples[-1][0]
+        total = 0.0
+        for (t0, v), (t1, _) in zip(self.samples, self.samples[1:]):
+            total += v * (t1 - t0)
+        last_t, last_v = self.samples[-1]
+        if end > last_t:
+            total += last_v * (end - last_t)
+        span = end - self.samples[0][0]
+        return total / span if span > 0 else self.samples[0][1]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def periodic_sampler(env, probe: TimeSeriesProbe, fn: Callable[[], float], period: float):
+    """Process generator that samples ``fn()`` into ``probe`` every ``period``."""
+    while True:
+        probe.record(env.now, fn())
+        yield env.timeout(period)

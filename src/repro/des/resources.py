@@ -1,0 +1,171 @@
+"""Shared-resource primitives: counted resources and continuous containers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .events import Event
+
+__all__ = ["Request", "Release", "Resource", "Container"]
+
+
+class Request(Event):
+    """Request event for a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is released even on exceptions::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the request (releasing the slot if already granted)."""
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Immediate event confirming a :class:`Resource` release."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        self._ok = True
+        self._value = None
+        self.env.schedule(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and FIFO queueing."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Request a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release a previously granted (or queued) request."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_waiters()
+        elif request in self.queue:
+            self.queue.remove(request)
+        return Release(self, request)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed()
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            self._grant(self.queue.pop(0))
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._settle()
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._settle()
+
+
+class Container:
+    """A homogeneous bulk resource (e.g. bandwidth units, buffer bytes)."""
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init must be in [0, capacity], got {init}")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._get_waiters: List[ContainerGet] = []
+        self._put_waiters: List[ContainerPut] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> ContainerGet:
+        """Event that fires once ``amount`` could be withdrawn."""
+        return ContainerGet(self, amount)
+
+    def put(self, amount: float) -> ContainerPut:
+        """Event that fires once ``amount`` could be deposited."""
+        return ContainerPut(self, amount)
+
+    def _settle(self) -> None:
+        """Grant head-of-line gets and puts until no further progress.
+
+        FIFO within each queue: a head request that cannot be satisfied
+        blocks later requests in the same queue (no starvation of big asks).
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._get_waiters and self._get_waiters[0].amount <= self._level:
+                waiter = self._get_waiters.pop(0)
+                self._level -= waiter.amount
+                waiter.succeed(waiter.amount)
+                progressed = True
+            if (
+                self._put_waiters
+                and self._level + self._put_waiters[0].amount <= self._capacity
+            ):
+                waiter = self._put_waiters.pop(0)
+                self._level += waiter.amount
+                waiter.succeed(waiter.amount)
+                progressed = True

@@ -1,0 +1,93 @@
+"""Object stores: FIFO message queues between processes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from .events import Event
+
+__all__ = ["Store", "FilterStore", "StoreGet", "StorePut"]
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._settle()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store", predicate: Callable[[Any], bool] = None):
+        super().__init__(store.env)
+        self.predicate = predicate
+        store._get_waiters.append(self)
+        store._settle()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of arbitrary items.
+
+    The natural channel abstraction for control-message passing between
+    simulated network elements (signaling channels, handoff messages).
+    """
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Event that fires once ``item`` has been stored."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Event that fires with the oldest stored item."""
+        return StoreGet(self)
+
+    def _match(self, getter: StoreGet):
+        """Return index of the item satisfying ``getter`` or None."""
+        if not self.items:
+            return None
+        return 0
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters and len(self.items) < self._capacity:
+                putter = self._put_waiters.pop(0)
+                self.items.append(putter.item)
+                putter.succeed()
+                progressed = True
+            for getter in list(self._get_waiters):
+                index = self._match(getter)
+                if index is not None:
+                    self._get_waiters.remove(getter)
+                    getter.succeed(self.items.pop(index))
+                    progressed = True
+                    break
+
+
+class FilterStore(Store):
+    """A store whose getters may select items with a predicate."""
+
+    def get(self, predicate: Callable[[Any], bool] = None) -> StoreGet:
+        """Event that fires with the oldest item matching ``predicate``."""
+        return StoreGet(self, predicate)
+
+    def _match(self, getter: StoreGet):
+        if getter.predicate is None:
+            return super()._match(getter)
+        for index, item in enumerate(self.items):
+            if getter.predicate(item):
+                return index
+        return None

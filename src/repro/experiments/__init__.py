@@ -1,0 +1,69 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module pairs a ``run_*`` function (returns structured results) with a
+``render_*`` function (plain-text tables / sparkline figures); the
+``benchmarks/`` tree wraps them with pytest-benchmark.
+"""
+
+from .adaptation_value import (
+    AdaptationValueResult,
+    render_adaptation_value,
+    run_adaptation_value,
+)
+from .ablations import (
+    mlist_overhead,
+    pool_fraction_sweep,
+    prediction_levels,
+    render_mlist_overhead,
+    render_pool_fraction,
+    render_prediction_levels,
+    render_static_vs_predictive,
+    static_vs_predictive,
+)
+from .figure4 import Figure4Result, render_figure4, run_figure4
+from .figure5 import (
+    Figure5Config,
+    Figure5Result,
+    POLICIES,
+    render_figure5,
+    run_figure5,
+    run_figure5_comparison,
+)
+from .figure6 import (
+    Figure6Point,
+    render_figure6,
+    run_figure6,
+    run_plain_baseline,
+)
+from .table2 import Table2Case, build_reference_path, render_table2, run_table2
+
+__all__ = [
+    "AdaptationValueResult",
+    "render_adaptation_value",
+    "run_adaptation_value",
+    "mlist_overhead",
+    "pool_fraction_sweep",
+    "prediction_levels",
+    "render_mlist_overhead",
+    "render_pool_fraction",
+    "render_prediction_levels",
+    "render_static_vs_predictive",
+    "static_vs_predictive",
+    "Figure4Result",
+    "render_figure4",
+    "run_figure4",
+    "Figure5Config",
+    "Figure5Result",
+    "POLICIES",
+    "render_figure5",
+    "run_figure5",
+    "run_figure5_comparison",
+    "Figure6Point",
+    "render_figure6",
+    "run_figure6",
+    "run_plain_baseline",
+    "Table2Case",
+    "build_reference_path",
+    "render_table2",
+    "run_table2",
+]

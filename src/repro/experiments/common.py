@@ -1,0 +1,60 @@
+"""Shared experiment utilities: result rows and plain-text rendering."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "sparkline"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render an aligned plain-text table (benchmarks print these)."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode bar chart (figures rendered in the terminal)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by max-pooling to preserve spikes.
+        chunk = len(values) / width
+        values = [
+            max(values[int(i * chunk) : max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            for i in range(width)
+        ]
+    top = max(values) or 1.0
+    return "".join(blocks[min(8, int(v / top * 8))] for v in values)
+
+
+def format_series(
+    label: str, series: Sequence, width: int = 60
+) -> str:
+    """Render a (time, count) series as a labelled sparkline with extremes."""
+    counts = [c for _, c in series]
+    total = sum(counts)
+    peak = max(counts) if counts else 0
+    return f"{label:<38} |{sparkline(counts, width)}| total={total} peak={peak}"

@@ -1,0 +1,191 @@
+"""Figure 4 / Section 7.1 office-case validation.
+
+Replays a calibrated synthetic workweek around offices **A** and **B**
+(substituting for the paper's physical measurements — see DESIGN.md) and
+
+1. tabulates the handoff split after every C -> D transit per user group,
+   checking it against the numbers reported in the paper, and
+2. evaluates next-cell prediction / advance reservation strategies on the
+   same stream: brute-force neighborhood reservation, cell aggregate
+   history, and the paper's three-level predictor (portable profile +
+   occupant rule + cell history).
+
+The paper's two take-aways should reproduce: deterministic reservation for
+office occupants is valid (high hit rate for the occupant/profile levels),
+and brute-force reservation is extremely wasteful.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.prediction import ProfileAwarePredictor
+from ..mobility.floorplan import figure4_floorplan
+from ..mobility.traces import OFFICE_WEEK_TARGETS, MoveTrace, office_week_trace
+from ..profiles.records import CellClass
+from ..profiles.server import ProfileServer
+from .common import format_table
+
+__all__ = ["Figure4Result", "run_figure4", "render_figure4"]
+
+
+@dataclass
+class StrategyScore:
+    """Prediction / reservation quality of one strategy."""
+
+    name: str
+    predictions: int = 0
+    hits: int = 0
+    reservations_placed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.predictions if self.predictions else 0.0
+
+    @property
+    def waste_rate(self) -> float:
+        """Fraction of placed reservations that were never used."""
+        if not self.reservations_placed:
+            return 0.0
+        return 1.0 - self.hits / self.reservations_placed
+
+
+@dataclass
+class Figure4Result:
+    trace: MoveTrace
+    #: group -> (into A, into B, away) counts measured on the trace.
+    split: Dict[str, Tuple[int, int, int]] = field(default_factory=dict)
+    strategies: List[StrategyScore] = field(default_factory=list)
+    #: group -> (predictions, hits) for the three-level strategy.
+    threelevel_by_group: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+def _group_of(portable: Hashable) -> str:
+    pid = str(portable)
+    if pid == "faculty":
+        return "faculty"
+    if pid.startswith("student"):
+        return "students"
+    return "others"
+
+
+def run_figure4(seed: int = 1996) -> Figure4Result:
+    """Run the full office-case validation on one synthetic workweek."""
+    plan = figure4_floorplan()
+    trace = office_week_trace(seed=seed)
+    result = Figure4Result(trace=trace)
+
+    # ---- 1. handoff split per group (forward C -> D journeys only) -------------
+    sequences: Dict[Hashable, List] = defaultdict(list)
+    for event in trace:
+        sequences[event.portable].append(event)
+
+    split = {g: [0, 0, 0] for g in OFFICE_WEEK_TARGETS}
+    for portable, events in sequences.items():
+        group = _group_of(portable)
+        for i, event in enumerate(events):
+            if (event.from_cell, event.to_cell) != ("C", "D"):
+                continue
+            # Follow this journey to its outcome.
+            outcome = None
+            for nxt in events[i + 1 :]:
+                if nxt.to_cell == "A":
+                    outcome = 0
+                    break
+                if nxt.to_cell == "B":
+                    outcome = 1
+                    break
+                if nxt.to_cell in ("F", "G"):
+                    outcome = 2
+                    break
+                if nxt.to_cell == "C":  # turned back: not a forward journey
+                    break
+            if outcome is not None:
+                split[group][outcome] += 1
+    result.split = {g: tuple(v) for g, v in split.items()}
+
+    # ---- 2. strategy evaluation on the D cell --------------------------------------
+    server = ProfileServer(zone_id="ece-floor")
+    for cell_id in plan.cells:
+        profile = server.register_cell(
+            cell_id, plan.cell_class(cell_id), neighbors=sorted(plan.neighbors(cell_id), key=repr)
+        )
+        if plan.cell_class(cell_id) is CellClass.OFFICE:
+            profile.occupants |= plan.occupants.get(cell_id, set())
+    predictor = ProfileAwarePredictor(server)
+
+    brute = StrategyScore("brute-force (all neighbors)")
+    aggregate = StrategyScore("cell aggregate history")
+    threelevel = StrategyScore("three-level (profiles + occupants)")
+    by_group: Dict[str, Tuple[int, int]] = {}
+    neighbors_of_d = sorted(plan.neighbors("D"), key=repr)
+
+    for event in trace:
+        # Predict before learning from this event (online evaluation).
+        if event.from_cell == "D":
+            previous, _ = server.context_of(event.portable)
+            actual = event.to_cell
+
+            brute.predictions += 1
+            brute.reservations_placed += len(neighbors_of_d)
+            if actual in neighbors_of_d:
+                brute.hits += 1
+
+            cell_profile = server.cell_profile("D")
+            guess = cell_profile.predict_next(previous)
+            aggregate.predictions += 1
+            if guess is not None:
+                aggregate.reservations_placed += 1
+                if guess == actual:
+                    aggregate.hits += 1
+
+            prediction = predictor.predict_for(event.portable, "D", previous)
+            threelevel.predictions += 1
+            group = _group_of(event.portable)
+            preds, hits = by_group.get(group, (0, 0))
+            hit = prediction.cell is not None and prediction.cell == actual
+            by_group[group] = (preds + 1, hits + (1 if hit else 0))
+            if prediction.cell is not None:
+                threelevel.reservations_placed += 1
+                if hit:
+                    threelevel.hits += 1
+
+        server.report_handoff(event.portable, event.from_cell, event.to_cell)
+
+    result.strategies = [brute, aggregate, threelevel]
+    result.threelevel_by_group = by_group
+    return result
+
+
+def render_figure4(result: Figure4Result) -> str:
+    """Plain-text report: measured split vs paper, strategy scores."""
+    split_rows = []
+    for group, (a, b, away) in result.split.items():
+        target = OFFICE_WEEK_TARGETS[group]
+        split_rows.append(
+            (group, a, b, away, f"{target[0]}/{target[1]}/{target[2]}")
+        )
+    part1 = format_table(
+        ["group", "into A", "into B", "to F/G", "paper (A/B/away)"],
+        split_rows,
+        title="Figure 4: handoff split after C->D transits (one workweek)",
+    )
+    part2 = format_table(
+        ["strategy", "predictions", "hit rate", "reservations", "waste rate"],
+        [
+            (s.name, s.predictions, s.hit_rate, s.reservations_placed, s.waste_rate)
+            for s in result.strategies
+        ],
+        title="Advance reservation strategies at cell D",
+    )
+    part3 = format_table(
+        ["group", "predictions", "hit rate"],
+        [
+            (group, preds, hits / preds if preds else 0.0)
+            for group, (preds, hits) in sorted(result.threelevel_by_group.items())
+        ],
+        title="Three-level predictor accuracy per user group",
+    )
+    return part1 + "\n\n" + part2 + "\n\n" + part3

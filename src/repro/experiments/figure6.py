@@ -1,0 +1,111 @@
+"""Figure 6: performance of the default reservation algorithm.
+
+A family of ``P_d`` versus ``P_b`` curves, one per look-ahead window ``T``,
+each traced by sweeping the design target ``P_QOS``.  The paper's reading:
+``P_b`` decreases as larger ``P_d`` is tolerated; curves for smaller ``T``
+lie below (better); all curves merge at large ``P_d`` where the policy stops
+protecting handoffs and admits whenever bandwidth fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sim.config import figure6_config
+from ..sim.simulator import TwoCellSimulator
+from ..stats.counters import TeletrafficStats
+from .common import format_table
+
+__all__ = ["Figure6Point", "run_figure6", "run_plain_baseline", "render_figure6"]
+
+#: Default sweep matching the paper's setup: a handful of windows, with
+#: P_QOS tracing each curve from strict (left) to permissive (right).
+DEFAULT_WINDOWS = (0.02, 0.05, 0.1, 0.2)
+DEFAULT_PQOS = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.3)
+
+
+@dataclass(frozen=True)
+class Figure6Point:
+    """One measured operating point."""
+
+    window: float
+    p_qos: float
+    p_b: float
+    p_d: float
+    requests: int
+    handoffs: int
+
+
+def _pooled_run(window: float, p_qos: float, seeds: Sequence[int],
+                horizon: float, policy: str = "probabilistic",
+                static_reserve: float = 0.0) -> TeletrafficStats:
+    pooled = TeletrafficStats()
+    for seed in seeds:
+        config = figure6_config(
+            policy=policy,
+            window=window,
+            p_qos=p_qos,
+            seed=seed,
+            horizon=horizon,
+            static_reserve=static_reserve,
+        )
+        result = TwoCellSimulator(config).run()
+        pooled = pooled.merge(result.stats)
+    return pooled
+
+
+def run_figure6(
+    windows: Sequence[float] = DEFAULT_WINDOWS,
+    p_qos_values: Sequence[float] = DEFAULT_PQOS,
+    seeds: Sequence[int] = (1, 2, 3),
+    horizon: float = 300.0,
+) -> List[Figure6Point]:
+    """Sweep (T, P_QOS) and measure (P_b, P_d) for each operating point."""
+    points: List[Figure6Point] = []
+    for window in windows:
+        for p_qos in p_qos_values:
+            stats = _pooled_run(window, p_qos, seeds, horizon)
+            points.append(
+                Figure6Point(
+                    window=window,
+                    p_qos=p_qos,
+                    p_b=stats.blocking_probability,
+                    p_d=stats.dropping_probability,
+                    requests=stats.new_requests,
+                    handoffs=stats.handoff_attempts,
+                )
+            )
+    return points
+
+
+def run_plain_baseline(
+    seeds: Sequence[int] = (1, 2, 3), horizon: float = 300.0
+) -> Figure6Point:
+    """The no-reservation corner all curves converge to."""
+    stats = _pooled_run(0.05, 1.0, seeds, horizon, policy="plain")
+    return Figure6Point(
+        window=float("inf"),
+        p_qos=1.0,
+        p_b=stats.blocking_probability,
+        p_d=stats.dropping_probability,
+        requests=stats.new_requests,
+        handoffs=stats.handoff_attempts,
+    )
+
+
+def render_figure6(points: List[Figure6Point], baseline: Figure6Point = None) -> str:
+    """Plain-text rendition of the curve family."""
+    rows = [
+        (p.window, p.p_qos, p.p_d, p.p_b, p.requests, p.handoffs)
+        for p in points
+    ]
+    if baseline is not None:
+        rows.append(
+            ("plain", "-", baseline.p_d, baseline.p_b, baseline.requests, baseline.handoffs)
+        )
+    return format_table(
+        ["T", "P_QOS", "P_d", "P_b", "requests", "handoffs"],
+        rows,
+        title="Figure 6: default reservation algorithm — P_d vs P_b per window T",
+    )

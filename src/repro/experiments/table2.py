@@ -1,0 +1,153 @@
+"""Table 2: the admission test, exercised end-to-end.
+
+Builds the paper's canonical path — portable, wireless hop, base station,
+backbone switch, wired server — and runs the round-trip admission test for
+representative connections under both WFQ and RCSP, printing the same rows
+Table 2 specifies: per-link forward-pass quantities, the destination checks,
+and the reverse-pass (relaxed) commitments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.admission import AdmissionController, AdmissionResult
+from ..core.qos import audio_request, video_request
+from ..network.scheduling import Discipline, cumulative_jitter, per_hop_delay
+from ..network.topology import Topology
+from ..traffic.connection import Connection
+from .common import format_table
+
+__all__ = ["Table2Case", "build_reference_path", "run_table2", "render_table2"]
+
+
+@dataclass
+class Table2Case:
+    """One admission run with its full per-hop audit trail."""
+
+    name: str
+    discipline: Discipline
+    static_portable: bool
+    result: AdmissionResult
+    conn: Connection
+    route: List[str]
+
+
+def build_reference_path() -> Topology:
+    """air -> base station -> router -> server (kbps / seconds / kilobits)."""
+    topo = Topology()
+    topo.add_link("air:1", "bs:1", capacity=1600.0, prop_delay=0.001,
+                  error_prob=0.01)
+    topo.add_link("bs:1", "router", capacity=10_000.0, prop_delay=0.0005)
+    topo.add_link("router", "server", capacity=100_000.0, prop_delay=0.0005)
+    return topo
+
+
+def run_table2() -> List[Table2Case]:
+    """Admission runs covering the Table 2 columns.
+
+    Four accepted cases (audio/video x WFQ/RCSP, static portable) plus a
+    mobile-grant case and a rejection (delay bound too tight).
+    """
+    cases: List[Table2Case] = []
+    route = ["air:1", "bs:1", "router", "server"]
+
+    for discipline in (Discipline.WFQ, Discipline.RCSP):
+        for name, request in (("audio", audio_request()), ("video", video_request())):
+            topo = build_reference_path()
+            controller = AdmissionController(topo, discipline)
+            conn = Connection(src="air:1", dst="server", qos=request)
+            result = controller.admit(conn, route, static_portable=True)
+            cases.append(
+                Table2Case(
+                    name=f"{name} (static)",
+                    discipline=discipline,
+                    static_portable=True,
+                    result=result,
+                    conn=conn,
+                    route=route,
+                )
+            )
+
+    # Mobile grant: pinned at b_min.
+    topo = build_reference_path()
+    controller = AdmissionController(topo, Discipline.WFQ)
+    conn = Connection(src="air:1", dst="server", qos=audio_request())
+    result = controller.admit(conn, route, static_portable=False)
+    cases.append(
+        Table2Case("audio (mobile)", Discipline.WFQ, False, result, conn, route)
+    )
+
+    # Rejection: an end-to-end delay bound below d_min.
+    topo = build_reference_path()
+    controller = AdmissionController(topo, Discipline.WFQ)
+    tight = audio_request(delay_bound=0.05)
+    conn = Connection(src="air:1", dst="server", qos=tight)
+    result = controller.admit(conn, route, static_portable=True)
+    cases.append(
+        Table2Case("audio (tight delay)", Discipline.WFQ, True, result, conn, route)
+    )
+    return cases
+
+
+def render_table2(cases: List[Table2Case]) -> str:
+    """The printable Table 2 reproduction."""
+    summary_rows = []
+    for case in cases:
+        r = case.result
+        summary_rows.append(
+            (
+                case.name,
+                case.discipline.value,
+                "accept" if r.accepted else f"reject:{r.reason}",
+                r.granted_rate,
+                r.b_stamp,
+                r.d_min,
+                r.e2e_loss,
+            )
+        )
+    parts = [
+        format_table(
+            ["connection", "discipline", "outcome", "granted b", "b_stamp",
+             "d_min", "e2e loss"],
+            summary_rows,
+            title="Table 2: admission round-trip outcomes",
+        )
+    ]
+
+    # Per-hop audit for the accepted cases.
+    for case in cases:
+        if not case.result.accepted:
+            continue
+        qos = case.conn.qos
+        sigma, l_max = qos.flowspec.sigma, qos.flowspec.l_max
+        rows = []
+        topo_caps = _route_capacities(case)
+        for hop, (d_rev, buf) in enumerate(
+            zip(case.result.hop_delays, case.result.hop_buffers), start=1
+        ):
+            d_fwd = per_hop_delay(qos.b_min, topo_caps[hop - 1], l_max)
+            rows.append(
+                (
+                    hop,
+                    topo_caps[hop - 1],
+                    d_fwd,
+                    d_rev,
+                    cumulative_jitter(sigma, qos.b_min, l_max, hop),
+                    buf,
+                )
+            )
+        parts.append(
+            format_table(
+                ["hop", "C_l", "d_l (fwd)", "d'_l (rev)", "jitter@l", "buffer"],
+                rows,
+                title=f"{case.name} / {case.discipline.value}: per-hop commitments",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def _route_capacities(case: Table2Case) -> List[float]:
+    topo = build_reference_path()
+    return [l.capacity for l in topo.path_links(case.route)]

@@ -1,0 +1,36 @@
+"""Mobility substrate: floorplans, per-class models, calibrated traces."""
+
+from .base import MobilityModel, walk_path
+from .cafeteria import CafeteriaPatron, lunch_intensity, patron_spawner
+from .corridor import CorridorTransit
+from .floorplan import FloorPlan, campus_floorplan, figure4_floorplan
+from .meeting import MeetingAttendee
+from .office import OfficeWorker
+from .randomwalk import RandomWalker
+from .traces import (
+    OFFICE_WEEK_TARGETS,
+    HandoffEvent,
+    MoveTrace,
+    class_session_trace,
+    office_week_trace,
+)
+
+__all__ = [
+    "MobilityModel",
+    "walk_path",
+    "CafeteriaPatron",
+    "lunch_intensity",
+    "patron_spawner",
+    "CorridorTransit",
+    "FloorPlan",
+    "campus_floorplan",
+    "figure4_floorplan",
+    "MeetingAttendee",
+    "OfficeWorker",
+    "RandomWalker",
+    "OFFICE_WEEK_TARGETS",
+    "HandoffEvent",
+    "MoveTrace",
+    "class_session_trace",
+    "office_week_trace",
+]

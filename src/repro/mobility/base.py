@@ -1,0 +1,91 @@
+"""Mobility model scaffolding.
+
+A mobility model is a DES process that moves one portable around a
+:class:`~repro.mobility.floorplan.FloorPlan` by calling a *mover* callback
+(typically :meth:`CellularResourceManager.move_portable`).  Models never
+touch resource state directly — they only generate the handoff workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, List, Sequence
+
+from ..des import Environment
+from ..wireless.portable import Portable
+from .floorplan import FloorPlan
+
+__all__ = ["MobilityModel", "walk_path"]
+
+Mover = Callable[[Portable, Hashable], object]
+
+
+class MobilityModel:
+    """Base class: holds the shared wiring, subclasses implement :meth:`run`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FloorPlan,
+        portable: Portable,
+        mover: Mover,
+        rng: random.Random,
+    ):
+        self.env = env
+        self.plan = plan
+        self.portable = portable
+        self.mover = mover
+        self.rng = rng
+        self.moves = 0
+
+    def move(self, to_cell: Hashable):
+        """Perform one handoff (validates adjacency via the plan)."""
+        current = self.portable.current_cell
+        if to_cell not in self.plan.neighbors(current):
+            raise ValueError(
+                f"{to_cell!r} is not adjacent to {current!r} on {self.plan.name}"
+            )
+        self.moves += 1
+        return self.mover(self.portable, to_cell)
+
+    def dwell(self, mean: float):
+        """Exponential dwell in the current cell."""
+        return self.env.timeout(self.rng.expovariate(1.0 / mean))
+
+    def run(self):
+        """The model's generator process; must be overridden."""
+        raise NotImplementedError
+
+    # -- path helpers ----------------------------------------------------------
+
+    def route_to(self, target: Hashable) -> List[Hashable]:
+        """BFS shortest cell path from the current cell to ``target``."""
+        start = self.portable.current_cell
+        if start == target:
+            return []
+        frontier = [start]
+        came: dict = {start: None}
+        while frontier:
+            nxt_frontier = []
+            for cell in frontier:
+                for n in sorted(self.plan.neighbors(cell), key=repr):
+                    if n not in came:
+                        came[n] = cell
+                        if n == target:
+                            path = [n]
+                            while came[path[-1]] is not None:
+                                path.append(came[path[-1]])
+                            path.reverse()
+                            return path[1:]  # drop the start cell
+                        nxt_frontier.append(n)
+            frontier = nxt_frontier
+        raise ValueError(f"no path from {start!r} to {target!r}")
+
+
+def walk_path(
+    model: MobilityModel, path: Sequence[Hashable], step_mean: float = 15.0
+):
+    """Sub-generator: traverse ``path`` cell by cell with exponential steps."""
+    for cell in path:
+        yield model.dwell(step_mean)
+        model.move(cell)

@@ -1,0 +1,75 @@
+"""Cafeteria mobility: slowly time-varying patronage."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Hashable, Optional
+
+from .base import MobilityModel, walk_path
+
+__all__ = ["CafeteriaPatron", "lunch_intensity", "patron_spawner"]
+
+
+def lunch_intensity(
+    t: float, peak_time: float, peak_rate: float, width: float
+) -> float:
+    """A smooth lunch-hour arrival-rate profile (Gaussian bump).
+
+    The "slow time-varying" behavior of Section 6.2.2: rates ramp up toward
+    the lunch peak and back down, without abrupt jumps.
+    """
+    return peak_rate * math.exp(-(((t - peak_time) / width) ** 2))
+
+
+class CafeteriaPatron(MobilityModel):
+    """One visit: walk to the cafeteria, eat, walk home."""
+
+    def __init__(
+        self,
+        env,
+        plan,
+        portable,
+        mover,
+        rng: random.Random,
+        cafeteria: Hashable,
+        home: Hashable,
+        meal_mean: float = 1500.0,
+        step_mean: float = 15.0,
+    ):
+        super().__init__(env, plan, portable, mover, rng)
+        self.cafeteria = cafeteria
+        self.home = home
+        self.meal_mean = meal_mean
+        self.step_mean = step_mean
+
+    def run(self):
+        yield from walk_path(self, self.route_to(self.cafeteria), self.step_mean)
+        yield self.dwell(self.meal_mean)
+        yield from walk_path(self, self.route_to(self.home), self.step_mean)
+
+
+def patron_spawner(
+    env,
+    rng: random.Random,
+    intensity: Callable[[float], float],
+    spawn: Callable[[float], object],
+    max_rate: float,
+    horizon: Optional[float] = None,
+):
+    """Non-homogeneous Poisson process by thinning.
+
+    Calls ``spawn(now)`` at epochs of a Poisson process whose rate is
+    ``intensity(t)`` (must satisfy ``intensity(t) <= max_rate``).
+    """
+    if max_rate <= 0:
+        raise ValueError(f"max_rate must be positive, got {max_rate}")
+    while horizon is None or env.now < horizon:
+        yield env.timeout(rng.expovariate(max_rate))
+        rate = intensity(env.now)
+        if rate > max_rate + 1e-12:
+            raise ValueError(
+                f"intensity {rate} exceeds max_rate {max_rate} at t={env.now}"
+            )
+        if rng.random() < rate / max_rate:
+            spawn(env.now)

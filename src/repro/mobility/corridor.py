@@ -1,0 +1,51 @@
+"""Corridor transit mobility: linear movement through corridor cells."""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional
+
+from ..profiles.records import CellClass
+from .base import MobilityModel
+
+__all__ = ["CorridorTransit"]
+
+
+class CorridorTransit(MobilityModel):
+    """A passer-by moving linearly along corridors (Section 6.1).
+
+    Starting in its initial cell and given an ``entry_from`` direction, the
+    portable keeps moving "forward" (never back to the previous cell) until
+    it reaches a non-corridor cell or ``exit_cell``, then terminates.
+    """
+
+    def __init__(
+        self,
+        env,
+        plan,
+        portable,
+        mover,
+        rng: random.Random,
+        entry_from: Optional[Hashable] = None,
+        exit_cell: Optional[Hashable] = None,
+        step_mean: float = 15.0,
+        max_steps: int = 50,
+    ):
+        super().__init__(env, plan, portable, mover, rng)
+        self.entry_from = entry_from
+        self.exit_cell = exit_cell
+        self.step_mean = step_mean
+        self.max_steps = max_steps
+
+    def run(self):
+        previous = self.entry_from
+        for _ in range(self.max_steps):
+            current = self.portable.current_cell
+            if current == self.exit_cell:
+                return
+            if self.plan.cell_class(current) is not CellClass.CORRIDOR:
+                return  # walked into a room: transit over
+            nxt = self.plan.corridor_next(previous, current)
+            yield self.dwell(self.step_mean)
+            self.move(nxt)
+            previous = current

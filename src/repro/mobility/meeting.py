@@ -1,0 +1,61 @@
+"""Meeting-attendee mobility: bursts around scheduled start and end times."""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from ..profiles.records import Meeting
+from .base import MobilityModel, walk_path
+
+__all__ = ["MeetingAttendee"]
+
+
+class MeetingAttendee(MobilityModel):
+    """One attendee of a scheduled meeting.
+
+    Walks from its current cell so as to hand into the meeting room within
+    ``arrival_spread`` of the start (most arrivals cluster just before /
+    after ``T_s``, matching the measured 10-minute window), sits through the
+    meeting, and leaves within ``departure_spread`` after the end.
+    """
+
+    def __init__(
+        self,
+        env,
+        plan,
+        portable,
+        mover,
+        rng: random.Random,
+        meeting: Meeting,
+        room: Hashable,
+        home: Hashable,
+        arrival_spread: float = 600.0,
+        departure_spread: float = 300.0,
+        step_mean: float = 15.0,
+    ):
+        super().__init__(env, plan, portable, mover, rng)
+        self.meeting = meeting
+        self.room = room
+        self.home = home
+        self.arrival_spread = arrival_spread
+        self.departure_spread = departure_spread
+        self.step_mean = step_mean
+
+    def run(self):
+        # Aim to arrive uniformly within [-spread, +0.3*spread] of the start.
+        target_arrival = self.meeting.start + self.rng.uniform(
+            -self.arrival_spread, 0.3 * self.arrival_spread
+        )
+        path = self.route_to(self.room)
+        travel = len(path) * self.step_mean
+        depart_at = max(self.env.now, target_arrival - travel)
+        if depart_at > self.env.now:
+            yield self.env.timeout(depart_at - self.env.now)
+        yield from walk_path(self, path, self.step_mean)
+
+        # Sit through the meeting, then leave shortly after it ends.
+        leave_at = self.meeting.end + self.rng.uniform(0, self.departure_spread)
+        if leave_at > self.env.now:
+            yield self.env.timeout(leave_at - self.env.now)
+        yield from walk_path(self, self.route_to(self.home), self.step_mean)

@@ -1,0 +1,50 @@
+"""Office-occupant mobility: long static periods, occasional excursions."""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from .base import MobilityModel, walk_path
+
+__all__ = ["OfficeWorker"]
+
+
+class OfficeWorker(MobilityModel):
+    """A regular office occupant.
+
+    Dwells in the home office long enough to turn *static* (the interesting
+    case for QoS upgrades), then takes an excursion to one of the
+    ``destinations`` (meeting room, cafeteria, a colleague's office), dwells
+    there, and returns home.
+    """
+
+    def __init__(
+        self,
+        env,
+        plan,
+        portable,
+        mover,
+        rng: random.Random,
+        home: Hashable,
+        destinations: Sequence[Hashable],
+        office_dwell_mean: float = 3600.0,
+        away_dwell_mean: float = 900.0,
+        step_mean: float = 15.0,
+    ):
+        super().__init__(env, plan, portable, mover, rng)
+        self.home = home
+        self.destinations = list(destinations)
+        if not self.destinations:
+            raise ValueError("office worker needs at least one destination")
+        self.office_dwell_mean = office_dwell_mean
+        self.away_dwell_mean = away_dwell_mean
+        self.step_mean = step_mean
+
+    def run(self):
+        while True:
+            yield self.dwell(self.office_dwell_mean)
+            destination = self.rng.choice(self.destinations)
+            yield from walk_path(self, self.route_to(destination), self.step_mean)
+            yield self.dwell(self.away_dwell_mean)
+            yield from walk_path(self, self.route_to(self.home), self.step_mean)

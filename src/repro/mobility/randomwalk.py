@@ -1,0 +1,42 @@
+"""Default-lounge mobility: uniform random walk over neighbors."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .base import MobilityModel
+
+__all__ = ["RandomWalker"]
+
+
+class RandomWalker(MobilityModel):
+    """The "uniformly distributed" handoff behavior of the default lounge.
+
+    Dwells exponentially in each cell, then moves to a uniformly random
+    neighbor; runs forever (or for ``max_moves``).
+    """
+
+    def __init__(
+        self,
+        env,
+        plan,
+        portable,
+        mover,
+        rng: random.Random,
+        dwell_mean: float = 300.0,
+        max_moves: Optional[int] = None,
+    ):
+        super().__init__(env, plan, portable, mover, rng)
+        self.dwell_mean = dwell_mean
+        self.max_moves = max_moves
+
+    def run(self):
+        while self.max_moves is None or self.moves < self.max_moves:
+            yield self.dwell(self.dwell_mean)
+            neighbors = sorted(
+                self.plan.neighbors(self.portable.current_cell), key=repr
+            )
+            if not neighbors:
+                return
+            self.move(self.rng.choice(neighbors))

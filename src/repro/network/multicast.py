@@ -1,0 +1,65 @@
+"""Multicast route setup toward neighboring cells.
+
+Section 4 of the paper: to smooth handoff transients, the backbone sets up
+multicast routes for a mobile's connection to the base stations of all
+neighboring cells, pre-reserving buffer space there.  Admission tests run on
+these routes too, but their failure never rejects the primary connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set
+
+from .routing import NoRouteError, shortest_path
+from .topology import Topology
+
+__all__ = ["MulticastTree", "build_neighbor_multicast"]
+
+
+@dataclass
+class MulticastTree:
+    """A source-rooted multicast distribution tree.
+
+    ``branches`` maps each leaf (neighbor base station) to the node-id path
+    from the root; ``links`` is the deduplicated set of (src, dst) link keys
+    in the tree — the unit at which buffer is pre-reserved.
+    """
+
+    root: Hashable
+    branches: Dict[Hashable, List[Hashable]] = field(default_factory=dict)
+    #: Leaves whose admission test failed (served best-effort, per Section 4:
+    #: "failure ... will not cause the forced termination of the connection").
+    failed_leaves: Set[Hashable] = field(default_factory=set)
+
+    @property
+    def leaves(self) -> List[Hashable]:
+        return list(self.branches)
+
+    @property
+    def links(self) -> Set[tuple]:
+        keys: Set[tuple] = set()
+        for path in self.branches.values():
+            keys.update(zip(path, path[1:]))
+        return keys
+
+    def covers(self, leaf: Hashable) -> bool:
+        """True if ``leaf`` is reachable with reserved resources."""
+        return leaf in self.branches and leaf not in self.failed_leaves
+
+
+def build_neighbor_multicast(
+    topo: Topology, root: Hashable, neighbor_bs: List[Hashable]
+) -> MulticastTree:
+    """Build shortest-path branches from ``root`` to each neighbor base station.
+
+    Unreachable leaves are recorded in ``failed_leaves`` instead of raising:
+    multicast setup is opportunistic.
+    """
+    tree = MulticastTree(root=root)
+    for leaf in neighbor_bs:
+        try:
+            tree.branches[leaf] = shortest_path(topo, root, leaf)
+        except NoRouteError:
+            tree.failed_leaves.add(leaf)
+    return tree

@@ -1,0 +1,51 @@
+"""Network nodes: switches, hosts, and base stations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+__all__ = ["NodeKind", "Node"]
+
+
+class NodeKind(Enum):
+    """Role of a node in the mixed wireline/wireless architecture."""
+
+    SWITCH = "switch"
+    HOST = "host"
+    BASE_STATION = "base_station"
+
+
+@dataclass
+class Node:
+    """A vertex of the backbone topology.
+
+    Attributes
+    ----------
+    node_id:
+        Unique, hashable identifier.
+    kind:
+        The node's role (switch / host / base station).
+    meta:
+        Free-form annotations (e.g. the cell id a base station serves).
+    """
+
+    node_id: str
+    kind: NodeKind = NodeKind.SWITCH
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def is_base_station(self) -> bool:
+        return self.kind is NodeKind.BASE_STATION
+
+    def __hash__(self):
+        return hash(self.node_id)
+
+    def __eq__(self, other):
+        if isinstance(other, Node):
+            return self.node_id == other.node_id
+        return NotImplemented
+
+    def __repr__(self):
+        return f"Node({self.node_id!r}, {self.kind.value})"

@@ -1,0 +1,127 @@
+"""Per-hop delay and buffer bounds for the two reference disciplines.
+
+The paper (Table 2, citing Zhang's survey [13]) instantiates its admission
+test for two schedulers:
+
+* **WFQ** — work-conserving weighted fair queueing.  With a ``(sigma, rho)``
+  token-bucket source served at rate ``b`` across ``n`` hops, the classic
+  PGPS bound gives end-to-end delay ``(sigma + n*L_max)/b + sum_i L_max/C_i``
+  and per-hop buffer ``sigma + l*L_max`` at hop ``l``.
+* **RCSP** — non-work-conserving rate-controlled static priority with
+  ``b*(.)`` rate-jitter regulators.  Traffic is reshaped per hop, so buffer
+  needs depend on the local (and previous-hop) delay bounds instead of
+  accumulating burst.
+
+These formulas are pure functions of the connection parameters — exactly
+what the distributed admission test evaluates at each node.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+__all__ = [
+    "Discipline",
+    "per_hop_delay",
+    "e2e_delay_lower_bound",
+    "relaxed_per_hop_delay",
+    "cumulative_jitter",
+    "wfq_buffer",
+    "rcsp_buffer",
+    "path_loss_probability",
+]
+
+
+class Discipline(Enum):
+    """Packet scheduling discipline assumed at intermediate switches."""
+
+    WFQ = "wfq"
+    RCSP = "rcsp"
+
+
+def per_hop_delay(b_min: float, capacity: float, l_max: float) -> float:
+    """Forward-pass local delay ``d_l,j = L_max/b_min + L_max/C_l``."""
+    if b_min <= 0 or capacity <= 0:
+        raise ValueError("rates must be positive")
+    return l_max / b_min + l_max / capacity
+
+
+def e2e_delay_lower_bound(
+    sigma: float, b_min: float, l_max: float, capacities: Sequence[float]
+) -> float:
+    """Destination test ``d_min = (sigma + n*L_max)/b_min + sum(L_max/C_i)``.
+
+    The smallest end-to-end delay the network can commit to with rate
+    ``b_min`` over the links with speeds ``capacities``.
+    """
+    n = len(capacities)
+    if n == 0:
+        raise ValueError("path must contain at least one link")
+    return (sigma + n * l_max) / b_min + sum(l_max / c for c in capacities)
+
+
+def relaxed_per_hop_delay(
+    d_local: float,
+    d_budget: float,
+    d_min: float,
+    sigma: float,
+    b_min: float,
+    hops: int,
+) -> float:
+    """Reverse-pass "uniform relaxation" of the per-hop delay.
+
+    Table 2: ``d'_l = d_l + (d - d_min)/n + sigma/(n*b_min)`` — each hop gets
+    an equal share of the end-to-end slack plus of the burst-drain time.
+    """
+    if hops <= 0:
+        raise ValueError("hops must be positive")
+    slack = d_budget - d_min
+    if slack < 0:
+        raise ValueError(f"negative delay slack {slack}")
+    return d_local + slack / hops + sigma / (hops * b_min)
+
+
+def cumulative_jitter(sigma: float, b_min: float, l_max: float, hop_index: int) -> float:
+    """Delay-jitter accumulated through hop ``hop_index`` (1-based).
+
+    Table 2's jitter row: ``(sigma + l*L_max)/b_min`` after ``l`` hops.
+    """
+    if hop_index < 1:
+        raise ValueError("hop_index is 1-based")
+    return (sigma + hop_index * l_max) / b_min
+
+
+def wfq_buffer(sigma: float, l_max: float, hop_index: int) -> float:
+    """WFQ buffer requirement at hop ``hop_index``: ``sigma + l*L_max``."""
+    if hop_index < 1:
+        raise ValueError("hop_index is 1-based")
+    return sigma + hop_index * l_max
+
+
+def rcsp_buffer(
+    sigma: float,
+    l_max: float,
+    rate: float,
+    d_current: float,
+    d_previous: float = None,
+) -> float:
+    """RCSP buffer requirement with rate-jitter regulators.
+
+    First hop (``d_previous is None``): ``sigma + L_max + rate*d_1``.
+    Later hops: ``sigma + L_max + rate*(d_{l-1} + d_l)`` on the forward pass;
+    the reverse pass substitutes the relaxed delays and granted rate.
+    """
+    if d_previous is None:
+        return sigma + l_max + rate * d_current
+    return sigma + l_max + rate * (d_previous + d_current)
+
+
+def path_loss_probability(error_probs: Sequence[float]) -> float:
+    """End-to-end loss ``1 - prod(1 - p_e,i)`` under link independence."""
+    survive = 1.0
+    for p in error_probs:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability {p} outside [0, 1]")
+        survive *= 1.0 - p
+    return 1.0 - survive

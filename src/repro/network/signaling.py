@@ -1,0 +1,126 @@
+"""The control plane: signaling channels between network elements.
+
+Carries the adaptation algorithm's ADVERTISE / UPDATE packets (Section 5.3.1)
+hop-by-hop over the topology with per-link propagation delay.  Every packet
+carries a global id (originator, sequence number) so receivers can suppress
+duplicates of the flooding mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Hashable, Optional
+
+from ..des import Environment, Event
+from .topology import Topology
+
+__all__ = ["PacketKind", "ControlPacket", "SignalingNetwork"]
+
+
+class PacketKind(Enum):
+    """Control packet types of the bandwidth adaptation protocol."""
+
+    ADVERTISE = "advertise"
+    UPDATE = "update"
+
+
+@dataclass
+class ControlPacket:
+    """A signaling message travelling along a connection's route.
+
+    Attributes
+    ----------
+    kind:
+        ADVERTISE (rate probing) or UPDATE (rate commit).
+    conn_id:
+        The connection this packet concerns.
+    stamped_rate:
+        The ``b_stamp`` field: the originator's desired *excess* rate for
+        the connection, reduced en route to the path minimum advertised rate.
+    direction:
+        +1 = travelling downstream (toward the destination),
+        -1 = travelling upstream (toward the source).
+    originator:
+        Node id of the switch that initiated the adaptation round.
+    global_id:
+        (originator, sequence) pair for duplicate suppression.
+    trip:
+        Which of the (up to four) convergence round trips this packet
+        belongs to.
+    """
+
+    kind: PacketKind
+    conn_id: Hashable
+    stamped_rate: float
+    direction: int
+    originator: Hashable
+    global_id: tuple
+    trip: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def copy_with(self, **overrides) -> "ControlPacket":
+        data = {
+            "kind": self.kind,
+            "conn_id": self.conn_id,
+            "stamped_rate": self.stamped_rate,
+            "direction": self.direction,
+            "originator": self.originator,
+            "global_id": self.global_id,
+            "trip": self.trip,
+            "meta": dict(self.meta),
+        }
+        data.update(overrides)
+        return ControlPacket(**data)
+
+
+class SignalingNetwork:
+    """Delivers control packets between adjacent nodes with link latency.
+
+    Nodes register a handler (``handler(packet, from_node)``); :meth:`send`
+    schedules the handler invocation ``prop_delay + overhead`` later.  The
+    total message count is tracked — the paper's refinement claims a large
+    reduction in overhead messages, which `benchmarks/bench_ablation_mlist`
+    quantifies with this counter.
+    """
+
+    def __init__(self, env: Environment, topo: Topology, hop_overhead: float = 0.0):
+        self.env = env
+        self.topo = topo
+        self.hop_overhead = hop_overhead
+        self._handlers: Dict[Hashable, Callable[[ControlPacket, Hashable], None]] = {}
+        #: Total control messages transmitted (one per hop traversal).
+        self.messages_sent = 0
+        self.messages_by_kind: Dict[PacketKind, int] = {
+            PacketKind.ADVERTISE: 0,
+            PacketKind.UPDATE: 0,
+        }
+
+    def register(
+        self, node_id: Hashable, handler: Callable[[ControlPacket, Hashable], None]
+    ) -> None:
+        """Install the control-packet handler for ``node_id``."""
+        self._handlers[node_id] = handler
+
+    def send(self, src: Hashable, dst: Hashable, packet: ControlPacket) -> None:
+        """Transmit ``packet`` over the (src, dst) link."""
+        link = self.topo.link(src, dst)
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise KeyError(f"no signaling handler registered at {dst!r}")
+        self.messages_sent += 1
+        self.messages_by_kind[packet.kind] += 1
+
+        event = Event(self.env)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _ev: handler(packet, src))
+        self.env.schedule(event, delay=link.prop_delay + self.hop_overhead)
+
+    def deliver_local(self, node_id: Hashable, packet: ControlPacket,
+                      from_node: Optional[Hashable] = None) -> None:
+        """Invoke a node's handler directly (zero-latency local delivery)."""
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            raise KeyError(f"no signaling handler registered at {node_id!r}")
+        handler(packet, from_node)

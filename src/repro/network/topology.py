@@ -1,0 +1,190 @@
+"""Backbone topology: a directed multigraph of nodes and links.
+
+Provides builders for the standard shapes used by tests and benchmarks
+(line, star, and the campus backbone that underlies the indoor floorplan).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from .link import Link
+from .node import Node, NodeKind
+
+__all__ = ["Topology", "line_topology", "star_topology", "campus_backbone"]
+
+
+class Topology:
+    """A directed graph of :class:`Node` and :class:`Link` objects.
+
+    Links are stored per (src, dst) pair; calling :meth:`add_duplex_link`
+    creates both directions with identical parameters (the common case for
+    the wired backbone).
+    """
+
+    def __init__(self):
+        self._nodes: Dict[Hashable, Node] = {}
+        self._links: Dict[Tuple[Hashable, Hashable], Link] = {}
+        self._adjacency: Dict[Hashable, List[Hashable]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, node_id: Hashable, kind: NodeKind = NodeKind.SWITCH, **meta) -> Node:
+        """Add (or fetch an existing) node."""
+        if node_id in self._nodes:
+            return self._nodes[node_id]
+        node = Node(node_id, kind, dict(meta))
+        self._nodes[node_id] = node
+        self._adjacency[node_id] = []
+        return node
+
+    def add_link(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        capacity: float,
+        prop_delay: float = 0.0,
+        error_prob: float = 0.0,
+    ) -> Link:
+        """Add a directed link; endpoints are auto-created as switches."""
+        if (src, dst) in self._links:
+            raise ValueError(f"link {src!r}->{dst!r} already exists")
+        self.add_node(src)
+        self.add_node(dst)
+        link = Link(src, dst, capacity, prop_delay, error_prob)
+        self._links[(src, dst)] = link
+        self._adjacency[src].append(dst)
+        return link
+
+    def add_duplex_link(
+        self,
+        a: Hashable,
+        b: Hashable,
+        capacity: float,
+        prop_delay: float = 0.0,
+        error_prob: float = 0.0,
+    ) -> Tuple[Link, Link]:
+        """Add both directions of a symmetric link."""
+        return (
+            self.add_link(a, b, capacity, prop_delay, error_prob),
+            self.add_link(b, a, capacity, prop_delay, error_prob),
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    @property
+    def links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def node(self, node_id: Hashable) -> Node:
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: Hashable) -> bool:
+        return node_id in self._nodes
+
+    def link(self, src: Hashable, dst: Hashable) -> Link:
+        return self._links[(src, dst)]
+
+    def has_link(self, src: Hashable, dst: Hashable) -> bool:
+        return (src, dst) in self._links
+
+    def successors(self, node_id: Hashable) -> List[Hashable]:
+        """Node ids directly reachable from ``node_id``."""
+        return list(self._adjacency[node_id])
+
+    def path_links(self, path: Iterable[Hashable]) -> List[Link]:
+        """Resolve a node-id path to its constituent links."""
+        path = list(path)
+        if len(path) < 2:
+            return []
+        return [self.link(a, b) for a, b in zip(path, path[1:])]
+
+    def to_networkx(self):
+        """Export to a networkx DiGraph (for analysis / verification)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self.nodes:
+            graph.add_node(node.node_id, kind=node.kind.value)
+        for link in self.links:
+            graph.add_edge(
+                link.src,
+                link.dst,
+                capacity=link.capacity,
+                prop_delay=link.prop_delay,
+                error_prob=link.error_prob,
+            )
+        return graph
+
+
+# -- builders ------------------------------------------------------------------
+
+
+def line_topology(
+    n: int, capacity: float = 10_000.0, prop_delay: float = 0.001
+) -> Topology:
+    """A chain of ``n`` switches: s0 - s1 - ... - s{n-1} (duplex links)."""
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    topo = Topology()
+    for i in range(n - 1):
+        topo.add_duplex_link(f"s{i}", f"s{i + 1}", capacity, prop_delay)
+    return topo
+
+
+def star_topology(
+    leaves: int, capacity: float = 10_000.0, prop_delay: float = 0.001
+) -> Topology:
+    """A hub switch with ``leaves`` spokes (duplex links)."""
+    if leaves < 1:
+        raise ValueError(f"need at least 1 leaf, got {leaves}")
+    topo = Topology()
+    for i in range(leaves):
+        topo.add_duplex_link("hub", f"leaf{i}", capacity, prop_delay)
+    return topo
+
+
+def campus_backbone(
+    cell_ids: Iterable[Hashable],
+    backbone_capacity: float = 100_000.0,
+    access_capacity: float = 10_000.0,
+    wireless_capacity: float = 1_600.0,
+    wireless_error_prob: float = 0.01,
+    prop_delay: float = 0.0005,
+    servers: Optional[Iterable[Hashable]] = None,
+) -> Topology:
+    """The paper's network model: base stations on a wired backbone.
+
+    One router connects every base station; each base station additionally
+    has a wireless "air" link (node ``air:<cell>``) modelling the shared
+    wireless hop of its cell with capacity 1.6 Mbps by default (the value
+    used in Section 7.1).  Optional ``servers`` hosts hang off the router
+    for wired correspondents.
+    """
+    topo = Topology()
+    topo.add_node("router", NodeKind.SWITCH)
+    for cell_id in cell_ids:
+        bs = f"bs:{cell_id}"
+        topo.add_node(bs, NodeKind.BASE_STATION, cell=cell_id)
+        topo.add_duplex_link("router", bs, access_capacity, prop_delay)
+        air = f"air:{cell_id}"
+        topo.add_node(air, NodeKind.HOST, cell=cell_id)
+        topo.add_duplex_link(
+            bs, air, wireless_capacity, prop_delay, wireless_error_prob
+        )
+    for server in servers or []:
+        topo.add_node(server, NodeKind.HOST)
+        topo.add_duplex_link("router", server, backbone_capacity, prop_delay)
+    return topo

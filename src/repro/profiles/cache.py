@@ -1,0 +1,82 @@
+"""Base-station profile caching (Section 3.4.3, last bullet).
+
+A base station caches its own cell profile and the portable profiles of the
+portables currently in its cell.  On handoff it sends an update to the
+profile server and passes the cached portable profile to the next cell's
+base station; once a portable turns static, the cache is refreshed from the
+server (the authoritative copy may have aggregated more history meanwhile).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from .records import CellProfile, PortableProfile
+from .server import ProfileServer
+
+__all__ = ["ProfileCache"]
+
+
+class ProfileCache:
+    """The per-base-station profile cache."""
+
+    def __init__(self, cell_id: Hashable, server: ProfileServer):
+        self.cell_id = cell_id
+        self.server = server
+        self._portables: Dict[Hashable, PortableProfile] = {}
+        self.refreshes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cell_profile(self) -> CellProfile:
+        """The (always server-backed) profile of this cell."""
+        return self.server.register_cell(self.cell_id)
+
+    def lookup(self, portable_id: Hashable) -> Optional[PortableProfile]:
+        """Cached portable profile, falling back to the server."""
+        profile = self._portables.get(portable_id)
+        if profile is not None:
+            self.hits += 1
+            return profile
+        self.misses += 1
+        profile = self.server.portables.get(portable_id)
+        if profile is not None:
+            self._portables[portable_id] = profile
+        return profile
+
+    def admit_portable(
+        self, portable_id: Hashable, handed_profile: Optional[PortableProfile] = None
+    ) -> PortableProfile:
+        """A portable entered the cell: cache its profile.
+
+        ``handed_profile`` is the cached copy passed along by the previous
+        base station during handoff; absent that, the server is consulted.
+        """
+        if handed_profile is not None:
+            self._portables[portable_id] = handed_profile
+            return handed_profile
+        profile = self.server.register_portable(portable_id)
+        self._portables[portable_id] = profile
+        return profile
+
+    def handoff_out(
+        self, portable_id: Hashable, to_cell: Hashable
+    ) -> Optional[PortableProfile]:
+        """A portable left: report to the server, evict, return the profile.
+
+        The returned profile is what gets passed to the next base station.
+        """
+        self.server.report_handoff(portable_id, self.cell_id, to_cell)
+        return self._portables.pop(portable_id, None)
+
+    def refresh_static(self, portable_id: Hashable) -> PortableProfile:
+        """A portable became static: re-fetch the authoritative profile."""
+        profile = self.server.register_portable(portable_id)
+        self._portables[portable_id] = profile
+        self.refreshes += 1
+        return profile
+
+    @property
+    def cached_portables(self):
+        return list(self._portables)

@@ -1,0 +1,140 @@
+"""Zones: the locational hierarchy above cells (Section 3.4.1).
+
+"The universe is divided into distinct geographical regions called zones.
+Each zone has a profile server."  The :class:`ZoneDirectory` maps cells to
+zones, routes handoff reports to the right server, and migrates portable
+profiles between servers when a handoff crosses a zone boundary (the
+base-station cache hands the profile over; here the server-side transfer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .records import CellClass
+from .server import ProfileServer
+
+__all__ = ["ZoneDirectory"]
+
+
+class ZoneDirectory:
+    """The universe of cells, partitioned into zones with one server each."""
+
+    def __init__(self):
+        self._servers: Dict[Hashable, ProfileServer] = {}
+        self._zone_of_cell: Dict[Hashable, Hashable] = {}
+        #: Current zone of each portable (tracked through reports).
+        self._zone_of_portable: Dict[Hashable, Hashable] = {}
+        self.cross_zone_handoffs = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def add_zone(
+        self, zone_id: Hashable, cells: Iterable[Hashable] = ()
+    ) -> ProfileServer:
+        """Create a zone (or fetch it) and assign ``cells`` to it."""
+        server = self._servers.get(zone_id)
+        if server is None:
+            server = ProfileServer(zone_id=zone_id)
+            self._servers[zone_id] = server
+        for cell in cells:
+            self.assign_cell(cell, zone_id)
+        return server
+
+    def assign_cell(
+        self,
+        cell_id: Hashable,
+        zone_id: Hashable,
+        cell_class: CellClass = CellClass.UNKNOWN,
+        neighbors: Iterable[Hashable] = (),
+    ) -> None:
+        """Place a cell in a zone; re-assignment moves its profile home."""
+        if zone_id not in self._servers:
+            raise KeyError(f"unknown zone {zone_id!r}")
+        self._zone_of_cell[cell_id] = zone_id
+        self._servers[zone_id].register_cell(cell_id, cell_class)
+        for neighbor in neighbors:
+            # Neighbor links are registered on the owning server; the
+            # neighbor itself may live in another zone.
+            self._servers[zone_id].register_cell(cell_id, cell_class,
+                                                 neighbors=[neighbor])
+
+    # -- lookups ---------------------------------------------------------------------
+
+    @property
+    def zones(self) -> List[Hashable]:
+        return list(self._servers)
+
+    def server_for_zone(self, zone_id: Hashable) -> ProfileServer:
+        return self._servers[zone_id]
+
+    def zone_of(self, cell_id: Hashable) -> Hashable:
+        try:
+            return self._zone_of_cell[cell_id]
+        except KeyError:
+            raise KeyError(f"cell {cell_id!r} not assigned to any zone") from None
+
+    def server_for_cell(self, cell_id: Hashable) -> ProfileServer:
+        return self._servers[self.zone_of(cell_id)]
+
+    def portable_zone(self, portable_id: Hashable) -> Optional[Hashable]:
+        return self._zone_of_portable.get(portable_id)
+
+    # -- the report path ---------------------------------------------------------------
+
+    def seed_presence(self, portable_id: Hashable, cell_id: Hashable) -> None:
+        zone = self.zone_of(cell_id)
+        self._servers[zone].seed_presence(portable_id, cell_id)
+        self._zone_of_portable[portable_id] = zone
+
+    def report_handoff(
+        self, portable_id: Hashable, from_cell: Hashable, to_cell: Hashable
+    ) -> None:
+        """Record a handoff, migrating the profile on zone crossings.
+
+        The departure is recorded by the *from*-cell's zone server (that is
+        where the cell profile lives); if the destination belongs to a
+        different zone, the portable profile then moves to the new server,
+        preserving its history and (prev, cur) context.
+        """
+        from_zone = self.zone_of(from_cell)
+        to_zone = self.zone_of(to_cell)
+        from_server = self._servers[from_zone]
+        from_server.report_handoff(portable_id, from_cell, to_cell)
+
+        if to_zone != from_zone:
+            profile = from_server.forget_portable(portable_id)
+            if profile is not None:
+                self._servers[to_zone].adopt_portable(
+                    profile, context=(from_cell, to_cell)
+                )
+            self.cross_zone_handoffs += 1
+        self._zone_of_portable[portable_id] = to_zone
+
+    # -- queries spanning zones -------------------------------------------------------------
+
+    def predict_next(
+        self,
+        portable_id: Hashable,
+        current_cell: Hashable,
+        previous_cell: Optional[Hashable] = None,
+    ):
+        """Run the three-level predictor against the owning zone's server."""
+        from ..core.prediction import ProfileAwarePredictor
+
+        server = self.server_for_cell(current_cell)
+        return ProfileAwarePredictor(server).predict_for(
+            portable_id, current_cell, previous_cell
+        )
+
+    def stats(self) -> List[Tuple[Hashable, int, int, int]]:
+        """(zone, cells, portables, handoffs recorded) per zone."""
+        return [
+            (
+                zone_id,
+                sum(1 for c, z in self._zone_of_cell.items() if z == zone_id),
+                len(server.portables),
+                server.handoffs_recorded,
+            )
+            for zone_id, server in self._servers.items()
+        ]

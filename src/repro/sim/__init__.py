@@ -1,0 +1,23 @@
+"""Packaged simulators and scenarios."""
+
+from .config import FIGURE6_TYPES, TwoCellConfig, figure6_config
+from .scenarios import (
+    CampusDayResult,
+    OfficeWeekResult,
+    run_campus_day,
+    run_office_week,
+)
+from .simulator import FloorplanSimulator, TwoCellResult, TwoCellSimulator
+
+__all__ = [
+    "FIGURE6_TYPES",
+    "TwoCellConfig",
+    "figure6_config",
+    "CampusDayResult",
+    "OfficeWeekResult",
+    "run_office_week",
+    "run_campus_day",
+    "FloorplanSimulator",
+    "TwoCellResult",
+    "TwoCellSimulator",
+]

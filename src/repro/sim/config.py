@@ -1,0 +1,59 @@
+"""Configuration records for the packaged simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..traffic.arrivals import TypeSpec
+
+__all__ = ["TwoCellConfig", "FIGURE6_TYPES", "figure6_config"]
+
+
+#: The Figure 6 workload: two connection types in two identical cells.
+#: type 1: b=1, lambda=30, mean holding 0.2, handoff prob 0.7
+#: type 2: b=4, lambda=1,  mean holding 0.25, handoff prob 0.7
+FIGURE6_TYPES: Tuple[TypeSpec, ...] = (
+    TypeSpec(bandwidth=1.0, arrival_rate=30.0, holding_mean=0.2, handoff_prob=0.7),
+    TypeSpec(bandwidth=4.0, arrival_rate=1.0, holding_mean=0.25, handoff_prob=0.7),
+)
+
+
+@dataclass(frozen=True)
+class TwoCellConfig:
+    """Parameters of the two-cell default-reservation experiment.
+
+    ``policy`` selects the admission rule for **new** connections:
+
+    * ``"plain"`` — admit whenever bandwidth fits (the large-``P_d``
+      baseline all Figure 6 curves converge to);
+    * ``"probabilistic"`` — the Section 6.3 look-ahead test with window
+      ``window`` and target ``p_qos``;
+    * ``"static"`` — a fixed reservation of ``static_reserve`` bandwidth
+      units only handoffs may use (the comparison policy of [12]).
+
+    Handoff connections are always admitted if raw bandwidth fits.
+    """
+
+    capacity: float = 40.0
+    types: Tuple[TypeSpec, ...] = FIGURE6_TYPES
+    policy: str = "probabilistic"
+    window: float = 0.05
+    p_qos: float = 0.01
+    static_reserve: float = 0.0
+    seed: int = 7
+    horizon: float = 400.0
+    warmup: float = 20.0
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.policy not in ("plain", "probabilistic", "static"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.warmup >= self.horizon:
+            raise ValueError("warmup must end before the horizon")
+
+
+def figure6_config(**overrides) -> TwoCellConfig:
+    """The paper's Figure 6 parameterization, with keyword overrides."""
+    return TwoCellConfig(**overrides)

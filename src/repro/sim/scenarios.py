@@ -1,0 +1,266 @@
+"""Canned end-to-end scenarios used by examples and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from ..core.qos import audio_request, video_request
+from ..mobility.cafeteria import CafeteriaPatron, lunch_intensity, patron_spawner
+from ..mobility.floorplan import campus_floorplan
+from ..mobility.meeting import MeetingAttendee
+from ..mobility.office import OfficeWorker
+from ..mobility.randomwalk import RandomWalker
+from ..profiles.records import BookingCalendar, Meeting
+from ..stats.counters import TeletrafficStats
+from ..wireless.portable import Portable
+from .simulator import FloorplanSimulator
+
+__all__ = ["CampusDayResult", "run_campus_day", "OfficeWeekResult", "run_office_week"]
+
+
+@dataclass
+class CampusDayResult:
+    """Summary of a day-in-the-life run."""
+
+    stats: TeletrafficStats
+    handoffs: int
+    static_upgrades: int
+    final_rates: Dict[Hashable, float]
+
+
+def run_campus_day(
+    seed: int = 42,
+    day_length: float = 8 * 3600.0,
+    capacity: float = 1600.0,
+    walkers: int = 6,
+    patrons: int = 20,
+) -> CampusDayResult:
+    """Simulate a working day on the campus floorplan.
+
+    Office workers (adaptive video + audio), a scheduled mid-day meeting,
+    a lunch rush at the cafeteria, and random walkers in the lounge —
+    exercising every cell class and the full Figure 1 pipeline.
+    """
+    rng = random.Random(seed)
+    plan = campus_floorplan()
+
+    meeting = Meeting(start=3 * 3600.0, end=4 * 3600.0, attendees=6)
+    calendar = BookingCalendar([meeting])
+
+    sim = FloorplanSimulator(
+        plan,
+        capacity=capacity,
+        static_threshold=600.0,
+        seed=seed,
+        calendars={"meeting": calendar},
+    )
+    env = sim.env
+
+    # Office workers: resident, with standing connections.
+    workers: List[Portable] = []
+    for pid, office in (("alice", "office-1"), ("bob", "office-2"), ("carol", "office-2")):
+        portable = sim.add_portable(pid, office, home_office=office)
+        workers.append(portable)
+        sim.request_connection(pid, video_request())
+        sim.request_connection(pid, audio_request())
+        model = OfficeWorker(
+            env,
+            plan,
+            portable,
+            sim.manager.move_portable,
+            random.Random(rng.randrange(2**31)),
+            home=office,
+            destinations=["cafeteria", "meeting", "lounge"],
+            office_dwell_mean=5400.0,
+        )
+        env.process(model.run())
+
+    # Meeting attendees coming from elsewhere on the floor.
+    for i in range(meeting.attendees):
+        pid = f"attendee-{i}"
+        portable = sim.add_portable(pid, "cor-1")
+        sim.request_connection(pid, audio_request())
+        model = MeetingAttendee(
+            env,
+            plan,
+            portable,
+            sim.manager.move_portable,
+            random.Random(rng.randrange(2**31)),
+            meeting=meeting,
+            room="meeting",
+            home="cor-1",
+        )
+        env.process(model.run())
+
+    # Lounge walkers (default-lounge workload).
+    for i in range(walkers):
+        pid = f"walker-{i}"
+        portable = sim.add_portable(pid, "lounge")
+        sim.request_connection(pid, audio_request())
+        model = RandomWalker(
+            env,
+            plan,
+            portable,
+            sim.manager.move_portable,
+            random.Random(rng.randrange(2**31)),
+            dwell_mean=900.0,
+        )
+        env.process(model.run())
+
+    # Lunch rush: non-homogeneous Poisson patron arrivals.
+    patron_counter = {"n": 0}
+
+    def spawn_patron(now: float) -> None:
+        if patron_counter["n"] >= patrons:
+            return
+        patron_counter["n"] += 1
+        pid = f"patron-{patron_counter['n']}"
+        portable = sim.add_portable(pid, "cor-1")
+        sim.request_connection(pid, audio_request())
+        model = CafeteriaPatron(
+            env,
+            plan,
+            portable,
+            sim.manager.move_portable,
+            random.Random(rng.randrange(2**31)),
+            cafeteria="cafeteria",
+            home="cor-1",
+        )
+        env.process(model.run())
+
+    peak_rate = patrons / 3600.0
+    env.process(
+        patron_spawner(
+            env,
+            random.Random(rng.randrange(2**31)),
+            intensity=lambda t: lunch_intensity(
+                t, peak_time=4.5 * 3600.0, peak_rate=peak_rate, width=2400.0
+            ),
+            spawn=spawn_patron,
+            max_rate=peak_rate,
+            horizon=day_length,
+        )
+    )
+
+    # Periodic control-plane maintenance (static refresh, pool adaptation).
+    def maintenance():
+        while True:
+            yield env.timeout(300.0)
+            sim.manager.refresh_static_states()
+
+    env.process(maintenance())
+
+    env.run(until=day_length)
+
+    static_upgrades = sum(
+        1
+        for conn in sim.manager.connections.values()
+        if conn.qos.bounds is not None and conn.rate > conn.b_min + 1e-9
+    )
+    final_rates = {
+        conn.conn_id: conn.rate for conn in sim.manager.connections.values()
+    }
+    return CampusDayResult(
+        stats=sim.stats,
+        handoffs=sim.stats.handoff_attempts,
+        static_upgrades=static_upgrades,
+        final_rates=final_rates,
+    )
+
+
+@dataclass
+class OfficeWeekResult:
+    """Summary of replaying the Figure 4 workweek through the live system."""
+
+    stats: TeletrafficStats
+    reservation_hits: int
+    reservation_misses: int
+    drops: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.reservation_hits + self.reservation_misses
+        return self.reservation_hits / total if total else 0.0
+
+
+def run_office_week(
+    seed: int = 1996, capacity: float = 1600.0, static_threshold: float = 900.0
+) -> OfficeWeekResult:
+    """Replay the calibrated Figure 4 workweek through the full manager.
+
+    Every portable in the trace carries one audio connection; the corridor
+    base stations place advance reservations via the three-level predictor,
+    and each handoff is scored against the reservation actually waiting at
+    the destination — the live-system version of the Figure 4 analysis.
+    """
+    from ..core.qos import audio_request
+    from ..mobility.floorplan import figure4_floorplan
+    from ..mobility.traces import office_week_trace
+
+    plan = figure4_floorplan()
+    sim = FloorplanSimulator(
+        plan, capacity=capacity, static_threshold=static_threshold, seed=seed
+    )
+    for office, occupants in plan.occupants.items():
+        sim.cells[office].occupants |= set(occupants)
+
+    trace = office_week_trace(seed=seed)
+
+    def cell_path(start, goal):
+        """BFS cell path (exclusive of start), for walking back to a
+        journey's starting cell between trace journeys."""
+        if start == goal:
+            return []
+        frontier, came = [start], {start: None}
+        while frontier:
+            nxt = []
+            for cell in frontier:
+                for n in sorted(plan.neighbors(cell), key=repr):
+                    if n not in came:
+                        came[n] = cell
+                        if n == goal:
+                            path = [n]
+                            while came[path[-1]] is not None:
+                                path.append(came[path[-1]])
+                            path.reverse()
+                            return path[1:]
+                        nxt.append(n)
+            frontier = nxt
+        return []
+
+    def driver():
+        for event in trace:
+            if event.time > sim.env.now:
+                yield sim.env.timeout(event.time - sim.env.now)
+            pid = event.portable
+            if pid not in sim.portables:
+                sim.add_portable(pid, event.from_cell)
+                sim.request_connection(pid, audio_request())
+            portable = sim.portables[pid]
+            if portable.current_cell != event.from_cell:
+                # The measured trace tracks journeys, not continuous
+                # presence: walk back to this journey's start (these moves
+                # are real handoffs, but unscored).
+                for cell in cell_path(portable.current_cell, event.from_cell):
+                    sim.move(pid, cell)
+                if portable.current_cell != event.from_cell:
+                    continue  # connection dropped en route
+            reserved = sim.cells[event.to_cell].reservations.targeted_for(pid)
+            if reserved > 0:
+                nonlocal_counts["hits"] += 1
+            else:
+                nonlocal_counts["misses"] += 1
+            sim.move(pid, event.to_cell)
+
+    nonlocal_counts = {"hits": 0, "misses": 0}
+    sim.env.process(driver())
+    sim.env.run()
+
+    return OfficeWeekResult(
+        stats=sim.stats,
+        reservation_hits=nonlocal_counts["hits"],
+        reservation_misses=nonlocal_counts["misses"],
+        drops=sim.stats.handoff_drops,
+    )

@@ -1,0 +1,322 @@
+"""Packaged simulators.
+
+* :class:`TwoCellSimulator` — the teletraffic model behind Figure 6: two
+  identical neighboring cells, Poisson arrivals of k connection types,
+  exponential holding, geometric handoff chains, pluggable new-connection
+  admission policy.
+* :class:`FloorplanSimulator` — a full cellular system over a
+  :class:`~repro.mobility.floorplan.FloorPlan`, wiring cells, base stations,
+  the resource manager, and per-class reservation processes together.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..core.classifier import CellTypeLearner
+from ..core.lounge import CafeteriaReservation, DefaultLoungeReservation
+from ..core.manager import CellularResourceManager
+from ..core.meeting import MeetingRoomReservation
+from ..core.probabilistic import ProbabilisticAdmission
+from ..des import Environment
+from ..mobility.floorplan import FloorPlan
+from ..profiles.records import BookingCalendar, CellClass
+from ..stats.counters import TeletrafficStats
+from ..wireless.cell import Cell
+from ..wireless.portable import Portable
+from .config import TwoCellConfig
+
+__all__ = ["TwoCellSimulator", "TwoCellResult", "FloorplanSimulator"]
+
+
+@dataclass
+class TwoCellResult:
+    """Outcome of one two-cell run."""
+
+    stats: TeletrafficStats
+    config: TwoCellConfig
+
+    @property
+    def blocking_probability(self) -> float:
+        return self.stats.blocking_probability
+
+    @property
+    def dropping_probability(self) -> float:
+        return self.stats.dropping_probability
+
+
+class TwoCellSimulator:
+    """Event-driven two-cell system (Figure 3's model, Figure 6's workload).
+
+    Occupancy is tracked as per-cell, per-type connection counts; a
+    connection alternates exponential cell-residencies, handing off to the
+    other cell with probability ``h`` at the end of each, terminating
+    otherwise.  Handoffs that do not fit (after the admission policy's
+    reservation) are dropped.
+    """
+
+    CELLS = ("q", "s")
+
+    def __init__(self, config: TwoCellConfig):
+        self.config = config
+        self.env = Environment()
+        self.rng = random.Random(config.seed)
+        self.stats = TeletrafficStats()
+        self.counts: Dict[str, List[int]] = {
+            cell: [0] * len(config.types) for cell in self.CELLS
+        }
+        self._admission: Optional[ProbabilisticAdmission] = None
+        if config.policy == "probabilistic":
+            self._admission = ProbabilisticAdmission(
+                capacity=config.capacity,
+                window=config.window,
+                p_qos=config.p_qos,
+                types=[
+                    (t.bandwidth, t.mu, t.handoff_prob) for t in config.types
+                ],
+            )
+        for cell in self.CELLS:
+            for index, spec in enumerate(config.types):
+                self.env.process(self._arrival_stream(cell, index, spec))
+
+    # -- workload processes ------------------------------------------------------
+
+    def _arrival_stream(self, cell: str, index: int, spec):
+        env = self.env
+        while True:
+            yield env.timeout(self.rng.expovariate(spec.arrival_rate))
+            self._new_request(cell, index)
+
+    def _new_request(self, cell: str, ctype: int) -> None:
+        counting = self.env.now >= self.config.warmup
+        admitted = self._admit_new(cell, ctype)
+        if counting:
+            self.stats.record_request(admitted)
+        if admitted:
+            self.counts[cell][ctype] += 1
+            self.env.process(self._residency(cell, ctype))
+
+    def _residency(self, cell: str, ctype: int):
+        """One cell-residency; chains into handoffs recursively."""
+        spec = self.config.types[ctype]
+        yield self.env.timeout(self.rng.expovariate(spec.mu))
+        self.counts[cell][ctype] -= 1
+        counting = self.env.now >= self.config.warmup
+
+        if self.rng.random() >= spec.handoff_prob:
+            if counting:
+                self.stats.record_completion()
+            return  # natural termination
+
+        other = "s" if cell == "q" else "q"
+        fits = self._bandwidth_used(other) + spec.bandwidth <= self.config.capacity + 1e-9
+        if counting:
+            self.stats.record_handoff(attempts=1, drops=0 if fits else 1)
+        if not fits:
+            return  # dropped mid-call
+        self.counts[other][ctype] += 1
+        yield from self._residency(other, ctype)
+
+    # -- admission ----------------------------------------------------------------
+
+    def _bandwidth_used(self, cell: str) -> float:
+        return sum(
+            n * t.bandwidth
+            for n, t in zip(self.counts[cell], self.config.types)
+        )
+
+    def _admit_new(self, cell: str, ctype: int) -> bool:
+        spec = self.config.types[ctype]
+        used = self._bandwidth_used(cell)
+        if used + spec.bandwidth > self.config.capacity + 1e-9:
+            return False  # no physical room
+
+        if self.config.policy == "plain":
+            return True
+        if self.config.policy == "static":
+            limit = self.config.capacity - self.config.static_reserve
+            return used + spec.bandwidth <= limit + 1e-9
+        other = "s" if cell == "q" else "q"
+        return self._admission.admit_new(
+            ctype, self.counts[cell], self.counts[other]
+        )
+
+    # -- driving ---------------------------------------------------------------------
+
+    def run(self) -> TwoCellResult:
+        self.env.run(until=self.config.horizon)
+        return TwoCellResult(stats=self.stats, config=self.config)
+
+
+class FloorplanSimulator:
+    """A full cellular system over a floorplan.
+
+    Creates one :class:`Cell` per floorplan cell, wires neighbor relations
+    and office occupants, builds a :class:`CellularResourceManager`, and
+    starts the class-specific reservation processes (meeting room calendars,
+    cafeteria and default lounge slot predictors).
+    """
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        capacity: float = 1600.0,
+        static_threshold: float = 300.0,
+        per_user_bandwidth: float = 16.0,
+        slot_duration: float = 60.0,
+        seed: int = 11,
+        calendars: Optional[Dict[Hashable, BookingCalendar]] = None,
+        probabilistic: Optional[ProbabilisticAdmission] = None,
+    ):
+        plan.validate()
+        self.plan = plan
+        self.env = Environment()
+        self.rng = random.Random(seed)
+        self.stats = TeletrafficStats()
+
+        self.cells: Dict[Hashable, Cell] = {}
+        for cell_id in plan.cells:
+            cell = Cell(cell_id, capacity=capacity, cell_class=plan.cell_class(cell_id))
+            self.cells[cell_id] = cell
+        for cell_id in plan.cells:
+            for neighbor in plan.neighbors(cell_id):
+                self.cells[cell_id].add_neighbor(neighbor)
+        for office, occupants in plan.occupants.items():
+            self.cells[office].occupants |= set(occupants)
+
+        self.manager = CellularResourceManager(
+            self.env,
+            self.cells,
+            static_threshold=static_threshold,
+            on_handoff=self._on_handoff,
+        )
+        self.portables: Dict[Hashable, Portable] = {}
+
+        # Section 6.4's learning process: cells entered as UNKNOWN run the
+        # default algorithm while an online learner observes their behavior.
+        self.learners: Dict[Hashable, CellTypeLearner] = {
+            cell_id: CellTypeLearner(cell_id, slot_duration=slot_duration)
+            for cell_id, cell in self.cells.items()
+            if cell.cell_class is CellClass.UNKNOWN
+        }
+        if self.learners:
+            self.env.process(self._learning_slots(slot_duration))
+
+        # Class-specific reservation processes.
+        self.lounge_processes: Dict[Hashable, object] = {}
+        for cell_id, cell in self.cells.items():
+            neighbor_ledgers = {
+                n: self.cells[n].reservations for n in cell.neighbors
+            }
+            profile = self.manager.server.register_cell(cell_id)
+            dist = profile.handoff_distribution
+            if cell.cell_class is CellClass.MEETING_ROOM:
+                calendar = (calendars or {}).get(cell_id, BookingCalendar())
+                process = MeetingRoomReservation(
+                    self.env,
+                    cell_id,
+                    cell.reservations,
+                    neighbor_ledgers,
+                    handoff_distribution=dist,
+                    per_user_bandwidth=per_user_bandwidth,
+                )
+                self.env.process(process.run(calendar))
+                self.lounge_processes[cell_id] = process
+            elif cell.cell_class is CellClass.CAFETERIA:
+                process = CafeteriaReservation(
+                    self.env,
+                    cell_id,
+                    cell.reservations,
+                    neighbor_ledgers,
+                    handoff_distribution=dist,
+                    per_user_bandwidth=per_user_bandwidth,
+                    slot_duration=slot_duration,
+                    default_neighbors=[
+                        n
+                        for n in cell.neighbors
+                        if plan.cell_class(n) is CellClass.DEFAULT
+                    ],
+                )
+                self.env.process(process.run())
+                self.lounge_processes[cell_id] = process
+            elif cell.cell_class is CellClass.DEFAULT:
+                process = DefaultLoungeReservation(
+                    self.env,
+                    cell_id,
+                    cell.reservations,
+                    neighbor_ledgers,
+                    handoff_distribution=dist,
+                    per_user_bandwidth=per_user_bandwidth,
+                    slot_duration=slot_duration,
+                    default_neighbors=[
+                        n
+                        for n in cell.neighbors
+                        if plan.cell_class(n) is CellClass.DEFAULT
+                    ],
+                    admission=probabilistic,
+                )
+                self.env.process(process.run())
+                self.lounge_processes[cell_id] = process
+
+    # -- population ------------------------------------------------------------------
+
+    def add_portable(
+        self, portable_id: Hashable, cell_id: Hashable, home_office: Hashable = None
+    ) -> Portable:
+        portable = Portable(portable_id, home_office=home_office)
+        self.portables[portable_id] = portable
+        self.manager.attach_portable(portable, cell_id)
+        return portable
+
+    def request_connection(self, portable_id: Hashable, qos, ctype: int = 0):
+        conn = self.manager.request_connection(
+            self.portables[portable_id], qos, ctype
+        )
+        self.stats.record_request(conn is not None)
+        return conn
+
+    def move(self, portable_id: Hashable, to_cell: Hashable):
+        return self.manager.move_portable(self.portables[portable_id], to_cell)
+
+    # -- hooks -----------------------------------------------------------------------
+
+    def _learning_slots(self, slot_duration: float):
+        """Close learning slots periodically and adopt confident labels."""
+        while True:
+            yield self.env.timeout(slot_duration)
+            for cell_id, learner in self.learners.items():
+                learner.close_slot()
+                label = learner.classify()
+                if label is not CellClass.UNKNOWN:
+                    self.cells[cell_id].cell_class = label
+                    self.manager.server.register_cell(cell_id, label)
+
+    def _on_handoff(self, outcome, now) -> None:
+        attempts = len(outcome.moved) + len(outcome.dropped)
+        if attempts:
+            self.stats.record_handoff(attempts, len(outcome.dropped))
+        # Feed any online learners.
+        learner_in = self.learners.get(outcome.to_cell)
+        if learner_in is not None:
+            learner_in.observe_entry(outcome.portable_id, outcome.from_cell, now)
+        learner_out = self.learners.get(outcome.from_cell)
+        if learner_out is not None:
+            learner_out.observe_exit(outcome.portable_id, outcome.to_cell, now)
+        # Feed the lounge slot counters.
+        out_proc = self.lounge_processes.get(outcome.from_cell)
+        if out_proc is not None and hasattr(out_proc, "handoff_out"):
+            out_proc.handoff_out()
+        in_proc = self.lounge_processes.get(outcome.to_cell)
+        if in_proc is not None:
+            if hasattr(in_proc, "handoff_in"):
+                in_proc.handoff_in()
+            if hasattr(in_proc, "attendee_arrived"):
+                in_proc.attendee_arrived()
+        if out_proc is not None and hasattr(out_proc, "attendee_left"):
+            out_proc.attendee_left()
+
+    def run(self, until: float) -> TeletrafficStats:
+        self.env.run(until=until)
+        return self.stats

@@ -1,0 +1,17 @@
+"""Measurement substrate: counters, binned series, interval estimators."""
+
+from .counters import TeletrafficStats
+from .erlang import erlang_b, kaufman_roberts, multirate_blocking
+from .estimators import batch_means, mean_confidence_interval, wilson_interval
+from .timeseries import BinnedSeries
+
+__all__ = [
+    "TeletrafficStats",
+    "erlang_b",
+    "kaufman_roberts",
+    "multirate_blocking",
+    "batch_means",
+    "mean_confidence_interval",
+    "wilson_interval",
+    "BinnedSeries",
+]

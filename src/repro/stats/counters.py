@@ -1,0 +1,75 @@
+"""Teletraffic counters: blocking and dropping probability estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["TeletrafficStats"]
+
+
+@dataclass
+class TeletrafficStats:
+    """Counts the events behind ``P_b`` and ``P_d``.
+
+    * ``P_b`` (overall blocking) = blocked new requests / new requests.
+    * ``P_d`` (handoff dropping) = dropped handoff connections / handoff
+      connection attempts.
+    """
+
+    new_requests: int = 0
+    admitted: int = 0
+    blocked: int = 0
+    handoff_attempts: int = 0
+    handoff_drops: int = 0
+    completed: int = 0
+    #: Free-form extra counters (per-algorithm instrumentation).
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def record_request(self, admitted: bool) -> None:
+        self.new_requests += 1
+        if admitted:
+            self.admitted += 1
+        else:
+            self.blocked += 1
+
+    def record_handoff(self, attempts: int, drops: int) -> None:
+        if drops > attempts:
+            raise ValueError("cannot drop more connections than attempted")
+        self.handoff_attempts += attempts
+        self.handoff_drops += drops
+
+    def record_completion(self, n: int = 1) -> None:
+        self.completed += n
+
+    def bump(self, key: str, n: int = 1) -> None:
+        self.extra[key] = self.extra.get(key, 0) + n
+
+    @property
+    def blocking_probability(self) -> float:
+        """``P_b``; 0.0 before any request is seen."""
+        return self.blocked / self.new_requests if self.new_requests else 0.0
+
+    @property
+    def dropping_probability(self) -> float:
+        """``P_d``; 0.0 before any handoff is seen."""
+        return (
+            self.handoff_drops / self.handoff_attempts
+            if self.handoff_attempts
+            else 0.0
+        )
+
+    def merge(self, other: "TeletrafficStats") -> "TeletrafficStats":
+        """Pool two independent measurement runs."""
+        merged = TeletrafficStats(
+            new_requests=self.new_requests + other.new_requests,
+            admitted=self.admitted + other.admitted,
+            blocked=self.blocked + other.blocked,
+            handoff_attempts=self.handoff_attempts + other.handoff_attempts,
+            handoff_drops=self.handoff_drops + other.handoff_drops,
+            completed=self.completed + other.completed,
+        )
+        for d in (self.extra, other.extra):
+            for k, v in d.items():
+                merged.extra[k] = merged.extra.get(k, 0) + v
+        return merged

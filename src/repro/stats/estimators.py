@@ -1,0 +1,62 @@
+"""Statistical estimators for simulation outputs."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["mean_confidence_interval", "wilson_interval", "batch_means"]
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """(mean, lo, hi) normal-approximation CI over independent samples."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, mean, mean
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    half = z * math.sqrt(var / n)
+    return mean, mean - half, mean + half
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float, float]:
+    """(p_hat, lo, hi) Wilson score interval for a binomial proportion.
+
+    Robust for the small drop/block counts typical of rare-event runs.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    z2 = z * z
+    denom = 1 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+        / denom
+    )
+    return p, max(0.0, center - half), min(1.0, center + half)
+
+
+def batch_means(
+    samples: Sequence[float], batches: int = 10
+) -> Tuple[float, float, float]:
+    """Batch-means CI for a (possibly autocorrelated) stationary series."""
+    n = len(samples)
+    if batches < 2:
+        raise ValueError(f"need at least 2 batches, got {batches}")
+    if n < batches:
+        raise ValueError(f"need at least {batches} samples, got {n}")
+    size = n // batches
+    means = [
+        sum(samples[i * size : (i + 1) * size]) / size for i in range(batches)
+    ]
+    return mean_confidence_interval(means)

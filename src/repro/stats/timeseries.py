@@ -1,0 +1,61 @@
+"""Binned event series — the data behind Figure 2 and Figure 5's curves."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+__all__ = ["BinnedSeries"]
+
+
+class BinnedSeries:
+    """Counts point events into fixed-width time bins."""
+
+    def __init__(self, bin_width: float, origin: float = 0.0):
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        self.bin_width = bin_width
+        self.origin = origin
+        self._bins: Dict[int, int] = {}
+        self.total = 0
+
+    def add(self, t: float, n: int = 1) -> None:
+        """Record ``n`` events at time ``t``."""
+        index = math.floor((t - self.origin) / self.bin_width)
+        self._bins[index] = self._bins.get(index, 0) + n
+        self.total += n
+
+    def count_at(self, t: float) -> int:
+        index = math.floor((t - self.origin) / self.bin_width)
+        return self._bins.get(index, 0)
+
+    def series(
+        self, start: float = None, end: float = None
+    ) -> List[Tuple[float, int]]:
+        """Dense (bin_start_time, count) list covering [start, end)."""
+        if not self._bins and (start is None or end is None):
+            return []
+        lo = (
+            math.floor((start - self.origin) / self.bin_width)
+            if start is not None
+            else min(self._bins)
+        )
+        hi = (
+            math.ceil((end - self.origin) / self.bin_width)
+            if end is not None
+            else max(self._bins) + 1
+        )
+        return [
+            (self.origin + i * self.bin_width, self._bins.get(i, 0))
+            for i in range(lo, hi)
+        ]
+
+    def counts(self, start: float = None, end: float = None) -> List[int]:
+        return [c for _, c in self.series(start, end)]
+
+    def peak(self) -> Tuple[float, int]:
+        """(bin_start_time, count) of the busiest bin."""
+        if not self._bins:
+            raise ValueError("series is empty")
+        index = max(self._bins, key=lambda i: (self._bins[i], -i))
+        return (self.origin + index * self.bin_width, self._bins[index])

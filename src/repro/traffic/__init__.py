@@ -1,0 +1,18 @@
+"""Workload substrate: flow envelopes, connections, arrivals, sources."""
+
+from .arrivals import PoissonArrivals, TypeSpec, sample_exponential
+from .connection import Connection, ConnectionState
+from .flowspec import FlowSpec
+from .sources import AdaptiveVideoSource, cbr_packets, onoff_packets
+
+__all__ = [
+    "PoissonArrivals",
+    "TypeSpec",
+    "sample_exponential",
+    "Connection",
+    "ConnectionState",
+    "FlowSpec",
+    "AdaptiveVideoSource",
+    "cbr_packets",
+    "onoff_packets",
+]

@@ -1,0 +1,113 @@
+"""Connection objects: the unit of QoS negotiation and reservation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import count
+from typing import TYPE_CHECKING, Hashable, List, Optional
+
+if TYPE_CHECKING:  # imported for annotations only (avoids a package cycle)
+    from ..core.qos import QoSRequest
+
+__all__ = ["ConnectionState", "Connection"]
+
+_conn_counter = count(1)
+
+
+class ConnectionState(Enum):
+    """Lifecycle of a connection through the resource-management plane."""
+
+    REQUESTED = "requested"
+    ACTIVE = "active"
+    BLOCKED = "blocked"        # admission refused at setup
+    DROPPED = "dropped"        # forced termination (handoff failure)
+    TERMINATED = "terminated"  # normal completion
+
+
+@dataclass
+class Connection:
+    """An end-to-end connection with loose QoS bounds.
+
+    Attributes
+    ----------
+    conn_id:
+        Unique id (auto-assigned when not supplied).
+    src, dst:
+        Endpoint node ids in the topology (for the wireless hop the base
+        station acts as the source, per Section 5.3.1).
+    qos:
+        The negotiated :class:`~repro.core.qos.QoSRequest`.
+    portable_id:
+        The portable that owns the wireless end (None for wired-only).
+    ctype:
+        Workload "connection type" index (Figure 6 uses two types).
+    route:
+        Node-id path assigned by routing; empty until admitted.
+    rate:
+        Currently granted bandwidth (b_min + excess), kept within bounds.
+    """
+
+    src: Hashable
+    dst: Hashable
+    qos: "QoSRequest"
+    portable_id: Optional[Hashable] = None
+    ctype: int = 0
+    conn_id: Hashable = None
+    route: List[Hashable] = field(default_factory=list)
+    state: ConnectionState = ConnectionState.REQUESTED
+    rate: float = 0.0
+    started_at: Optional[float] = None
+    ended_at: Optional[float] = None
+    #: Number of inter-cell handoffs experienced.
+    handoffs: int = 0
+
+    def __post_init__(self):
+        if self.conn_id is None:
+            self.conn_id = f"conn-{next(_conn_counter)}"
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True if the QoS bounds leave room for adaptation."""
+        return self.qos.bounds is not None and not self.qos.bounds.is_fixed
+
+    @property
+    def b_min(self) -> float:
+        return self.qos.b_min
+
+    @property
+    def b_max(self) -> float:
+        return self.qos.b_max
+
+    def activate(self, route: List[Hashable], rate: float, now: float) -> None:
+        """Transition to ACTIVE after a successful admission round trip."""
+        if self.state is not ConnectionState.REQUESTED:
+            raise RuntimeError(f"cannot activate connection in state {self.state}")
+        self.route = list(route)
+        self.rate = rate
+        self.state = ConnectionState.ACTIVE
+        self.started_at = now
+
+    def block(self, now: float) -> None:
+        """Mark the setup attempt as refused by admission control."""
+        if self.state is not ConnectionState.REQUESTED:
+            raise RuntimeError(f"cannot block connection in state {self.state}")
+        self.state = ConnectionState.BLOCKED
+        self.ended_at = now
+
+    def drop(self, now: float) -> None:
+        """Forced mid-life termination (the handoff-drop event)."""
+        if self.state is not ConnectionState.ACTIVE:
+            raise RuntimeError(f"cannot drop connection in state {self.state}")
+        self.state = ConnectionState.DROPPED
+        self.ended_at = now
+
+    def terminate(self, now: float) -> None:
+        """Normal completion."""
+        if self.state is not ConnectionState.ACTIVE:
+            raise RuntimeError(f"cannot terminate connection in state {self.state}")
+        self.state = ConnectionState.TERMINATED
+        self.ended_at = now
+
+    def __hash__(self):
+        return hash(self.conn_id)

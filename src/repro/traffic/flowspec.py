@@ -1,0 +1,61 @@
+"""Token-bucket traffic characterization.
+
+The paper uses the classic ``(sigma, rho)`` model: a source that never emits
+more than ``sigma + rho * t`` bits in any interval of length ``t``.  All of
+Table 2's delay / jitter / buffer formulas are functions of ``sigma``, the
+reserved rate, and the maximum packet size ``L_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowSpec"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A (sigma, rho) token-bucket envelope.
+
+    Attributes
+    ----------
+    sigma:
+        Maximum burst size (e.g. kilobits).
+    rho:
+        Sustained token rate (e.g. kbps).  For the paper's connections this
+        matches the negotiated bandwidth floor ``b_min``.
+    l_max:
+        Largest packet size (same units as ``sigma``).
+    """
+
+    sigma: float
+    rho: float
+    l_max: float = 1.0
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        if self.rho <= 0:
+            raise ValueError(f"rho must be positive, got {self.rho}")
+        if self.l_max <= 0:
+            raise ValueError(f"l_max must be positive, got {self.l_max}")
+        if self.l_max > self.sigma + self.l_max:  # pragma: no cover - trivial
+            raise ValueError("l_max cannot exceed the envelope")
+
+    def max_bits(self, interval: float) -> float:
+        """Upper bound on bits emitted in any window of length ``interval``."""
+        if interval < 0:
+            raise ValueError(f"interval must be non-negative, got {interval}")
+        return self.sigma + self.rho * interval
+
+    def conforms(self, bits: float, interval: float) -> bool:
+        """Whether ``bits`` within ``interval`` respects the envelope."""
+        return bits <= self.max_bits(interval) + 1e-9
+
+    def scaled_to_rate(self, rate: float) -> "FlowSpec":
+        """The same burstiness at a different sustained rate.
+
+        Adaptive sources (e.g. layered video) change ``rho`` when the
+        network adapts their bandwidth; burst and packet size stay put.
+        """
+        return FlowSpec(sigma=self.sigma, rho=rate, l_max=self.l_max)

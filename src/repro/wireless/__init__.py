@@ -1,0 +1,21 @@
+"""Wireless cellular substrate: cells, base stations, portables, channel."""
+
+from .basestation import BaseStation
+from .cell import Cell
+from .channel import ChannelState, GilbertElliottChannel
+from .handoff import HandoffEngine, HandoffOutcome
+from .mac import CellMac, MacStats, PacketRecord
+from .portable import Portable
+
+__all__ = [
+    "BaseStation",
+    "Cell",
+    "ChannelState",
+    "GilbertElliottChannel",
+    "HandoffEngine",
+    "HandoffOutcome",
+    "CellMac",
+    "MacStats",
+    "PacketRecord",
+    "Portable",
+]

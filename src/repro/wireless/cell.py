@@ -1,0 +1,82 @@
+"""Cells: the unit of wireless coverage and resource management."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from ..core.reservation import CellReservations
+from ..network.link import Link
+from ..profiles.records import CellClass
+
+__all__ = ["Cell"]
+
+
+class Cell:
+    """A wireless cell served by one base station.
+
+    The cell's shared wireless medium is modelled as a single
+    :class:`~repro.network.link.Link` of the configured capacity (all
+    traffic is uplink or downlink through the base station, Section 3.1, so
+    one capacity pool governs admission on the air interface).
+    """
+
+    def __init__(
+        self,
+        cell_id: Hashable,
+        capacity: float,
+        cell_class: CellClass = CellClass.UNKNOWN,
+        error_prob: float = 0.0,
+        min_pool_fraction: float = 0.05,
+        max_pool_fraction: float = 0.20,
+    ):
+        self.cell_id = cell_id
+        self.cell_class = cell_class
+        self.link = Link(
+            src=f"bs:{cell_id}",
+            dst=f"air:{cell_id}",
+            capacity=capacity,
+            error_prob=error_prob,
+        )
+        self.reservations = CellReservations(
+            self.link, min_pool_fraction, max_pool_fraction
+        )
+        self.neighbors: Set[Hashable] = set()
+        #: Portables currently resident, with entry times.
+        self.present: Dict[Hashable, float] = {}
+        #: Regular occupants (offices only).
+        self.occupants: Set[Hashable] = set()
+
+    @property
+    def capacity(self) -> float:
+        return self.link.capacity
+
+    @property
+    def load(self) -> float:
+        """Bandwidth committed to ongoing connections."""
+        return self.link.allocated
+
+    @property
+    def free_capacity(self) -> float:
+        """Headroom beyond ongoing floors and advance reservations."""
+        return self.link.excess_available
+
+    def add_neighbor(self, cell_id: Hashable) -> None:
+        if cell_id == self.cell_id:
+            raise ValueError("a cell cannot neighbor itself")
+        self.neighbors.add(cell_id)
+
+    def enter(self, portable_id: Hashable, now: float) -> None:
+        self.present[portable_id] = now
+
+    def leave(self, portable_id: Hashable) -> Optional[float]:
+        """Remove a portable; returns its entry time (None if absent)."""
+        return self.present.pop(portable_id, None)
+
+    def occupancy(self) -> int:
+        return len(self.present)
+
+    def __repr__(self):
+        return (
+            f"Cell({self.cell_id!r}, {self.cell_class.value}, "
+            f"C={self.capacity}, present={len(self.present)})"
+        )

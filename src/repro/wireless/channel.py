@@ -1,0 +1,115 @@
+"""Wireless channel error model.
+
+Section 2.1 motivates loose QoS bounds with wireless channel error and the
+"time-varying effective capacity of the wireless link".  We model both with
+the classic two-state Gilbert–Elliott chain: a GOOD state with low packet
+loss and full capacity, and a BAD (fade) state with high loss and reduced
+effective capacity.  State holding times are exponential.
+
+The channel can run as a DES process that notifies a callback on every
+state flip — the hook the adaptation layer uses to trigger network-initiated
+QoS adaptation.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["ChannelState", "GilbertElliottChannel"]
+
+
+class ChannelState(Enum):
+    GOOD = "good"
+    BAD = "bad"
+
+
+class GilbertElliottChannel:
+    """Two-state Markov packet-loss / capacity model.
+
+    Parameters
+    ----------
+    rng:
+        Seeded random source (determinism is on the caller).
+    mean_good, mean_bad:
+        Mean sojourn times in each state.
+    loss_good, loss_bad:
+        Per-packet loss probability in each state.
+    capacity_factor_bad:
+        Effective-capacity multiplier while faded (1.0 = loss only).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        mean_good: float = 10.0,
+        mean_bad: float = 1.0,
+        loss_good: float = 0.001,
+        loss_bad: float = 0.2,
+        capacity_factor_bad: float = 0.5,
+    ):
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError("state sojourn means must be positive")
+        for p in (loss_good, loss_bad):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"loss probability {p} outside [0, 1]")
+        if not 0.0 < capacity_factor_bad <= 1.0:
+            raise ValueError(
+                f"capacity_factor_bad must be in (0, 1], got {capacity_factor_bad}"
+            )
+        self.rng = rng
+        self.mean_good = mean_good
+        self.mean_bad = mean_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.capacity_factor_bad = capacity_factor_bad
+        self.state = ChannelState.GOOD
+        #: (time, state) history of flips.
+        self.transitions: List[Tuple[float, ChannelState]] = []
+
+    # -- packet-level queries ------------------------------------------------------
+
+    @property
+    def loss_probability(self) -> float:
+        return (
+            self.loss_good
+            if self.state is ChannelState.GOOD
+            else self.loss_bad
+        )
+
+    def capacity_factor(self) -> float:
+        return (
+            1.0 if self.state is ChannelState.GOOD else self.capacity_factor_bad
+        )
+
+    def packet_lost(self) -> bool:
+        """Sample one packet transmission."""
+        return self.rng.random() < self.loss_probability
+
+    def steady_state_loss(self) -> float:
+        """Long-run average loss probability of the chain."""
+        total = self.mean_good + self.mean_bad
+        return (
+            self.loss_good * self.mean_good + self.loss_bad * self.mean_bad
+        ) / total
+
+    # -- DES integration ---------------------------------------------------------------
+
+    def run(self, env, on_change: Optional[Callable[[ChannelState, float], None]] = None):
+        """Process flipping states forever; reports flips via ``on_change``."""
+        while True:
+            sojourn = (
+                self.mean_good
+                if self.state is ChannelState.GOOD
+                else self.mean_bad
+            )
+            yield env.timeout(self.rng.expovariate(1.0 / sojourn))
+            self.state = (
+                ChannelState.BAD
+                if self.state is ChannelState.GOOD
+                else ChannelState.GOOD
+            )
+            self.transitions.append((env.now, self.state))
+            if on_change is not None:
+                on_change(self.state, env.now)

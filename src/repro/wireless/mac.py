@@ -1,0 +1,195 @@
+"""Packet-level service on the shared wireless hop.
+
+The resource-management algorithms reason about *rates*; this module makes
+those rates observable at the packet level: a self-clocked fair queueing
+(SCFQ) server drains per-connection queues in proportion to their granted
+rates over a (possibly fading) Gilbert–Elliott channel.  It powers the
+goodput/delay measurements in the examples and lets tests confirm that the
+rate allocations the control plane computes are actually delivered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional
+
+from ..des import Environment, Event
+from ..network.link import Link
+from .channel import GilbertElliottChannel
+
+__all__ = ["PacketRecord", "MacStats", "CellMac"]
+
+
+@dataclass
+class PacketRecord:
+    """One packet's journey through the MAC."""
+
+    conn_id: Hashable
+    size: float
+    created: float
+    finish_tag: float = 0.0
+    delivered: Optional[float] = None
+    lost: bool = False
+
+    @property
+    def delay(self) -> Optional[float]:
+        return None if self.delivered is None else self.delivered - self.created
+
+
+@dataclass
+class MacStats:
+    """Per-connection delivery accounting."""
+
+    submitted: int = 0
+    delivered: int = 0
+    lost: int = 0
+    bits_delivered: float = 0.0
+    total_delay: float = 0.0
+    records: List[PacketRecord] = field(default_factory=list)
+
+    @property
+    def loss_rate(self) -> float:
+        done = self.delivered + self.lost
+        return self.lost / done if done else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return self.total_delay / self.delivered if self.delivered else 0.0
+
+    def goodput(self, duration: float) -> float:
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return self.bits_delivered / duration
+
+
+class CellMac:
+    """SCFQ packet server for one cell's wireless link.
+
+    Packets are tagged at arrival with a virtual finish time
+    ``F = max(F_prev(conn), v) + size / rate(conn)`` (``v`` = tag of the
+    packet in service) and served in tag order, which approximates WFQ
+    shares without per-bit simulation.  Transmission takes
+    ``size / (C * channel_factor)``; each transmission is then lost with
+    the channel's current loss probability (no retransmission by default —
+    loss shows up as goodput shortfall, the paper's motivation for loose
+    bounds).
+
+    Rates come from ``link.rate_of(conn_id)``; connections unknown to the
+    link are served best-effort at ``best_effort_rate``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        link: Link,
+        channel: Optional[GilbertElliottChannel] = None,
+        best_effort_rate: float = 1.0,
+        retransmit_limit: int = 0,
+        apply_capacity_factor: bool = True,
+    ):
+        if retransmit_limit < 0:
+            raise ValueError("retransmit_limit must be >= 0")
+        self.env = env
+        self.link = link
+        self.channel = channel
+        self.best_effort_rate = best_effort_rate
+        self.retransmit_limit = retransmit_limit
+        #: Set False when the control plane already folds fades into
+        #: ``link.capacity`` (avoids double-counting the degradation).
+        self.apply_capacity_factor = apply_capacity_factor
+
+        self._queues: Dict[Hashable, Deque[PacketRecord]] = {}
+        self._last_finish: Dict[Hashable, float] = {}
+        self._virtual_now = 0.0
+        self._wake: Optional[Event] = None
+        self.stats: Dict[Hashable, MacStats] = {}
+        self.process = env.process(self._serve())
+
+    # -- submission --------------------------------------------------------------
+
+    def _rate(self, conn_id: Hashable) -> float:
+        if conn_id in self.link.allocations:
+            return max(self.link.rate_of(conn_id), 1e-9)
+        return self.best_effort_rate
+
+    def submit(self, conn_id: Hashable, size: float) -> PacketRecord:
+        """Enqueue one packet of ``size`` bits for ``conn_id``."""
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        start = max(self._last_finish.get(conn_id, 0.0), self._virtual_now)
+        record = PacketRecord(
+            conn_id=conn_id,
+            size=size,
+            created=self.env.now,
+            finish_tag=start + size / self._rate(conn_id),
+        )
+        self._last_finish[conn_id] = record.finish_tag
+        self._queues.setdefault(conn_id, deque()).append(record)
+        self.stats.setdefault(conn_id, MacStats()).submitted += 1
+        self.stats[conn_id].records.append(record)
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        return record
+
+    def feed(self, conn_id: Hashable, packets):
+        """DES process: submit (timestamp, size) pairs at their times."""
+        for t, size in packets:
+            if t > self.env.now:
+                yield self.env.timeout(t - self.env.now)
+            self.submit(conn_id, size)
+
+    # -- the server ---------------------------------------------------------------------
+
+    def _next_packet(self) -> Optional[PacketRecord]:
+        best: Optional[PacketRecord] = None
+        for queue in self._queues.values():
+            if queue and (best is None or queue[0].finish_tag < best.finish_tag):
+                best = queue[0]
+        return best
+
+    def _serve(self):
+        env = self.env
+        while True:
+            packet = self._next_packet()
+            if packet is None:
+                self._wake = Event(env)
+                yield self._wake
+                self._wake = None
+                continue
+            self._queues[packet.conn_id].popleft()
+            self._virtual_now = packet.finish_tag
+
+            attempts = 0
+            while True:
+                factor = (
+                    self.channel.capacity_factor()
+                    if self.channel and self.apply_capacity_factor
+                    else 1.0
+                )
+                capacity = max(self.link.capacity * factor, 1e-9)
+                yield env.timeout(packet.size / capacity)
+                lost = self.channel.packet_lost() if self.channel else False
+                if not lost:
+                    packet.delivered = env.now
+                    stats = self.stats[packet.conn_id]
+                    stats.delivered += 1
+                    stats.bits_delivered += packet.size
+                    stats.total_delay += packet.delay
+                    break
+                attempts += 1
+                if attempts > self.retransmit_limit:
+                    packet.lost = True
+                    self.stats[packet.conn_id].lost += 1
+                    break
+
+    # -- aggregate views ---------------------------------------------------------------------
+
+    def total_delivered_bits(self) -> float:
+        return sum(s.bits_delivered for s in self.stats.values())
+
+    def overall_loss_rate(self) -> float:
+        delivered = sum(s.delivered for s in self.stats.values())
+        lost = sum(s.lost for s in self.stats.values())
+        done = delivered + lost
+        return lost / done if done else 0.0

@@ -1,0 +1,271 @@
+"""Tests for the distributed ADVERTISE/UPDATE adaptation protocol.
+
+The central claims verified here are Theorem 1's: the event-driven protocol
+converges to the max-min optimal allocation for arbitrary topologies,
+demands, and event orderings, and the refinement does not change the fixed
+point while sending fewer messages.
+"""
+
+import random
+
+import pytest
+
+from repro.core import AdaptationProtocol, QoSBounds, QoSRequest
+from repro.core.adaptation import compute_advertised_rate
+from repro.network import Topology, line_topology, star_topology
+from repro.network.routing import shortest_path
+from repro.traffic import Connection, FlowSpec
+
+
+def make_conn(topo, src, dst, b_min, b_max, cid):
+    qos = QoSRequest(
+        flowspec=FlowSpec(sigma=1.0, rho=b_min),
+        bounds=QoSBounds(b_min, b_max),
+    )
+    conn = Connection(src=src, dst=dst, qos=qos, conn_id=cid)
+    conn.activate(shortest_path(topo, src, dst), b_min, 0.0)
+    return conn
+
+
+def converged_rates(protocol):
+    return {c: protocol.rate_of(c) for c in protocol.connections}
+
+
+def assert_matches_reference(protocol, tol=1e-6):
+    reference = protocol.reference_allocation()
+    for conn_id, excess in reference.items():
+        conn = protocol.connections[conn_id]
+        assert protocol.rate_of(conn_id) == pytest.approx(
+            conn.b_min + excess, abs=tol
+        ), f"{conn_id} diverged from max-min"
+
+
+# -- advertised-rate computation ---------------------------------------------------
+
+
+def test_advertised_rate_empty_link():
+    assert compute_advertised_rate(100.0, {}, 0.0) == 100.0
+
+
+def test_advertised_rate_equal_split():
+    mu = compute_advertised_rate(90.0, {"a": 100.0, "b": 100.0, "c": 100.0}, 0.0)
+    assert mu == pytest.approx(30.0)
+
+
+def test_advertised_rate_restricted_connections_excluded():
+    # 'small' is restricted at 5 (bottlenecked elsewhere); the two big
+    # connections split the remaining 85.
+    mu = compute_advertised_rate(
+        90.0, {"small": 5.0, "b1": 80.0, "b2": 80.0}, mu_prev=40.0
+    )
+    assert mu == pytest.approx((90.0 - 5.0) / 2)
+
+
+def test_advertised_rate_all_restricted_branch():
+    # N == N_R: mu = B - sum(R) + max(R)
+    mu = compute_advertised_rate(90.0, {"a": 10.0, "b": 20.0}, mu_prev=50.0)
+    assert mu == pytest.approx(90.0 - 30.0 + 20.0)
+
+
+def test_advertised_rate_second_pass_unmarks():
+    # With mu_prev high everything looks restricted; the second pass must
+    # unmark the big one and recompute.
+    mu = compute_advertised_rate(
+        100.0, {"small": 5.0, "big": 95.0}, mu_prev=1000.0
+    )
+    assert mu == pytest.approx(95.0)
+
+
+def test_advertised_rate_never_negative():
+    assert compute_advertised_rate(-50.0, {"a": 10.0}, 0.0) == 0.0
+
+
+# -- convergence ------------------------------------------------------------------
+
+
+def test_single_link_equal_split():
+    from repro.des import Environment
+
+    topo = line_topology(2, capacity=100.0)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    for i in range(3):
+        protocol.register_connection(
+            make_conn(topo, "s0", "s1", 10.0, 200.0, f"c{i}")
+        )
+    env.run()
+    assert_matches_reference(protocol, tol=1e-3)
+    # 100 - 3*10 floors = 70 excess -> 23.33 each.
+    assert protocol.rate_of("c0") == pytest.approx(10.0 + 70.0 / 3, abs=1e-3)
+
+
+def test_line_network_long_and_short_flows():
+    from repro.des import Environment
+
+    topo = line_topology(4, capacity=100.0, prop_delay=0.001)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    protocol.register_connection(make_conn(topo, "s0", "s3", 10.0, 1000.0, "long"))
+    protocol.register_connection(make_conn(topo, "s0", "s1", 10.0, 1000.0, "h0"))
+    protocol.register_connection(make_conn(topo, "s1", "s3", 10.0, 1000.0, "h1"))
+    env.run()
+    assert_matches_reference(protocol, tol=1e-3)
+
+
+def test_finite_demands_respected():
+    from repro.des import Environment
+
+    topo = line_topology(3, capacity=100.0)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    protocol.register_connection(make_conn(topo, "s0", "s2", 10.0, 15.0, "capped"))
+    protocol.register_connection(make_conn(topo, "s0", "s2", 10.0, 1000.0, "greedy"))
+    env.run()
+    assert protocol.rate_of("capped") == pytest.approx(15.0, abs=1e-3)
+    assert protocol.rate_of("greedy") == pytest.approx(
+        10.0 + (80.0 - 5.0), abs=1e-3
+    )
+    assert_matches_reference(protocol, tol=1e-3)
+
+
+def test_capacity_decrease_squeezes_shares():
+    from repro.des import Environment
+
+    topo = line_topology(3, capacity=100.0)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    protocol.register_connection(make_conn(topo, "s0", "s2", 10.0, 1000.0, "c0"))
+    protocol.register_connection(make_conn(topo, "s0", "s2", 10.0, 1000.0, "c1"))
+    env.run()
+    link = topo.link("s1", "s2")
+    link.reserve(60.0)
+    protocol.notify_capacity_change(link.key)
+    env.run()
+    assert_matches_reference(protocol, tol=1e-3)
+    assert protocol.rate_of("c0") == pytest.approx(20.0, abs=1e-3)
+
+
+def test_departure_triggers_upgrade():
+    from repro.des import Environment
+
+    topo = line_topology(2, capacity=100.0)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    stayer = make_conn(topo, "s0", "s1", 10.0, 1000.0, "stay")
+    leaver = make_conn(topo, "s0", "s1", 10.0, 1000.0, "leave")
+    protocol.register_connection(stayer)
+    protocol.register_connection(leaver)
+    env.run()
+    assert protocol.rate_of("stay") == pytest.approx(50.0, abs=1e-3)
+    protocol.unregister_connection(leaver)
+    env.run()
+    assert protocol.rate_of("stay") == pytest.approx(100.0, abs=1e-3)
+
+
+def test_star_cross_traffic():
+    from repro.des import Environment
+
+    topo = star_topology(4, capacity=60.0, prop_delay=0.002)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    pairs = [("leaf0", "leaf1"), ("leaf0", "leaf2"), ("leaf3", "leaf1")]
+    for i, (a, b) in enumerate(pairs):
+        protocol.register_connection(make_conn(topo, a, b, 5.0, 1000.0, f"c{i}"))
+    env.run()
+    assert_matches_reference(protocol, tol=1e-3)
+
+
+def test_randomized_scenarios_converge():
+    from repro.des import Environment
+
+    for seed in range(5):
+        rng = random.Random(seed)
+        n = rng.randint(3, 6)
+        topo = line_topology(n, capacity=rng.choice([100.0, 500.0]))
+        env = Environment()
+        protocol = AdaptationProtocol(env, topo)
+        for i in range(rng.randint(2, 6)):
+            a = rng.randrange(n - 1)
+            b = rng.randrange(a + 1, n)
+            b_max = rng.choice([20.0, 60.0, 1000.0])
+            protocol.register_connection(
+                make_conn(topo, f"s{a}", f"s{b}", 10.0, b_max, f"c{seed}-{i}")
+            )
+        env.run()
+        assert_matches_reference(protocol, tol=1e-3)
+
+
+def test_refinement_reduces_messages_same_fixed_point():
+    from repro.des import Environment
+
+    def run(use_sets):
+        topo = line_topology(5, capacity=200.0, prop_delay=0.001)
+        env = Environment()
+        protocol = AdaptationProtocol(env, topo, use_bottleneck_sets=use_sets)
+        for i in range(4):
+            protocol.register_connection(
+                make_conn(topo, "s0", "s4", 10.0, 1000.0, f"c{i}")
+            )
+        env.run()
+        link = topo.link("s2", "s3")
+        link.reserve(100.0)
+        protocol.notify_capacity_change(link.key)
+        env.run()
+        return protocol
+
+    refined = run(True)
+    flooding = run(False)
+    for cid in refined.connections:
+        assert refined.rate_of(cid) == pytest.approx(
+            flooding.rate_of(cid), abs=1e-3
+        )
+    assert refined.signaling.messages_sent < flooding.signaling.messages_sent
+
+
+def test_mobile_connections_with_zero_demand_stay_at_floor():
+    from repro.des import Environment
+
+    topo = line_topology(2, capacity=100.0)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    mobile = make_conn(topo, "s0", "s1", 10.0, 1000.0, "mobile")
+    static = make_conn(topo, "s0", "s1", 10.0, 1000.0, "static")
+    protocol.register_connection(mobile, demand=0.0)
+    protocol.register_connection(static)
+    env.run()
+    assert protocol.rate_of("mobile") == pytest.approx(10.0, abs=1e-6)
+    assert protocol.rate_of("static") == pytest.approx(90.0, abs=1e-3)
+
+
+def test_register_requires_route():
+    from repro.des import Environment
+
+    topo = line_topology(2)
+    protocol = AdaptationProtocol(Environment(), topo)
+    conn = Connection(
+        src="s0",
+        dst="s1",
+        qos=QoSRequest(
+            flowspec=FlowSpec(sigma=1.0, rho=10.0), bounds=QoSBounds(10.0, 20.0)
+        ),
+    )
+    with pytest.raises(ValueError):
+        protocol.register_connection(conn)
+
+
+def test_steady_state_rate_delta_bounded_by_delta_threshold():
+    """Theorem 1's second claim: replaying a capacity wiggle smaller than
+    delta leaves rates unchanged."""
+    from repro.des import Environment
+
+    topo = line_topology(2, capacity=100.0)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo, delta=5.0)
+    protocol.register_connection(make_conn(topo, "s0", "s1", 10.0, 1000.0, "c"))
+    env.run()
+    before = protocol.rate_of("c")
+    link = topo.link("s0", "s1")
+    link.reserve(2.0)  # change smaller than delta
+    protocol.notify_capacity_change(link.key)
+    env.run()
+    assert abs(protocol.rate_of("c") - before) <= 5.0 + 1e-9

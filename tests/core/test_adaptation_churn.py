@@ -1,0 +1,161 @@
+"""Convergence of the adaptation protocol under capacity churn.
+
+These scenarios codify the failure modes found while hardening the
+protocol (stale-commit races, mis-marked restricted sets, suppressed
+re-probes): sequences of capacity shrinks and restores must always land
+back on the exact max-min allocation, in both the refined and the flooding
+variant.
+"""
+
+import random
+
+import pytest
+
+from repro.core import AdaptationProtocol, QoSBounds, QoSRequest
+from repro.des import Environment
+from repro.network import line_topology
+from repro.network.routing import shortest_path
+from repro.traffic import Connection, FlowSpec
+
+
+def build(switches, conn_specs, use_bottleneck_sets=True, capacity=1000.0):
+    topo = line_topology(switches, capacity=capacity, prop_delay=0.001)
+    env = Environment()
+    protocol = AdaptationProtocol(
+        env, topo, use_bottleneck_sets=use_bottleneck_sets
+    )
+    for i, (a, b, b_max) in enumerate(conn_specs):
+        qos = QoSRequest(
+            flowspec=FlowSpec(sigma=1.0, rho=10.0),
+            bounds=QoSBounds(10.0, max(10.0, b_max)),
+        )
+        conn = Connection(src=f"s{a}", dst=f"s{b}", qos=qos, conn_id=f"c{i}")
+        conn.activate(shortest_path(topo, conn.src, conn.dst), 10.0, 0.0)
+        protocol.register_connection(conn)
+    env.run()
+    return topo, env, protocol
+
+
+def assert_converged(protocol, tol=1e-3):
+    reference = protocol.reference_allocation()
+    for conn_id, excess in reference.items():
+        conn = protocol.connections[conn_id]
+        assert protocol.rate_of(conn_id) == pytest.approx(
+            conn.b_min + excess, abs=tol
+        ), f"{conn_id} off max-min after churn"
+
+
+def churn(topo, env, protocol, rng, events=6, switches=6):
+    for _ in range(events):
+        index = rng.randrange(switches - 1)
+        link = topo.link(f"s{index}", f"s{index + 1}")
+        headroom = max(0.0, link.excess_available - 50.0)
+        shrink = min(rng.choice([300.0, 450.0, 600.0]), headroom)
+        if shrink <= 0:
+            continue
+        link.reserve(shrink)
+        protocol.notify_capacity_change(link.key)
+        env.run()
+        assert_converged(protocol)
+        link.unreserve(shrink)
+        protocol.notify_capacity_change(link.key)
+        env.run()
+        assert_converged(protocol)
+
+
+def test_single_link_mixed_demands_stale_commit_case():
+    """The first hypothesis-found case: four single-hop connections with
+    mixed demands must equalize the two unbounded ones exactly."""
+    _, _, protocol = build(
+        3, [(0, 1, 1000.0), (0, 1, 15.0), (0, 1, 60.0), (0, 1, 1000.0)],
+        capacity=200.0,
+    )
+    assert_converged(protocol)
+    assert protocol.rate_of("c0") == pytest.approx(62.5, abs=1e-3)
+    assert protocol.rate_of("c3") == pytest.approx(62.5, abs=1e-3)
+
+
+def test_multihop_remote_bottleneck_release():
+    """The second case: a remotely-bottlenecked connection must claim
+    capacity freed at the remote link (the mis-marking repair)."""
+    topo, env, protocol = build(
+        4,
+        [(0, 2, 1000.0), (0, 3, 1000.0), (2, 3, 15.0), (2, 3, 1000.0)],
+        capacity=200.0,
+    )
+    assert_converged(protocol)
+    # Squeeze then release a mid-path link; everything must re-settle.
+    link = topo.link("s1", "s2")
+    link.reserve(120.0)
+    protocol.notify_capacity_change(link.key)
+    env.run()
+    assert_converged(protocol)
+    link.unreserve(120.0)
+    protocol.notify_capacity_change(link.key)
+    env.run()
+    assert_converged(protocol)
+
+
+@pytest.mark.parametrize("use_sets", [True, False])
+@pytest.mark.parametrize("seed", [3, 4, 5, 11])
+def test_capacity_churn_always_resettles(use_sets, seed):
+    """Randomized shrink/restore schedules: exact convergence after every
+    event, refined and flooding alike."""
+    rng = random.Random(seed)
+    specs = []
+    for _ in range(6):
+        a = rng.randrange(5)
+        b = rng.randrange(a + 1, 6)
+        specs.append((a, b, rng.choice([90.0, 490.0, 5000.0])))
+    topo, env, protocol = build(6, specs, use_bottleneck_sets=use_sets)
+    assert_converged(protocol)
+    churn(topo, env, protocol, rng, events=3, switches=6)
+
+
+def test_churn_with_arrivals_and_departures():
+    """Connections come and go *between* capacity events."""
+    rng = random.Random(7)
+    topo, env, protocol = build(5, [(0, 4, 5000.0), (1, 3, 5000.0)])
+    extras = []
+    for step in range(6):
+        if step % 2 == 0:
+            a = rng.randrange(4)
+            b = rng.randrange(a + 1, 5)
+            qos = QoSRequest(
+                flowspec=FlowSpec(sigma=1.0, rho=10.0),
+                bounds=QoSBounds(10.0, 10.0 + rng.choice([90.0, 5000.0])),
+            )
+            conn = Connection(
+                src=f"s{a}", dst=f"s{b}", qos=qos, conn_id=f"x{step}"
+            )
+            conn.activate(shortest_path(topo, conn.src, conn.dst), 10.0, 0.0)
+            protocol.register_connection(conn)
+            extras.append(conn)
+        elif extras:
+            protocol.unregister_connection(extras.pop(rng.randrange(len(extras))))
+        env.run()
+        assert_converged(protocol)
+
+        link = topo.link("s2", "s3")
+        link.reserve(250.0)
+        protocol.notify_capacity_change(link.key)
+        env.run()
+        assert_converged(protocol)
+        link.unreserve(250.0)
+        protocol.notify_capacity_change(link.key)
+        env.run()
+        assert_converged(protocol)
+
+
+def test_message_overhead_stays_bounded_under_churn():
+    """No safety-cap churn: messages grow linearly with events, not to the
+    runaway backstop."""
+    rng = random.Random(9)
+    specs = [(0, 5, 5000.0), (1, 4, 5000.0), (2, 3, 5000.0), (0, 2, 90.0)]
+    topo, env, protocol = build(6, specs)
+    churn(topo, env, protocol, rng, events=4, switches=6)
+    assert all(
+        count < protocol.safety_cap
+        for count in protocol._round_counts.values()
+    )
+    assert protocol.signaling.messages_sent < 5000

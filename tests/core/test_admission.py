@@ -1,0 +1,209 @@
+"""Tests for the Table 2 round-trip admission controller."""
+
+import pytest
+
+from repro.core import AdmissionController, RejectReason, audio_request
+from repro.core.qos import QoSBounds, QoSRequest
+from repro.network import Discipline, Topology
+from repro.traffic import Connection, FlowSpec
+
+
+ROUTE = ["air", "bs", "router", "server"]
+
+
+def make_topo(wireless_capacity=1600.0, error_prob=0.0):
+    topo = Topology()
+    topo.add_link("air", "bs", capacity=wireless_capacity, error_prob=error_prob)
+    topo.add_link("bs", "router", capacity=10_000.0)
+    topo.add_link("router", "server", capacity=100_000.0)
+    return topo
+
+
+def make_conn(**qos_overrides):
+    return Connection(src="air", dst="server", qos=audio_request(**qos_overrides))
+
+
+def test_accept_commits_allocations_on_every_link():
+    topo = make_topo()
+    controller = AdmissionController(topo)
+    conn = make_conn()
+    result = controller.admit(conn, ROUTE, static_portable=False)
+    assert result.accepted
+    for link in topo.path_links(ROUTE):
+        assert link.rate_of(conn.conn_id) == 16.0
+        assert link.buffers[conn.conn_id] > 0
+
+
+def test_mobile_pinned_at_floor_static_gets_stamp():
+    topo = make_topo()
+    controller = AdmissionController(topo)
+    mobile = controller.admit(make_conn(), ROUTE, static_portable=False)
+    assert mobile.granted_rate == 16.0
+    assert mobile.b_stamp == 0.0
+
+    topo2 = make_topo()
+    controller2 = AdmissionController(topo2)
+    static = controller2.admit(make_conn(), ROUTE, static_portable=True)
+    assert static.granted_rate == 64.0  # clamped at b_max
+    assert static.b_stamp == 48.0
+
+
+def test_bandwidth_rejection_identifies_link():
+    topo = make_topo(wireless_capacity=1600.0)
+    topo.link("air", "bs").reserve(1590.0)
+    controller = AdmissionController(topo)
+    result = controller.admit(make_conn(), ROUTE)
+    assert not result.accepted
+    assert result.reason == RejectReason.BANDWIDTH
+    assert result.failed_link == ("air", "bs")
+    # Nothing committed anywhere.
+    for link in topo.path_links(ROUTE):
+        assert not link.allocations
+
+
+def test_delay_rejection():
+    controller = AdmissionController(make_topo())
+    result = controller.admit(make_conn(delay_bound=0.01), ROUTE)
+    assert not result.accepted
+    assert result.reason == RejectReason.DELAY
+    assert result.d_min > 0.01
+
+
+def test_jitter_rejection():
+    controller = AdmissionController(make_topo())
+    result = controller.admit(make_conn(jitter_bound=0.05), ROUTE)
+    assert not result.accepted
+    assert result.reason == RejectReason.JITTER
+
+
+def test_loss_rejection_on_lossy_wireless():
+    controller = AdmissionController(make_topo(error_prob=0.05))
+    result = controller.admit(make_conn(loss_bound=0.01), ROUTE)
+    assert not result.accepted
+    assert result.reason == RejectReason.LOSS
+
+
+def test_buffer_rejection():
+    topo = make_topo()
+    topo.link("air", "bs").buffer_capacity = 1.0
+    controller = AdmissionController(topo)
+    result = controller.admit(make_conn(), ROUTE)
+    assert not result.accepted
+    assert result.reason == RejectReason.BUFFER
+
+
+def test_probe_mode_does_not_mutate():
+    topo = make_topo()
+    controller = AdmissionController(topo)
+    conn = make_conn()
+    result = controller.admit(conn, ROUTE, commit=False)
+    assert result.accepted
+    for link in topo.path_links(ROUTE):
+        assert not link.allocations
+        assert not link.buffers
+
+
+def test_handoff_can_claim_reserved_bandwidth():
+    topo = make_topo(wireless_capacity=100.0)
+    wireless = topo.link("air", "bs")
+    wireless.reserve(95.0)  # advance reservation holds nearly everything
+    controller = AdmissionController(topo)
+    conn = make_conn()
+
+    refused = controller.admit(conn, ROUTE, is_handoff=False, commit=False)
+    assert not refused.accepted
+
+    granted = controller.admit(
+        conn,
+        ROUTE,
+        is_handoff=True,
+        claimable={("air", "bs"): 16.0},
+    )
+    assert granted.accepted
+    assert wireless.reserved == pytest.approx(95.0 - 16.0)
+
+
+def test_handoff_claim_capped_at_actual_reservation():
+    topo = make_topo(wireless_capacity=100.0)
+    topo.link("air", "bs").reserve(10.0)
+    controller = AdmissionController(topo)
+    conn = make_conn()
+    result = controller.admit(
+        conn, ROUTE, is_handoff=True, claimable={("air", "bs"): 999.0}
+    )
+    assert result.accepted
+    assert topo.link("air", "bs").reserved == pytest.approx(0.0)
+
+
+def test_best_effort_skips_reservation():
+    topo = make_topo()
+    controller = AdmissionController(topo)
+    conn = Connection(
+        src="air",
+        dst="server",
+        qos=QoSRequest(flowspec=FlowSpec(sigma=1.0, rho=5.0), bounds=None),
+    )
+    result = controller.admit(conn, ROUTE)
+    assert result.accepted
+    assert result.granted_rate == 0.0
+    for link in topo.path_links(ROUTE):
+        assert not link.allocations
+
+
+def test_reverse_pass_relaxation_consumes_exact_budget():
+    """Relaxed per-hop delays sum to d_budget plus the burst drain."""
+    topo = make_topo()
+    controller = AdmissionController(topo)
+    conn = make_conn(delay_bound=1.0)
+    result = controller.admit(conn, ROUTE)
+    sigma = conn.qos.flowspec.sigma
+    total_relaxed = sum(result.hop_delays)
+    n = len(result.hop_delays)
+    # sum(d_l) + (d - d_min) + sigma/b_min == (sum d_l fwd) + slack + drain
+    forward_sum = total_relaxed - (1.0 - result.d_min) - sigma / conn.b_min
+    assert forward_sum > 0
+    assert total_relaxed == pytest.approx(
+        forward_sum + (1.0 - result.d_min) + sigma / 16.0
+    )
+
+
+def test_rcsp_buffers_differ_from_wfq():
+    wfq = AdmissionController(make_topo(), Discipline.WFQ).admit(
+        make_conn(), ROUTE
+    )
+    rcsp = AdmissionController(make_topo(), Discipline.RCSP).admit(
+        make_conn(), ROUTE
+    )
+    assert wfq.accepted and rcsp.accepted
+    assert wfq.hop_buffers != rcsp.hop_buffers
+    # WFQ buffers accumulate linearly: sigma + l * L_max.
+    assert wfq.hop_buffers == [5.0, 6.0, 7.0]
+
+
+def test_release_frees_all_links():
+    topo = make_topo()
+    controller = AdmissionController(topo)
+    conn = make_conn()
+    controller.admit(conn, ROUTE)
+    conn.route = list(ROUTE)
+    controller.release(conn)
+    for link in topo.path_links(ROUTE):
+        assert not link.allocations
+        assert not link.buffers
+
+
+def test_empty_route_rejected():
+    controller = AdmissionController(make_topo())
+    with pytest.raises(ValueError):
+        controller.admit(make_conn(), ["air"])
+
+
+def test_second_connection_sees_first_ones_floor():
+    topo = make_topo(wireless_capacity=40.0)
+    controller = AdmissionController(topo)
+    first = controller.admit(make_conn(), ROUTE, static_portable=True)
+    assert first.accepted
+    # 40 - 16 = 24 floor headroom left; a second 16k floor still fits even
+    # though the first connection currently *uses* 40 (16 + 24 excess).
+    second = controller.admit(make_conn(), ROUTE, static_portable=False)
+    assert second.accepted

@@ -1,0 +1,107 @@
+"""Tests for wired-side setup with neighbor multicast (Section 4)."""
+
+import pytest
+
+from repro.core import BackboneManager, audio_request
+from repro.network import campus_backbone
+from repro.traffic import Connection, ConnectionState
+
+
+def build(cells=("A", "B", "C"), **kw):
+    topo = campus_backbone(cells, servers=["server"], **kw)
+    neighbor_bs = {
+        "A": ["bs:B"],
+        "B": ["bs:A", "bs:C"],
+        "C": ["bs:B"],
+    }
+    return topo, BackboneManager(topo, neighbor_bs)
+
+
+def make_conn(cell="A"):
+    return Connection(src=f"air:{cell}", dst="server", qos=audio_request())
+
+
+def test_setup_admits_and_provisions_branches():
+    topo, manager = build()
+    conn = make_conn("B")
+    setup = manager.setup_connection(conn, "B")
+    assert setup.result.accepted
+    assert conn.state is ConnectionState.ACTIVE
+    # Branches to both neighbors of B were provisioned.
+    assert setup.covered_neighbors == {"bs:A", "bs:C"}
+    assert setup.branch_buffers
+    # Branch buffers actually booked on backbone links.
+    reserved = [
+        link for link in topo.links
+        if any(str(k).startswith("('mc:") or isinstance(k, tuple)
+               for k in link.buffers)
+    ]
+    assert reserved
+
+
+def test_branch_failure_does_not_reject_primary():
+    topo, manager = build()
+    # Choke the access link toward bs:C so that branch becomes infeasible.
+    topo.link("router", "bs:C").reserve(9_999.0)
+    conn = make_conn("B")
+    setup = manager.setup_connection(conn, "B")
+    assert setup.result.accepted          # primary unaffected
+    assert "bs:C" in setup.tree.failed_leaves
+    assert setup.covered_neighbors == {"bs:A"}
+
+
+def test_primary_rejection_blocks_connection():
+    topo, manager = build()
+    topo.link("air:A", "bs:A").reserve(1_599.0)
+    conn = make_conn("A")
+    setup = manager.setup_connection(conn, "A")
+    assert not setup.result.accepted
+    assert conn.state is ConnectionState.BLOCKED
+    assert conn.conn_id not in manager.setups
+
+
+def test_teardown_releases_route_and_branch_buffers():
+    topo, manager = build()
+    conn = make_conn("B")
+    manager.setup_connection(conn, "B")
+    manager.teardown_connection(conn)
+    for link in topo.links:
+        assert conn.conn_id not in link.allocations
+        assert not any(
+            isinstance(k, tuple) and k[0] == f"mc:{conn.conn_id}"
+            for k in link.buffers
+        )
+
+
+def test_handoff_rebuilds_route_and_tree():
+    topo, manager = build()
+    conn = make_conn("A")
+    manager.setup_connection(conn, "A")
+    setup = manager.handoff(conn, "B", new_src="air:B")
+    assert setup.result.accepted
+    assert conn.state is ConnectionState.ACTIVE
+    assert conn.route[0] == "air:B"
+    assert conn.handoffs == 1
+    assert setup.covered_neighbors == {"bs:A", "bs:C"}
+    # The old wireless link no longer carries the connection.
+    assert conn.conn_id not in topo.link("air:A", "bs:A").allocations
+
+
+def test_handoff_failure_drops_connection():
+    topo, manager = build()
+    conn = make_conn("A")
+    manager.setup_connection(conn, "A")
+    # Saturate the target cell's wireless link at the floor level so even a
+    # handoff cannot fit (no advance reservations exist on the backbone).
+    topo.link("air:B", "bs:B").admit("bg", 1_600.0)
+    with pytest.raises(Exception):
+        # No QoS-feasible route exists: qos_route raises.
+        manager.handoff(conn, "B", new_src="air:B")
+    assert conn.state is ConnectionState.DROPPED
+
+
+def test_handoff_of_unknown_connection_raises():
+    topo, manager = build()
+    conn = make_conn("A")
+    with pytest.raises(KeyError):
+        manager.handoff(conn, "B", new_src="air:B")

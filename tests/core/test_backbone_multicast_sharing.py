@@ -1,0 +1,86 @@
+"""Multicast buffer sharing and re-rooting details (Section 4)."""
+
+import pytest
+
+from repro.core import BackboneManager, audio_request, video_request
+from repro.network import campus_backbone
+from repro.traffic import Connection
+
+
+def build():
+    topo = campus_backbone(["A", "B", "C"], servers=["server"])
+    neighbor_bs = {
+        "A": ["bs:B"],
+        "B": ["bs:A", "bs:C"],
+        "C": ["bs:B"],
+    }
+    return topo, BackboneManager(topo, neighbor_bs)
+
+
+def test_shared_tree_hop_holds_one_buffer_copy():
+    """Branches to bs:A and bs:C share the bs:B -> router hop: the stream
+    flows once on the shared hop, so exactly one buffer is booked there."""
+    topo, manager = build()
+    conn = Connection(src="air:B", dst="server", qos=video_request())
+    setup = manager.setup_connection(conn, "B")
+    assert setup.result.accepted
+    shared = topo.link("bs:B", "router")
+    per_link = conn.qos.flowspec.sigma + conn.qos.flowspec.l_max
+    key = (f"mc:{conn.conn_id}", shared.key)
+    assert shared.buffers[key] == pytest.approx(per_link)
+    # The two fan-out hops each hold one copy as well.
+    for leaf_hop in (("router", "bs:A"), ("router", "bs:C")):
+        link = topo.link(*leaf_hop)
+        assert link.buffers[(f"mc:{conn.conn_id}", link.key)] == pytest.approx(
+            per_link
+        )
+
+
+def test_multicast_disabled_option():
+    topo, manager = build()
+    conn = Connection(src="air:B", dst="server", qos=audio_request())
+    setup = manager.setup_connection(conn, "B", multicast=False)
+    assert setup.result.accepted
+    assert setup.tree is None
+    assert setup.branch_buffers == []
+
+
+def test_two_connections_hold_independent_branch_buffers():
+    topo, manager = build()
+    conn1 = Connection(src="air:B", dst="server", qos=audio_request())
+    conn2 = Connection(src="air:B", dst="server", qos=audio_request())
+    manager.setup_connection(conn1, "B")
+    manager.setup_connection(conn2, "B")
+    shared = topo.link("bs:B", "router")
+    keys = {k for k in shared.buffers if isinstance(k, tuple)}
+    assert (f"mc:{conn1.conn_id}", shared.key) in keys
+    assert (f"mc:{conn2.conn_id}", shared.key) in keys
+    # Tearing down one leaves the other intact.
+    manager.teardown_connection(conn1)
+    assert (f"mc:{conn1.conn_id}", shared.key) not in shared.buffers
+    assert (f"mc:{conn2.conn_id}", shared.key) in shared.buffers
+
+
+def test_rapid_handoff_chain_keeps_state_consistent():
+    """A -> B -> C -> B chain: after each handoff exactly one primary route
+    and one branch set exist."""
+    topo, manager = build()
+    conn = Connection(src="air:A", dst="server", qos=audio_request())
+    manager.setup_connection(conn, "A")
+    for cell, src in (("B", "air:B"), ("C", "air:C"), ("B", "air:B")):
+        setup = manager.handoff(conn, cell, new_src=src)
+        assert setup.result.accepted
+        # Exactly one wireless link carries the connection.
+        carrying = [
+            l.key for l in topo.links
+            if conn.conn_id in l.allocations and str(l.src).startswith("air:")
+        ]
+        assert carrying == [(src, f"bs:{cell}")]
+    assert conn.handoffs == 3
+    manager.teardown_connection(conn)
+    for link in topo.links:
+        assert conn.conn_id not in link.allocations
+        assert not any(
+            isinstance(k, tuple) and k[0] == f"mc:{conn.conn_id}"
+            for k in link.buffers
+        )

@@ -1,0 +1,174 @@
+"""Tests for the cell-type learning process."""
+
+import random
+
+import pytest
+
+from repro.core import CellBehaviorClassifier, CellFeatures, extract_features
+from repro.profiles import CellClass
+
+
+def features(**overrides):
+    base = dict(
+        top_user_share=0.2,
+        distinct_users=40,
+        directionality=0.4,
+        mean_dwell_slots=5.0,
+        peak_to_mean=1.5,
+        quiet_fraction=0.1,
+        roughness=0.6,
+        linear_advantage=0.0,
+    )
+    base.update(overrides)
+    return CellFeatures(**base)
+
+
+def test_office_rule():
+    clf = CellBehaviorClassifier()
+    office = features(top_user_share=0.95, distinct_users=4)
+    assert clf.classify(office) is CellClass.OFFICE
+
+
+def test_corridor_rule():
+    clf = CellBehaviorClassifier()
+    corridor = features(directionality=0.9, mean_dwell_slots=0.3)
+    assert clf.classify(corridor) is CellClass.CORRIDOR
+
+
+def test_meeting_room_rule():
+    clf = CellBehaviorClassifier()
+    meeting = features(peak_to_mean=6.0, quiet_fraction=0.8)
+    assert clf.classify(meeting) is CellClass.MEETING_ROOM
+
+
+def test_cafeteria_rule():
+    clf = CellBehaviorClassifier()
+    cafeteria = features(roughness=0.1)
+    assert clf.classify(cafeteria) is CellClass.CAFETERIA
+
+
+def test_default_fallback():
+    clf = CellBehaviorClassifier()
+    assert clf.classify(features()) is CellClass.DEFAULT
+
+
+def test_unknown_with_too_few_observations():
+    clf = CellBehaviorClassifier(min_observations=20)
+    assert clf.classify(features(top_user_share=0.99), observations=5) is (
+        CellClass.UNKNOWN
+    )
+
+
+def test_extract_features_user_concentration():
+    f = extract_features(
+        slot_counts=[1, 1, 1],
+        user_visits={"a": 90, "b": 5, "c": 5},
+        transitions={},
+        mean_dwell_slots=3.0,
+        top_k=1,
+    )
+    assert f.top_user_share == pytest.approx(0.90)
+    assert f.distinct_users == 3
+    spread = extract_features(
+        slot_counts=[1],
+        user_visits={f"u{i}": 1 for i in range(20)},
+        transitions={},
+        mean_dwell_slots=1.0,
+    )
+    assert spread.top_user_share == pytest.approx(0.25)  # 5 of 20
+
+
+def test_extract_features_directionality_needs_samples():
+    f = extract_features(
+        slot_counts=[1],
+        user_visits={},
+        transitions={"C": {"E": 2}},  # only 2 samples: below threshold
+        mean_dwell_slots=1.0,
+    )
+    assert f.directionality == 0.0
+    f2 = extract_features(
+        slot_counts=[1],
+        user_visits={},
+        transitions={"C": {"E": 9, "A": 1}},
+        mean_dwell_slots=1.0,
+    )
+    assert f2.directionality == pytest.approx(0.9)
+
+
+def test_extract_features_burstiness():
+    spiky = [0, 0, 0, 20, 1, 0, 0, 0, 18, 0]
+    f = extract_features(spiky, {}, {}, mean_dwell_slots=3.0)
+    assert f.peak_to_mean > 1.4
+    assert f.quiet_fraction == pytest.approx(0.7)
+
+
+def test_extract_features_empty_inputs():
+    f = extract_features([], {}, {}, mean_dwell_slots=0.0)
+    assert f.quiet_fraction == 1.0
+    assert f.peak_to_mean == 0.0
+    assert f.top_user_share == 0.0
+
+
+def test_end_to_end_synthetic_behaviors():
+    """Feature extraction + rules separate synthetic per-class workloads."""
+    rng = random.Random(4)
+    clf = CellBehaviorClassifier()
+
+    # Office: few users, most visits by one person, steady low counts.
+    office = clf.classify(
+        extract_features(
+            slot_counts=[rng.randint(0, 2) for _ in range(48)],
+            user_visits={"owner": 60, "guest": 4},
+            transitions={"hall": {"hall": 30}},
+            mean_dwell_slots=20.0,
+        )
+    )
+    assert office is CellClass.OFFICE
+
+    # Corridor: many users, strong directionality, sub-slot dwells.
+    corridor = clf.classify(
+        extract_features(
+            slot_counts=[rng.randint(2, 6) for _ in range(48)],
+            user_visits={f"u{i}": 2 for i in range(80)},
+            transitions={"west": {"east": 47, "west": 3}},
+            mean_dwell_slots=0.2,
+        )
+    )
+    assert corridor is CellClass.CORRIDOR
+
+    # Meeting room: silent except two spikes.
+    counts = [0] * 48
+    counts[10] = 30
+    counts[25] = 28
+    meeting = clf.classify(
+        extract_features(
+            counts,
+            user_visits={f"u{i}": 1 for i in range(58)},
+            transitions={},
+            mean_dwell_slots=14.0,
+        )
+    )
+    assert meeting is CellClass.MEETING_ROOM
+
+    # Cafeteria: smooth hump.
+    hump = [round(10 * min(i, 48 - i) / 24) for i in range(48)]
+    cafeteria = clf.classify(
+        extract_features(
+            hump,
+            user_visits={f"u{i}": 1 for i in range(200)},
+            transitions={},
+            mean_dwell_slots=25.0,
+        )
+    )
+    assert cafeteria is CellClass.CAFETERIA
+
+    # Default: rough random counts.
+    default = clf.classify(
+        extract_features(
+            [rng.choice([0, 1, 5, 9]) for _ in range(48)],
+            user_visits={f"u{i}": 1 for i in range(100)},
+            transitions={"a": {"b": 5, "c": 5, "d": 4}},
+            mean_dwell_slots=5.0,
+        )
+    )
+    assert default is CellClass.DEFAULT

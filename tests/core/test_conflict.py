@@ -1,0 +1,131 @@
+"""Tests for the centralized conflict resolver."""
+
+import pytest
+
+from repro.core import ConflictResolver, QoSBounds, QoSRequest
+from repro.network import line_topology
+from repro.network.routing import shortest_path
+from repro.traffic import Connection, FlowSpec
+
+
+def admit(topo, src, dst, b_min, b_max, cid):
+    qos = QoSRequest(
+        flowspec=FlowSpec(sigma=1.0, rho=b_min),
+        bounds=QoSBounds(b_min, b_max),
+    )
+    conn = Connection(src=src, dst=dst, qos=qos, conn_id=cid)
+    route = shortest_path(topo, src, dst)
+    conn.activate(route, b_min, 0.0)
+    for link in topo.path_links(route):
+        link.admit(cid, b_min)
+    return conn
+
+
+def test_static_connections_share_excess():
+    topo = line_topology(2, capacity=100.0)
+    resolver = ConflictResolver(topo)
+    c1 = admit(topo, "s0", "s1", 10.0, 1000.0, "c1")
+    c2 = admit(topo, "s0", "s1", 10.0, 1000.0, "c2")
+    resolver.track(c1, static_portable=True)
+    resolver.track(c2, static_portable=True)
+    shares = resolver.resolve()
+    assert shares["c1"] == pytest.approx(40.0)
+    assert shares["c2"] == pytest.approx(40.0)
+    assert c1.rate == pytest.approx(50.0)
+
+
+def test_mobile_connections_get_no_excess():
+    topo = line_topology(2, capacity=100.0)
+    resolver = ConflictResolver(topo)
+    static = admit(topo, "s0", "s1", 10.0, 1000.0, "static")
+    mobile = admit(topo, "s0", "s1", 10.0, 1000.0, "mobile")
+    resolver.track(static, static_portable=True)
+    resolver.track(mobile, static_portable=False)
+    shares = resolver.resolve()
+    assert shares["mobile"] == 0.0
+    assert static.rate == pytest.approx(90.0)
+    assert mobile.rate == pytest.approx(10.0)
+
+
+def test_rate_clamped_at_b_max():
+    topo = line_topology(2, capacity=1000.0)
+    resolver = ConflictResolver(topo)
+    conn = admit(topo, "s0", "s1", 10.0, 60.0, "c")
+    resolver.track(conn, static_portable=True)
+    resolver.resolve()
+    assert conn.rate == 60.0
+
+
+def test_set_static_flips_demand():
+    topo = line_topology(2, capacity=100.0)
+    resolver = ConflictResolver(topo)
+    conn = admit(topo, "s0", "s1", 10.0, 1000.0, "c")
+    resolver.track(conn, static_portable=False)
+    resolver.resolve()
+    assert conn.rate == 10.0
+    resolver.set_static("c", True)
+    resolver.resolve()
+    assert conn.rate == pytest.approx(100.0)
+
+
+def test_newcomer_squeezes_excess_but_not_floors():
+    """Conflict case (b): the new floor fits because excess is reclaimable."""
+    topo = line_topology(2, capacity=100.0)
+    resolver = ConflictResolver(topo)
+    resident = admit(topo, "s0", "s1", 10.0, 1000.0, "resident")
+    resolver.track(resident, static_portable=True)
+    resolver.resolve()
+    assert resident.rate == pytest.approx(100.0)  # using everything
+
+    link = topo.link("s0", "s1")
+    route_keys = [link.key]
+    assert resolver.squeeze_for(route_keys, b_min=50.0)
+    newcomer = admit(topo, "s0", "s1", 50.0, 50.0, "newcomer")
+    resolver.track(newcomer, static_portable=False)
+    resolver.resolve()
+    assert resident.rate == pytest.approx(50.0)  # squeezed, floor intact
+    assert resident.rate >= resident.b_min
+    # But a floor beyond the remaining headroom does not fit.
+    assert not resolver.squeeze_for(route_keys, b_min=45.0)
+
+
+def test_untrack_returns_capacity():
+    topo = line_topology(2, capacity=100.0)
+    resolver = ConflictResolver(topo)
+    c1 = admit(topo, "s0", "s1", 10.0, 1000.0, "c1")
+    c2 = admit(topo, "s0", "s1", 10.0, 1000.0, "c2")
+    resolver.track(c1, True)
+    resolver.track(c2, True)
+    resolver.resolve()
+    topo.link("s0", "s1").release("c2")
+    resolver.untrack("c2")
+    resolver.resolve()
+    assert c1.rate == pytest.approx(100.0)
+
+
+def test_track_requires_route():
+    topo = line_topology(2)
+    resolver = ConflictResolver(topo)
+    conn = Connection(
+        src="s0",
+        dst="s1",
+        qos=QoSRequest(
+            flowspec=FlowSpec(sigma=1.0, rho=10.0), bounds=QoSBounds(10.0, 20.0)
+        ),
+    )
+    with pytest.raises(ValueError):
+        resolver.track(conn, True)
+
+
+def test_best_effort_connections_ignored():
+    topo = line_topology(2, capacity=100.0)
+    resolver = ConflictResolver(topo)
+    conn = Connection(
+        src="s0",
+        dst="s1",
+        qos=QoSRequest(flowspec=FlowSpec(sigma=1.0, rho=5.0), bounds=None),
+    )
+    conn.activate(["s0", "s1"], 0.0, 0.0)
+    resolver.track(conn, True)
+    shares = resolver.resolve()
+    assert conn.conn_id not in shares

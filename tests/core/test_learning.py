@@ -1,0 +1,86 @@
+"""Tests for the online cell-type learner (Section 6.4)."""
+
+import random
+
+import pytest
+
+from repro.core import CellTypeLearner
+from repro.profiles import CellClass
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        CellTypeLearner("c", slot_window=2)
+
+
+def test_unknown_until_enough_observations():
+    learner = CellTypeLearner("c")
+    for i in range(5):
+        learner.observe_entry(f"u{i}", "hall", now=i * 10.0)
+    learner.close_slot()
+    assert learner.classify() is CellClass.UNKNOWN
+
+
+def test_dwell_times_from_entry_exit_pairs():
+    learner = CellTypeLearner("c", slot_duration=60.0)
+    learner.observe_entry("u", "west", now=0.0)
+    learner.observe_exit("u", "east", now=120.0)
+    features = learner.features()
+    assert features.mean_dwell_slots == pytest.approx(2.0)
+
+
+def test_transitions_recorded_with_previous_cell():
+    learner = CellTypeLearner("c")
+    for i in range(10):
+        learner.observe_entry(f"u{i}", "west", now=float(i))
+        learner.observe_exit(f"u{i}", "east", now=float(i) + 0.5)
+        learner.close_slot()
+    features = learner.features()
+    assert features.directionality == pytest.approx(1.0)
+
+
+def test_learns_office_from_behavior():
+    learner = CellTypeLearner("office?", slot_duration=60.0)
+    now = 0.0
+    for day in range(20):
+        learner.observe_entry("owner", "hall", now)
+        learner.observe_exit("owner", "hall", now + 3000.0)
+        now += 3600.0
+        learner.close_slot()
+        for _ in range(10):
+            learner.close_slot()  # long quiet stretches between visits
+    assert learner.classify() is CellClass.OFFICE
+
+
+def test_learns_corridor_from_behavior():
+    rng = random.Random(2)
+    learner = CellTypeLearner("corridor?", slot_duration=60.0)
+    now = 0.0
+    for i in range(120):
+        pid = f"walker-{i}"
+        learner.observe_entry(pid, "west", now)
+        learner.observe_exit(pid, "east", now + 10.0)
+        now += 30.0
+        if i % 2 == 0:
+            learner.close_slot()
+    assert learner.classify() is CellClass.CORRIDOR
+
+
+def test_learns_meeting_room_from_behavior():
+    learner = CellTypeLearner("room?", slot_duration=600.0)
+    now = 0.0
+    # Two bursts separated by silence.
+    for burst_start in (3600.0, 4 * 3600.0):
+        for i in range(25):
+            learner.observe_entry(f"a{burst_start}-{i}", "hall", burst_start)
+        learner.close_slot()
+        for _ in range(5):
+            learner.close_slot()
+    assert learner.classify() is CellClass.MEETING_ROOM
+
+
+def test_exit_without_entry_is_tolerated():
+    learner = CellTypeLearner("c")
+    learner.observe_exit("stranger", "east", now=5.0)
+    features = learner.features()
+    assert features.mean_dwell_slots == 0.0

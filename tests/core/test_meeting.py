@@ -1,0 +1,143 @@
+"""Tests for the meeting-room advance reservation process."""
+
+import pytest
+
+from repro.core import CellReservations, MeetingRoomReservation
+from repro.des import Environment
+from repro.network import Link
+from repro.profiles import BookingCalendar, Meeting
+
+
+def build(meeting, per_user=16.0, distribution=None):
+    env = Environment()
+    room_link = Link("bs:room", "air:room", capacity=1600.0)
+    hall_link = Link("bs:hall", "air:hall", capacity=1600.0)
+    room = CellReservations(room_link)
+    hall = CellReservations(hall_link)
+    process = MeetingRoomReservation(
+        env,
+        "room",
+        room,
+        {"hall": hall},
+        handoff_distribution=(lambda: distribution or {}),
+        per_user_bandwidth=per_user,
+        delta_s=600.0,
+        delta_a=300.0,
+        start_release=300.0,
+        end_release=900.0,
+    )
+    env.process(process.run(BookingCalendar([meeting])))
+    return env, process, room, hall
+
+
+MEETING = Meeting(start=2000.0, end=6000.0, attendees=5)
+
+
+def test_no_reservation_before_window():
+    env, process, room, _ = build(MEETING)
+    env.run(until=MEETING.start - 601.0)
+    assert room.aggregate_for(process.tag) == 0.0
+
+
+def test_full_reservation_at_window_open():
+    env, process, room, _ = build(MEETING)
+    env.run(until=MEETING.start - 599.0)
+    assert room.aggregate_for(process.tag) == pytest.approx(5 * 16.0)
+
+
+def test_reservation_shrinks_with_arrivals():
+    env, process, room, _ = build(MEETING)
+    env.run(until=MEETING.start - 100.0)
+    process.attendee_arrived()
+    process.attendee_arrived()
+    assert room.aggregate_for(process.tag) == pytest.approx(3 * 16.0)
+    for _ in range(3):
+        process.attendee_arrived()
+    assert room.aggregate_for(process.tag) == 0.0
+
+
+def test_overfull_meeting_never_negative():
+    env, process, room, _ = build(MEETING)
+    env.run(until=MEETING.start - 100.0)
+    for _ in range(8):  # more than expected show up
+        process.attendee_arrived()
+    assert room.aggregate_for(process.tag) == 0.0
+
+
+def test_start_timer_releases_unused():
+    env, process, room, _ = build(MEETING)
+    env.run(until=MEETING.start - 100.0)
+    process.attendee_arrived()  # only 1 of 5 shows up
+    env.run(until=MEETING.start + 301.0)
+    assert room.aggregate_for(process.tag) == 0.0
+
+
+def test_outbound_reservations_sized_by_present_attendees():
+    env, process, room, hall = build(MEETING, distribution={"hall": 1.0})
+    env.run(until=MEETING.start - 100.0)
+    for _ in range(4):
+        process.attendee_arrived()
+    env.run(until=MEETING.end - 299.0)
+    # 4 attendees present -> hall reserves for 4 leavers.
+    assert hall.aggregate_for(process.tag) == pytest.approx(4 * 16.0)
+    process.attendee_left()
+    assert hall.aggregate_for(process.tag) == pytest.approx(3 * 16.0)
+
+
+def test_outbound_split_by_handoff_distribution():
+    env = Environment()
+    room = CellReservations(Link("a", "b", capacity=1600.0))
+    left = CellReservations(Link("c", "d", capacity=1600.0))
+    right = CellReservations(Link("e", "f", capacity=1600.0))
+    process = MeetingRoomReservation(
+        env,
+        "room",
+        room,
+        {"left": left, "right": right},
+        handoff_distribution=lambda: {"left": 0.75, "right": 0.25},
+        per_user_bandwidth=16.0,
+    )
+    meeting = Meeting(start=1000.0, end=3000.0, attendees=4)
+    env.process(process.run(BookingCalendar([meeting])))
+    env.run(until=meeting.start - 100.0)
+    for _ in range(4):
+        process.attendee_arrived()
+    env.run(until=meeting.end - 200.0)
+    assert left.aggregate_for(process.tag) == pytest.approx(4 * 0.75 * 16.0)
+    assert right.aggregate_for(process.tag) == pytest.approx(4 * 0.25 * 16.0)
+
+
+def test_uniform_fallback_without_history():
+    env, process, room, hall = build(MEETING, distribution=None)
+    env.run(until=MEETING.start - 100.0)
+    process.attendee_arrived()
+    env.run(until=MEETING.end - 200.0)
+    # Single neighbor -> uniform split is 100% to the hall.
+    assert hall.aggregate_for(process.tag) == pytest.approx(16.0)
+
+
+def test_end_timer_releases_neighbors():
+    env, process, room, hall = build(MEETING, distribution={"hall": 1.0})
+    env.run(until=MEETING.start - 100.0)
+    for _ in range(5):
+        process.attendee_arrived()
+    env.run(until=MEETING.end + 901.0)
+    assert hall.aggregate_for(process.tag) == 0.0
+
+
+def test_back_to_back_meetings_served_in_order():
+    env = Environment()
+    room = CellReservations(Link("a", "b", capacity=1600.0))
+    hall = CellReservations(Link("c", "d", capacity=1600.0))
+    process = MeetingRoomReservation(
+        env, "room", room, {"hall": hall},
+        handoff_distribution=lambda: {"hall": 1.0},
+        per_user_bandwidth=16.0, end_release=300.0,
+    )
+    cal = BookingCalendar([
+        Meeting(start=1000.0, end=2000.0, attendees=2),
+        Meeting(start=4000.0, end=5000.0, attendees=7),
+    ])
+    env.process(process.run(cal))
+    env.run(until=3500.0)
+    assert room.aggregate_for(process.tag) == pytest.approx(7 * 16.0)

@@ -1,0 +1,161 @@
+"""Tests for the DES environment: clock, ordering, run semantics."""
+
+import pytest
+
+from repro.des import EmptySchedule, Environment
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(3)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [3.0]
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run(until=10)
+    assert env.now == 10.0
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=5)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_run_without_until_drains_queue():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 7.0
+
+
+def test_events_at_same_time_fire_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abcd":
+        env.process(proc(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(4)
+    env.timeout(2)
+    assert env.peek() == 2.0
+
+
+def test_peek_empty_is_infinite():
+    assert Environment().peek() == float("inf")
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return "done"
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == "done"
+
+
+def test_run_until_never_fired_event_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        env.run(until=ev)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_zero_delay_timeout_fires_at_now():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [0.0]
+
+
+def test_nested_process_spawning():
+    env = Environment()
+    log = []
+
+    def child(env, k):
+        yield env.timeout(k)
+        log.append(("child", k, env.now))
+
+    def parent(env):
+        yield env.timeout(1)
+        yield env.process(child(env, 2))
+        log.append(("parent", env.now))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [("child", 2, 3.0), ("parent", 3.0)]
+
+
+def test_deterministic_replay():
+    """Two identical runs produce identical event interleavings."""
+
+    def build_and_run():
+        env = Environment()
+        log = []
+
+        def ping(env, name, period):
+            while env.now < 20:
+                log.append((name, env.now))
+                yield env.timeout(period)
+
+        env.process(ping(env, "a", 3))
+        env.process(ping(env, "b", 5))
+        env.run(until=20)
+        return log
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,48 @@
+"""Tests for instrumentation probes."""
+
+import pytest
+
+from repro.des import Environment, TimeSeriesProbe, periodic_sampler
+
+
+def test_probe_records_samples():
+    probe = TimeSeriesProbe("load")
+    probe.record(0, 1.0)
+    probe.record(2, 3.0)
+    assert probe.times == [0, 2]
+    assert probe.values == [1.0, 3.0]
+    assert probe.last() == (2, 3.0)
+    assert len(probe) == 2
+
+
+def test_probe_time_average_piecewise_constant():
+    probe = TimeSeriesProbe()
+    probe.record(0, 10.0)
+    probe.record(5, 20.0)
+    # 10 for 5 units, then 20 for 5 units -> 15
+    assert probe.time_average(until=10) == pytest.approx(15.0)
+
+
+def test_probe_time_average_empty_raises():
+    with pytest.raises(ValueError):
+        TimeSeriesProbe().time_average()
+
+
+def test_probe_single_sample_average_is_value():
+    probe = TimeSeriesProbe()
+    probe.record(3, 7.0)
+    assert probe.time_average(until=3) == 7.0
+
+
+def test_periodic_sampler_runs_on_schedule():
+    env = Environment()
+    probe = TimeSeriesProbe()
+    counter = {"n": 0}
+
+    def fn():
+        counter["n"] += 1
+        return counter["n"]
+
+    env.process(periodic_sampler(env, probe, fn, period=2))
+    env.run(until=7)
+    assert probe.samples == [(0.0, 1), (2.0, 2), (4.0, 3), (6.0, 4)]

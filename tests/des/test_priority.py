@@ -1,0 +1,166 @@
+"""Tests for priority and preemptive resources."""
+
+import pytest
+
+from repro.des import (
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+)
+
+
+def test_priority_queue_ordering():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(10)
+
+    def waiter(env, res, name, priority, delay):
+        yield env.timeout(delay)
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env, res))
+    env.process(waiter(env, res, "low-early", 5, 1))
+    env.process(waiter(env, res, "high-late", 1, 2))
+    env.process(waiter(env, res, "mid", 3, 3))
+    env.run()
+    assert order == ["high-late", "mid", "low-early"]
+
+
+def test_priority_fifo_within_same_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def waiter(env, res, name, delay):
+        yield env.timeout(delay)
+        with res.request(priority=2) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env, res))
+    for i in range(3):
+        env.process(waiter(env, res, i, i + 1))
+    env.run()
+    assert order == [0, 1, 2]
+
+
+def test_preemptive_resource_evicts_lower_priority():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    events = []
+
+    def background(env, res):
+        with res.request(priority=5) as req:
+            yield req
+            try:
+                yield env.timeout(100)
+                events.append("background-finished")
+            except Interrupt as interrupt:
+                events.append(("preempted", env.now))
+                assert isinstance(interrupt.cause, Preempted)
+                assert interrupt.cause.usage_since == 0.0
+
+    def urgent(env, res):
+        yield env.timeout(3)
+        with res.request(priority=0) as req:
+            yield req
+            events.append(("urgent-granted", env.now))
+            yield env.timeout(1)
+
+    env.process(background(env, res))
+    env.process(urgent(env, res))
+    env.run()
+    assert ("preempted", 3.0) in events
+    assert ("urgent-granted", 3.0) in events
+    assert "background-finished" not in events
+
+
+def test_preemption_skipped_for_equal_or_higher_priority_holder():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    events = []
+
+    def holder(env, res):
+        with res.request(priority=1) as req:
+            yield req
+            yield env.timeout(10)
+            events.append("holder-done")
+
+    def challenger(env, res):
+        yield env.timeout(2)
+        with res.request(priority=1) as req:  # equal priority: must wait
+            yield req
+            events.append(("challenger", env.now))
+
+    env.process(holder(env, res))
+    env.process(challenger(env, res))
+    env.run()
+    assert events == ["holder-done", ("challenger", 10.0)]
+
+
+def test_non_preempting_request_waits():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    events = []
+
+    def background(env, res):
+        with res.request(priority=5) as req:
+            yield req
+            yield env.timeout(10)
+            events.append("background-done")
+
+    def polite(env, res):
+        yield env.timeout(1)
+        with res.request(priority=0, preempt=False) as req:
+            yield req
+            events.append(("polite", env.now))
+
+    env.process(background(env, res))
+    env.process(polite(env, res))
+    env.run()
+    assert events == ["background-done", ("polite", 10.0)]
+
+
+def test_preempted_victim_can_retry():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def background(env, res):
+        while True:
+            with res.request(priority=5) as req:
+                yield req
+                try:
+                    yield env.timeout(20)
+                    log.append(("bg-done", env.now))
+                    return
+                except Interrupt:
+                    log.append(("bg-evicted", env.now))
+
+    def urgent(env, res):
+        yield env.timeout(4)
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(2)
+            log.append(("urgent-done", env.now))
+
+    env.process(background(env, res))
+    env.process(urgent(env, res))
+    env.run()
+    assert log == [("bg-evicted", 4.0), ("urgent-done", 6.0), ("bg-done", 26.0)]

@@ -1,0 +1,263 @@
+"""Tests for Resource, Container, Store, FilterStore."""
+
+import pytest
+
+from repro.des import Container, Environment, FilterStore, Resource, Store
+
+
+# -- Resource --------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(env, res, name, hold):
+        with res.request() as req:
+            yield req
+            granted.append((name, env.now))
+            yield env.timeout(hold)
+
+    for name, hold in [("a", 5), ("b", 5), ("c", 5)]:
+        env.process(user(env, res, name, hold))
+    env.run()
+    assert granted == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_count_tracks_users():
+    env = Environment()
+    res = Resource(env, capacity=3)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(2)
+
+    env.process(user(env, res))
+    env.process(user(env, res))
+    env.run(until=1)
+    assert res.count == 2
+    env.run()
+    assert res.count == 0
+
+
+def test_queued_request_cancellation_releases_slot():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def quitter(env, res):
+        req = res.request()
+        yield env.timeout(1)
+        req.cancel()
+        order.append("quit")
+
+    def patient(env, res):
+        with res.request() as req:
+            yield req
+            order.append(("granted", env.now))
+
+    env.process(holder(env, res))
+    env.process(quitter(env, res))
+    env.process(patient(env, res))
+    env.run()
+    assert order == ["quit", ("granted", 10.0)]
+
+
+def test_resource_fifo_fairness():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    for name in range(5):
+        env.process(user(env, res, name))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+# -- Container ---------------------------------------------------------------
+
+def test_container_level_tracking():
+    env = Environment()
+    tank = Container(env, capacity=100, init=50)
+
+    def proc(env, tank):
+        yield tank.get(30)
+        assert tank.level == 20
+        yield tank.put(60)
+        assert tank.level == 80
+
+    env.process(proc(env, tank))
+    env.run()
+    assert tank.level == 80
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    tank = Container(env, capacity=10, init=0)
+    times = []
+
+    def consumer(env, tank):
+        yield tank.get(5)
+        times.append(env.now)
+
+    def producer(env, tank):
+        yield env.timeout(3)
+        yield tank.put(5)
+
+    env.process(consumer(env, tank))
+    env.process(producer(env, tank))
+    env.run()
+    assert times == [3.0]
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    times = []
+
+    def producer(env, tank):
+        yield tank.put(4)
+        times.append(env.now)
+
+    def consumer(env, tank):
+        yield env.timeout(2)
+        yield tank.get(4)
+
+    env.process(producer(env, tank))
+    env.process(consumer(env, tank))
+    env.run()
+    assert times == [2.0]
+
+
+def test_container_invariants_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.get(0)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+
+
+def test_container_head_of_line_blocking():
+    """A large head get must not be starved by smaller later gets."""
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    order = []
+
+    def getter(env, tank, amount, name):
+        yield tank.get(amount)
+        order.append(name)
+
+    def feeder(env, tank):
+        for _ in range(4):
+            yield env.timeout(1)
+            yield tank.put(5)
+
+    env.process(getter(env, tank, 20, "big"))
+    env.process(getter(env, tank, 1, "small"))
+    env.process(feeder(env, tank))
+    env.run()
+    assert order == ["big"]  # small still waiting: only 0 left after big took 20
+
+
+# -- Store / FilterStore -------------------------------------------------------
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env, store):
+        yield store.get()
+        times.append(env.now)
+
+    def producer(env, store):
+        yield env.timeout(6)
+        yield store.put("msg")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [6.0]
+
+
+def test_bounded_store_put_blocks():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env, store):
+        yield store.put("a")
+        yield store.put("b")
+        times.append(env.now)
+
+    def consumer(env, store):
+        yield env.timeout(4)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert times == [4.0]
+
+
+def test_filter_store_selects_matching_item():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(env, store):
+        for i in [1, 3, 4, 5]:
+            yield store.put(i)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [4]
+    assert store.items == [1, 3, 5]

@@ -1,0 +1,86 @@
+"""Tests for event-queue ordering guarantees (URGENT vs NORMAL, ties)."""
+
+from repro.des import NORMAL, URGENT, Environment, Event, Interrupt
+
+
+def test_urgent_events_precede_normal_at_same_time():
+    env = Environment()
+    order = []
+
+    normal = Event(env)
+    normal._ok = True
+    normal._value = None
+    normal.callbacks.append(lambda _e: order.append("normal"))
+    env.schedule(normal, priority=NORMAL, delay=1.0)
+
+    urgent = Event(env)
+    urgent._ok = True
+    urgent._value = None
+    urgent.callbacks.append(lambda _e: order.append("urgent"))
+    env.schedule(urgent, priority=URGENT, delay=1.0)
+
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_interrupt_scheduled_at_same_time_preempts_pending_timeout():
+    """An interrupt issued at time t, while the victim's timeout is also due
+    at t but not yet processed, wins: interrupts are URGENT."""
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(5.0)
+            log.append("timeout-won")
+        except Interrupt:
+            log.append("interrupt-won")
+
+    def attacker(env):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    # The attacker's timeout is inserted first, so at t=5 it is processed
+    # before the victim's; the interrupt it schedules is URGENT and jumps
+    # ahead of the victim's already-queued NORMAL timeout.
+    env.process(attacker(env))
+    target = env.process(victim(env))
+    env.run()
+    assert log == ["interrupt-won"]
+
+
+def test_insertion_order_breaks_ties_within_priority():
+    env = Environment()
+    order = []
+    for name in ("first", "second", "third"):
+        event = Event(env)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _e, n=name: order.append(n))
+        env.schedule(event, delay=2.0)
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_event_already_processed_returns_value():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("answer")
+    env.run()  # processes the event
+    assert ev.processed
+    assert env.run(until=ev) == "answer"
+
+
+def test_clock_never_goes_backwards():
+    env = Environment()
+    stamps = []
+
+    def proc(env, delays):
+        for d in delays:
+            yield env.timeout(d)
+            stamps.append(env.now)
+
+    env.process(proc(env, [3, 0, 2, 0, 1]))
+    env.process(proc(env, [1, 1, 1, 1, 1]))
+    env.run()
+    assert stamps == sorted(stamps)

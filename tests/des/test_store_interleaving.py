@@ -1,0 +1,108 @@
+"""Store/FilterStore behavior under contended interleavings."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Environment, FilterStore, Store
+
+
+def test_multiple_pending_getters_served_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store, name):
+        item = yield store.get()
+        got.append((name, item))
+
+    for name in "abc":
+        env.process(consumer(env, store, name))
+
+    def producer(env, store):
+        for i in range(3):
+            yield env.timeout(1)
+            yield store.put(i)
+
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("a", 0), ("b", 1), ("c", 2)]
+
+
+def test_filter_store_pending_predicates_matched_on_arrival():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def want(env, store, name, predicate):
+        item = yield store.get(predicate)
+        got.append((name, item))
+
+    env.process(want(env, store, "even", lambda x: x % 2 == 0))
+    env.process(want(env, store, "big", lambda x: x > 10))
+
+    def producer(env, store):
+        for item in (3, 12, 4):
+            yield env.timeout(1)
+            yield store.put(item)
+
+    env.process(producer(env, store))
+    env.run()
+    # Getter order is FIFO: "even" was first, so it claims 12 (the first
+    # item matching its predicate); "big" then never sees another match.
+    assert got == [("even", 12)]
+    assert store.items == [3, 4]
+
+
+def test_bounded_store_blocks_and_preserves_order():
+    env = Environment()
+    store = Store(env, capacity=2)
+    consumed = []
+
+    def producer(env, store):
+        for i in range(6):
+            yield store.put(i)
+
+    def consumer(env, store):
+        while len(consumed) < 6:
+            yield env.timeout(1)
+            item = yield store.get()
+            consumed.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert consumed == list(range(6))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_store_conserves_items(seed):
+    """Random producers/consumers: every item is delivered exactly once."""
+    rng = random.Random(seed)
+    env = Environment()
+    store = Store(env, capacity=rng.choice([1, 2, 5, float("inf")]))
+    n_items = rng.randint(1, 30)
+    received = []
+
+    def producer(env, store, items):
+        for item in items:
+            yield env.timeout(rng.random())
+            yield store.put(item)
+
+    def consumer(env, store, quota):
+        for _ in range(quota):
+            item = yield store.get()
+            received.append(item)
+            yield env.timeout(rng.random())
+
+    items = list(range(n_items))
+    split = rng.randint(0, n_items)
+    env.process(producer(env, store, items[:split]))
+    env.process(producer(env, store, items[split:]))
+    quota_a = rng.randint(0, n_items)
+    env.process(consumer(env, store, quota_a))
+    env.process(consumer(env, store, n_items - quota_a))
+    env.run(until=1000.0)
+    assert sorted(received) == items

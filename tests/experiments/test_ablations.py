@@ -1,0 +1,61 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments import (
+    mlist_overhead,
+    pool_fraction_sweep,
+    prediction_levels,
+    render_mlist_overhead,
+    render_pool_fraction,
+    render_prediction_levels,
+    render_static_vs_predictive,
+    static_vs_predictive,
+)
+
+
+def test_mlist_refinement_saves_messages_preserves_allocation():
+    rows = mlist_overhead(conns=5, switches=5, seeds=(3, 4))
+    for seed, refined_msgs, flooding_msgs, err_r, err_f in rows:
+        assert refined_msgs < flooding_msgs
+        assert err_r < 1e-3
+        assert err_f < 1e-3
+    assert "flooding" in render_mlist_overhead(rows)
+
+
+def test_prediction_level_contributions():
+    rows = {name: rate for name, _preds, rate in prediction_levels(seed=1996)}
+    full = rows["full three-level"]
+    assert full >= rows["level 1 only (portable profile)"]
+    assert full >= rows["level 2 only (cell profile)"]
+    assert full > 0.6
+    assert "three-level" in render_prediction_levels(list(rows.items()))
+
+
+def test_pool_fraction_monotone_drop_rate():
+    rows = pool_fraction_sweep(fractions=(0.0, 0.05, 0.10), trials=60)
+    rates = [rate for _f, _n, _d, rate in rows]
+    assert rates[0] >= rates[1] >= rates[2]
+    assert rates[0] > 0.5          # no pool: sudden movers mostly drop
+    assert rates[2] == 0.0         # a 10% pool covers a 16/160 connection
+    assert "B_dyn" in render_pool_fraction(rows)
+
+
+def test_static_vs_predictive_frontier():
+    rows = static_vs_predictive(
+        static_reserves=(0.0, 4.0),
+        p_qos_values=(0.005, 0.3),
+        seeds=(1, 2),
+        horizon=150.0,
+    )
+    static = rows["static"]
+    predictive = rows["predictive"]
+    assert len(static) == 2 and len(predictive) == 2
+    # Bigger static reserve: fewer drops, more blocks.
+    assert static[1][1] <= static[0][1]
+    assert static[1][2] >= static[0][2]
+    # Stricter P_QOS: fewer drops, more blocks.
+    assert predictive[0][1] <= predictive[1][1]
+    assert predictive[0][2] >= predictive[1][2]
+    text = render_static_vs_predictive(rows)
+    assert "predictive" in text and "static" in text

@@ -1,0 +1,38 @@
+"""Tests for the adaptation-value experiment."""
+
+import pytest
+
+from repro.experiments import render_adaptation_value, run_adaptation_value
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_adaptation_value(duration=120.0, seed=23)
+
+
+def test_policies_labelled(results):
+    assert [r.policy for r in results] == ["fixed", "adaptive"]
+
+
+def test_adaptive_keeps_delay_bounded(results):
+    fixed, adaptive = results
+    assert adaptive.mean_delay < 0.2
+    assert fixed.mean_delay > 1.0  # queues blow up during fades
+
+
+def test_adaptive_switches_layers_fixed_does_not(results):
+    fixed, adaptive = results
+    assert adaptive.layer_switches > 0
+    assert fixed.layer_switches == 0
+
+
+def test_goodputs_positive_and_plausible(results):
+    for r in results:
+        assert 100.0 < r.goodput < 1600.0
+        assert 0.0 <= r.loss_rate < 0.05
+
+
+def test_render(results):
+    text = render_adaptation_value(results)
+    assert "fading link" in text
+    assert "adaptive" in text

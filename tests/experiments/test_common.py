@@ -1,0 +1,52 @@
+"""Tests for the experiment rendering helpers."""
+
+from repro.experiments.common import format_series, format_table, sparkline
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(
+        ["name", "value"],
+        [("alpha", 1.5), ("b", 100)],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1].startswith("name")
+    assert set(lines[2]) <= {"-", " "}
+    # Columns align: 'value' entries start at the same offset.
+    offset = lines[1].index("value")
+    assert lines[3][offset:].startswith("1.5")
+    assert lines[4][offset:].startswith("100")
+
+
+def test_format_table_float_formatting():
+    text = format_table(["x"], [(0.00001234,), (3.0,), (123456.0,)])
+    assert "1.234e-05" in text
+    assert "\n3" in text
+    assert "1.235e+05" in text or "1.234e+05" in text
+
+
+def test_sparkline_scales_to_max():
+    line = sparkline([0, 1, 2, 4])
+    assert len(line) == 4
+    assert line[-1] == "█"
+    assert line[0] == " "
+
+
+def test_sparkline_downsamples_preserving_peaks():
+    values = [0.0] * 100
+    values[50] = 9.0
+    line = sparkline(values, width=10)
+    assert len(line) == 10
+    assert "█" in line  # the spike survives max-pooling
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_format_series_summary():
+    text = format_series("demo", [(0.0, 1), (1.0, 5), (2.0, 2)])
+    assert "total=8" in text
+    assert "peak=5" in text
+    assert text.startswith("demo")

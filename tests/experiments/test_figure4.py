@@ -1,0 +1,53 @@
+"""Tests for the Figure 4 office-case experiment."""
+
+import pytest
+
+from repro.experiments import render_figure4, run_figure4
+from repro.mobility import OFFICE_WEEK_TARGETS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure4(seed=1996)
+
+
+def test_split_close_to_paper_targets(result):
+    """Outcome counts are within a few journeys of Section 7.1's numbers
+    (return walks can occasionally intersect a forward journey)."""
+    for group, (a, b, away) in result.split.items():
+        ta, tb, taway = OFFICE_WEEK_TARGETS[group]
+        assert abs(a - ta) <= 3, group
+        assert abs(b - tb) <= 3, group
+        assert abs(away - taway) <= 5, group
+
+
+def test_brute_force_always_hits_but_wastes(result):
+    brute = result.strategies[0]
+    assert brute.hit_rate == 1.0
+    # Four neighbors of D: three of four reservations are always wasted.
+    assert brute.waste_rate == pytest.approx(0.75)
+
+
+def test_profile_strategies_beat_waste(result):
+    brute, aggregate, threelevel = result.strategies
+    assert aggregate.waste_rate < brute.waste_rate
+    assert threelevel.waste_rate < brute.waste_rate
+    assert threelevel.hit_rate >= aggregate.hit_rate
+
+
+def test_occupants_highly_predictable(result):
+    """Paper take-away (a): deterministic reservation for office occupants
+    is valid — occupant groups predict far better than passers-by."""
+    preds_f, hits_f = result.threelevel_by_group["faculty"]
+    preds_s, hits_s = result.threelevel_by_group["students"]
+    preds_o, hits_o = result.threelevel_by_group["others"]
+    assert hits_f / preds_f > 0.7
+    assert hits_s / preds_s > 0.8
+    assert hits_o / preds_o < 0.65
+
+
+def test_render_contains_tables(result):
+    text = render_figure4(result)
+    assert "Figure 4" in text
+    assert "brute-force" in text
+    assert "faculty" in text

@@ -1,0 +1,76 @@
+"""Tests for the Figure 5 meeting-room experiment."""
+
+import pytest
+
+from repro.experiments import (
+    Figure5Config,
+    POLICIES,
+    render_figure5,
+    run_figure5,
+    run_figure5_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_figure5_comparison()
+
+
+def test_offered_loads_match_paper(comparison):
+    lecture = comparison[(35, "meeting_room")].config
+    lab = comparison[(55, "meeting_room")].config
+    # Paper: 59% and 94%; the 75/25 16/64 kbps mix gives 61% / 96%.
+    assert lecture.offered_load == pytest.approx(0.61, abs=0.03)
+    assert lab.offered_load == pytest.approx(0.96, abs=0.03)
+
+
+def test_meeting_room_never_drops(comparison):
+    assert comparison[(35, "meeting_room")].drops == 0
+    assert comparison[(55, "meeting_room")].drops == 0
+
+
+def test_drop_ordering_matches_paper(comparison):
+    """Brute force >= aggregation >= meeting room, strict at high load."""
+    for students in (35, 55):
+        brute = comparison[(students, "brute_force")].drops
+        aggregate = comparison[(students, "aggregation")].drops
+        meeting = comparison[(students, "meeting_room")].drops
+        assert brute >= aggregate >= meeting
+    assert comparison[(55, "brute_force")] .drops > comparison[
+        (55, "aggregation")
+    ].drops
+    assert comparison[(55, "brute_force")].drops > 0
+
+
+def test_load_increases_drops(comparison):
+    assert (
+        comparison[(55, "brute_force")].drops
+        >= comparison[(35, "brute_force")].drops
+    )
+
+
+def test_activity_series_shapes(comparison):
+    """Figure 5 panels: entries cluster at the start, exits after the end."""
+    r = comparison[(55, "meeting_room")]
+    config = r.config
+    assert r.into_class.total == 55
+    assert r.out_of_class.total == 55
+    # All entries within the arrival window.
+    entry_peak_t, _ = r.into_class.peak()
+    assert config.start - 600.0 <= entry_peak_t <= config.start + 240.0
+    exit_peak_t, _ = r.out_of_class.peak()
+    assert config.end <= exit_peak_t <= config.end + 300.0
+    # Hall activity strictly exceeds classroom entries (walk-by traffic).
+    assert r.hall_at_start.total > r.into_class.total
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        run_figure5(Figure5Config(students=5), "magic")
+
+
+def test_render_includes_drop_table(comparison):
+    text = render_figure5(comparison)
+    assert "Connection drops per reservation policy" in text
+    assert "meeting_room" in text
+    assert "paper drops" in text

@@ -1,0 +1,50 @@
+"""Tests for the Figure 6 default-algorithm experiment."""
+
+import pytest
+
+from repro.experiments import (
+    render_figure6,
+    run_figure6,
+    run_plain_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    # A reduced sweep keeps the test fast; the bench runs the full figure.
+    return run_figure6(
+        windows=(0.05,),
+        p_qos_values=(0.001, 0.02, 0.3),
+        seeds=(1, 2),
+        horizon=200.0,
+    )
+
+
+def test_pb_decreases_along_each_curve(points):
+    """The paper's reading of Figure 6: P_b decreases with increasing P_d."""
+    curve = sorted(points, key=lambda p: p.p_qos)
+    p_bs = [p.p_b for p in curve]
+    assert p_bs == sorted(p_bs, reverse=True)
+    p_ds = [p.p_d for p in curve]
+    assert p_ds == sorted(p_ds)
+
+
+def test_curves_converge_to_plain_baseline(points):
+    baseline = run_plain_baseline(seeds=(1, 2), horizon=200.0)
+    loosest = max(points, key=lambda p: p.p_qos)
+    assert loosest.p_b == pytest.approx(baseline.p_b, abs=0.01)
+    assert loosest.p_d == pytest.approx(baseline.p_d, abs=0.01)
+
+
+def test_strict_pqos_keeps_pd_near_target(points):
+    strict = min(points, key=lambda p: p.p_qos)
+    # The design goal: measured P_d stays at or below ~P_QOS scale.
+    assert strict.p_d <= 5 * strict.p_qos + 0.002
+
+
+def test_render_lists_every_point(points):
+    baseline = run_plain_baseline(seeds=(1,), horizon=100.0)
+    text = render_figure6(points, baseline)
+    assert "Figure 6" in text
+    assert "plain" in text
+    assert text.count("\n") >= len(points) + 2

@@ -1,0 +1,51 @@
+"""Tests for the Table 2 admission experiment driver."""
+
+import pytest
+
+from repro.experiments import render_table2, run_table2
+from repro.network import Discipline
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return run_table2()
+
+
+def test_covers_both_disciplines_and_workloads(cases):
+    keys = {(c.name, c.discipline) for c in cases}
+    assert ("audio (static)", Discipline.WFQ) in keys
+    assert ("video (static)", Discipline.RCSP) in keys
+
+
+def test_accepted_and_rejected_cases_present(cases):
+    accepted = [c for c in cases if c.result.accepted]
+    rejected = [c for c in cases if not c.result.accepted]
+    assert len(accepted) == 5
+    assert len(rejected) == 1
+    assert rejected[0].result.reason == "delay"
+
+
+def test_static_vs_mobile_grants(cases):
+    static_audio = next(
+        c for c in cases
+        if c.name == "audio (static)" and c.discipline is Discipline.WFQ
+    )
+    mobile_audio = next(c for c in cases if c.name == "audio (mobile)")
+    assert static_audio.result.granted_rate == 64.0
+    assert mobile_audio.result.granted_rate == 16.0
+    assert mobile_audio.result.b_stamp == 0.0
+
+
+def test_per_hop_audit_lengths(cases):
+    for case in cases:
+        if case.result.accepted:
+            hops = len(case.route) - 1
+            assert len(case.result.hop_delays) == hops
+            assert len(case.result.hop_buffers) == hops
+
+
+def test_render_contains_per_hop_tables(cases):
+    text = render_table2(cases)
+    assert "Table 2" in text
+    assert "per-hop commitments" in text
+    assert "reject:delay" in text

@@ -1,0 +1,83 @@
+"""Integration of admission stamping with the adaptation protocol.
+
+Section 5.3.1: "in the forward pass of admission test ... the stamped rate
+is also reset to the smallest of the connection's b_max - b_min and the
+advertised rates of all links on the packet's forward route."  The
+:class:`AdmissionController` takes the advertised-rate function as a hook;
+here we wire it to a live :class:`AdaptationProtocol` and check that new
+static connections are stamped with the protocol's current view instead of
+raw unassigned capacity.
+"""
+
+import pytest
+
+from repro.core import AdaptationProtocol, AdmissionController, QoSBounds, QoSRequest
+from repro.des import Environment
+from repro.network import line_topology
+from repro.network.routing import shortest_path
+from repro.traffic import Connection, FlowSpec
+
+
+def make_conn(topo, src, dst, b_min, b_max, cid):
+    qos = QoSRequest(
+        flowspec=FlowSpec(sigma=1.0, rho=b_min),
+        bounds=QoSBounds(b_min, b_max),
+    )
+    return Connection(src=src, dst=dst, qos=qos, conn_id=cid)
+
+
+def test_stamp_uses_protocol_advertised_rates():
+    topo = line_topology(3, capacity=100.0)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    controller = AdmissionController(
+        topo,
+        advertised_rate=lambda link: protocol.link_states[link.key].advertised(),
+    )
+
+    # An incumbent static connection takes the whole excess first.
+    incumbent = make_conn(topo, "s0", "s2", 10.0, 1000.0, "incumbent")
+    result = controller.admit(
+        incumbent, shortest_path(topo, "s0", "s2"), static_portable=True
+    )
+    incumbent.activate(shortest_path(topo, "s0", "s2"), result.granted_rate, 0.0)
+    protocol.register_connection(incumbent, kickoff=True)
+    env.run()
+    assert protocol.rate_of("incumbent") == pytest.approx(100.0, abs=1e-3)
+
+    # A newcomer's stamp reflects the advertised fair share, not zero and
+    # not the raw leftover.
+    newcomer = make_conn(topo, "s0", "s2", 10.0, 1000.0, "newcomer")
+    result = controller.admit(
+        newcomer, shortest_path(topo, "s0", "s2"), static_portable=True
+    )
+    assert result.accepted
+    # With the protocol hook, the stamp is the advertised excess capped by
+    # the headroom after the newcomer's own floor (100 - 10 - 10 = 80).
+    # Without the hook it would be 0: the incumbent's excess grant consumes
+    # all *unassigned* capacity.
+    assert result.b_stamp == pytest.approx(80.0)
+    plain = AdmissionController(topo)
+    probe = plain.admit(
+        make_conn(topo, "s0", "s2", 10.0, 1000.0, "probe"),
+        shortest_path(topo, "s0", "s2"),
+        static_portable=True,
+        commit=False,
+    )
+    assert probe.b_stamp == pytest.approx(0.0)
+
+    # After registration the protocol settles both at the true max-min.
+    newcomer.activate(shortest_path(topo, "s0", "s2"), result.granted_rate, 0.0)
+    protocol.register_connection(newcomer)
+    env.run()
+    assert protocol.rate_of("incumbent") == pytest.approx(50.0, abs=1e-3)
+    assert protocol.rate_of("newcomer") == pytest.approx(50.0, abs=1e-3)
+
+
+def test_default_stamp_hook_uses_unassigned_capacity():
+    topo = line_topology(2, capacity=100.0)
+    controller = AdmissionController(topo)
+    conn = make_conn(topo, "s0", "s1", 10.0, 1000.0, "c")
+    result = controller.admit(conn, ["s0", "s1"], static_portable=True)
+    # Without a protocol, the stamp is the link's unassigned capacity.
+    assert result.b_stamp == pytest.approx(90.0)

@@ -1,0 +1,110 @@
+"""Scale stress: a big floor, heavy churn, global invariants throughout."""
+
+import random
+
+import pytest
+
+from repro.core import audio_request
+from repro.mobility import FloorPlan
+from repro.profiles import CellClass
+from repro.sim import FloorplanSimulator
+from repro.traffic import ConnectionState
+
+
+def big_floorplan(rows=4, cols=6) -> FloorPlan:
+    """A grid of corridors with offices hanging off the edges."""
+    plan = FloorPlan(name="grid")
+    for r in range(rows):
+        for c in range(cols):
+            plan.add_cell((r, c), CellClass.CORRIDOR)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                plan.connect((r, c), (r, c + 1))
+            if r + 1 < rows:
+                plan.connect((r, c), (r + 1, c))
+    for c in range(cols):
+        plan.add_cell(("office", c), CellClass.OFFICE)
+        plan.connect(("office", c), (0, c))
+    plan.validate()
+    return plan
+
+
+def test_heavy_churn_preserves_global_invariants():
+    plan = big_floorplan()
+    sim = FloorplanSimulator(plan, capacity=120.0, static_threshold=200.0, seed=3)
+    rng = random.Random(3)
+
+    portables = []
+    for i in range(40):
+        pid = f"u{i}"
+        cell = rng.choice(plan.cells)
+        sim.add_portable(pid, cell)
+        sim.request_connection(pid, audio_request())
+        portables.append(pid)
+
+    moves = 0
+    for step in range(600):
+        sim.env.run(until=sim.env.now + 10.0)
+        pid = rng.choice(portables)
+        current = sim.portables[pid].current_cell
+        neighbors = sorted(plan.neighbors(current), key=repr)
+        sim.move(pid, rng.choice(neighbors))
+        moves += 1
+        if step % 50 == 0:
+            sim.manager.refresh_static_states()
+
+        # Global invariants after every single handoff:
+        for cell in sim.cells.values():
+            link = cell.link
+            # Floors never oversubscribe capacity.
+            assert link.min_committed <= link.capacity + 1e-6
+            # Ledger and link reservation stay in sync.
+            assert link.reserved == pytest.approx(cell.reservations.total)
+            assert link.reserved >= -1e-9
+
+    # Every portable's connection is in a consistent state.
+    active = dropped = 0
+    for conn in sim.manager.connections.values():
+        if conn.state is ConnectionState.ACTIVE:
+            active += 1
+            owner = sim.portables[conn.portable_id]
+            # The active connection is allocated exactly in its owner's cell.
+            hosting = [
+                cid
+                for cid, cell in sim.cells.items()
+                if conn.conn_id in cell.link.allocations
+            ]
+            assert hosting == [owner.current_cell]
+            assert conn.qos.bounds.contains(conn.rate)
+        elif conn.state is ConnectionState.DROPPED:
+            dropped += 1
+            # Dropped connections hold nothing anywhere.
+            assert not any(
+                conn.conn_id in cell.link.allocations
+                for cell in sim.cells.values()
+            )
+    assert active + dropped == len(sim.manager.connections)
+    assert sim.stats.handoff_attempts > 0
+    assert moves == 600
+
+
+def test_occupancy_bookkeeping_consistent_at_scale():
+    plan = big_floorplan(rows=3, cols=4)
+    sim = FloorplanSimulator(plan, capacity=1600.0, seed=9)
+    rng = random.Random(9)
+    for i in range(25):
+        sim.add_portable(f"u{i}", rng.choice(plan.cells))
+    for _ in range(300):
+        pid = f"u{rng.randrange(25)}"
+        current = sim.portables[pid].current_cell
+        sim.move(pid, rng.choice(sorted(plan.neighbors(current), key=repr)))
+    # Presence sets partition the population.
+    seen = {}
+    for cell_id, cell in sim.cells.items():
+        for pid in cell.present:
+            assert pid not in seen, f"{pid} present in two cells"
+            seen[pid] = cell_id
+    assert len(seen) == 25
+    for pid, cell_id in seen.items():
+        assert sim.portables[pid].current_cell == cell_id

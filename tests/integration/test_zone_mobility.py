@@ -1,0 +1,83 @@
+"""Multi-zone mobility: profiles follow portables across zone boundaries."""
+
+import random
+
+from repro.profiles import CellClass, ZoneDirectory
+
+
+def build_two_zone_floor():
+    """Two zones of three cells each, joined at a border corridor pair."""
+    directory = ZoneDirectory()
+    directory.add_zone("west", cells=["w1", "w2", "w3"])
+    directory.add_zone("east", cells=["e1", "e2", "e3"])
+    adjacency = {
+        "w1": ["w2"], "w2": ["w1", "w3"], "w3": ["w2", "e1"],
+        "e1": ["w3", "e2"], "e2": ["e1", "e3"], "e3": ["e2"],
+    }
+    return directory, adjacency
+
+
+def test_commuter_profile_survives_many_crossings():
+    """A portable commuting between zones keeps an intact triplet history
+    on whichever server currently owns it."""
+    directory, adjacency = build_two_zone_floor()
+    path = ["w1", "w2", "w3", "e1", "e2", "e3"]
+    directory.seed_presence("commuter", "w1")
+    for _round in range(4):
+        for a, b in zip(path, path[1:]):
+            directory.report_handoff("commuter", a, b)
+        for a, b in zip(reversed(path), list(reversed(path))[1:]):
+            directory.report_handoff("commuter", a, b)
+    assert directory.cross_zone_handoffs == 8  # one crossing each way, x4
+    # The east server currently... the commuter ended back at w1.
+    assert directory.portable_zone("commuter") == "west"
+    profile = directory.server_for_zone("west").portable_profile("commuter")
+    # Mid-route triplets from both zones are intact in one profile.
+    assert profile.next_predicted("w2", "w3") == "e1"
+    assert profile.next_predicted("e2", "e1") == "w3"
+
+
+def test_random_multi_portable_churn_consistency():
+    """Random walks of many portables: every portable is owned by exactly
+    one server, and ownership matches its last known cell's zone."""
+    directory, adjacency = build_two_zone_floor()
+    rng = random.Random(7)
+    cells = list(adjacency)
+    position = {}
+    for i in range(12):
+        pid = f"p{i}"
+        position[pid] = rng.choice(cells)
+        directory.seed_presence(pid, position[pid])
+
+    for _ in range(400):
+        pid = rng.choice(list(position))
+        current = position[pid]
+        nxt = rng.choice(adjacency[current])
+        directory.report_handoff(pid, current, nxt)
+        position[pid] = nxt
+
+    west = directory.server_for_zone("west")
+    east = directory.server_for_zone("east")
+    for pid, cell in position.items():
+        zone = directory.zone_of(cell)
+        assert directory.portable_zone(pid) == zone
+        owner = west if zone == "west" else east
+        other = east if zone == "west" else west
+        assert pid in owner.portables
+        assert pid not in other.portables
+    # Total portables conserved across the two servers.
+    assert len(west.portables) + len(east.portables) == 12
+
+
+def test_zone_prediction_uses_owning_server_after_crossing():
+    directory, adjacency = build_two_zone_floor()
+    directory.seed_presence("p", "w2")
+    for _ in range(3):
+        directory.report_handoff("p", "w2", "w3")
+        directory.report_handoff("p", "w3", "e1")
+        directory.report_handoff("p", "e1", "w3")
+        directory.report_handoff("p", "w3", "w2")
+    prediction = directory.predict_next("p", "w3", previous_cell="w2")
+    assert prediction.cell == "e1"
+    prediction = directory.predict_next("p", "e1", previous_cell="w3")
+    assert prediction.cell == "w3"

@@ -1,0 +1,39 @@
+"""Tests for neighbor multicast tree construction."""
+
+from repro.network import Topology, build_neighbor_multicast, campus_backbone
+
+
+def test_tree_covers_reachable_leaves():
+    topo = campus_backbone(["A", "B", "C"])
+    tree = build_neighbor_multicast(topo, "bs:A", ["bs:B", "bs:C"])
+    assert set(tree.leaves) == {"bs:B", "bs:C"}
+    assert tree.covers("bs:B")
+    assert tree.branches["bs:B"] == ["bs:A", "router", "bs:B"]
+
+
+def test_tree_links_are_deduplicated():
+    topo = campus_backbone(["A", "B", "C"])
+    tree = build_neighbor_multicast(topo, "bs:A", ["bs:B", "bs:C"])
+    # The shared bs:A -> router hop appears once.
+    assert ("bs:A", "router") in tree.links
+    shared = [k for k in tree.links if k == ("bs:A", "router")]
+    assert len(shared) == 1
+    assert len(tree.links) == 3  # shared hop + one hop per leaf
+
+
+def test_unreachable_leaf_recorded_not_raised():
+    topo = Topology()
+    topo.add_duplex_link("a", "b", capacity=10.0)
+    topo.add_node("island")
+    tree = build_neighbor_multicast(topo, "a", ["b", "island"])
+    assert tree.covers("b")
+    assert not tree.covers("island")
+    assert "island" in tree.failed_leaves
+
+
+def test_empty_leaf_list():
+    topo = Topology()
+    topo.add_duplex_link("a", "b", capacity=10.0)
+    tree = build_neighbor_multicast(topo, "a", [])
+    assert tree.leaves == []
+    assert tree.links == set()

@@ -1,0 +1,27 @@
+"""Tests for network nodes."""
+
+from repro.network import Node, NodeKind
+
+
+def test_node_kinds():
+    assert Node("s", NodeKind.SWITCH).kind is NodeKind.SWITCH
+    assert Node("b", NodeKind.BASE_STATION).is_base_station
+    assert not Node("h", NodeKind.HOST).is_base_station
+
+
+def test_node_identity_by_id():
+    a = Node("x", NodeKind.SWITCH)
+    b = Node("x", NodeKind.HOST)  # same id, different kind
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Node("y")
+    assert (a == "not-a-node") is NotImplemented or a != "not-a-node"
+
+
+def test_node_meta_annotations():
+    node = Node("bs:A", NodeKind.BASE_STATION, {"cell": "A"})
+    assert node.meta["cell"] == "A"
+
+
+def test_node_repr_contains_kind():
+    assert "base_station" in repr(Node("b", NodeKind.BASE_STATION))

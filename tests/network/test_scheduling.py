@@ -1,0 +1,115 @@
+"""Tests for the WFQ / RCSP per-hop bound formulas (Table 2 rows)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network import (
+    cumulative_jitter,
+    e2e_delay_lower_bound,
+    path_loss_probability,
+    per_hop_delay,
+    rcsp_buffer,
+    relaxed_per_hop_delay,
+    wfq_buffer,
+)
+
+
+def test_per_hop_delay_formula():
+    # d = L/b + L/C
+    assert per_hop_delay(b_min=10.0, capacity=100.0, l_max=1.0) == pytest.approx(
+        1 / 10 + 1 / 100
+    )
+    with pytest.raises(ValueError):
+        per_hop_delay(0, 100, 1)
+
+
+def test_e2e_delay_lower_bound_formula():
+    # (sigma + n L)/b + sum L/C_i
+    d = e2e_delay_lower_bound(sigma=5.0, b_min=10.0, l_max=1.0,
+                              capacities=[100.0, 200.0])
+    assert d == pytest.approx((5 + 2) / 10 + 1 / 100 + 1 / 200)
+    with pytest.raises(ValueError):
+        e2e_delay_lower_bound(5, 10, 1, [])
+
+
+def test_e2e_bound_consistent_with_per_hop_sum():
+    """The e2e bound equals per-hop sums plus one burst-drain term: the
+    burst penalty sigma/b is paid once end-to-end, never per hop."""
+    sigma, b, l = 8.0, 10.0, 1.0
+    caps = [100.0, 100.0, 100.0]
+    e2e = e2e_delay_lower_bound(sigma, b, l, caps)
+    per_hop_sum = sum(per_hop_delay(b, c, l) for c in caps)
+    assert e2e == pytest.approx(per_hop_sum + sigma / b)
+
+
+def test_relaxed_delay_spreads_slack_uniformly():
+    d_local = 0.1
+    relaxed = relaxed_per_hop_delay(
+        d_local, d_budget=1.0, d_min=0.4, sigma=2.0, b_min=10.0, hops=3
+    )
+    assert relaxed == pytest.approx(0.1 + 0.6 / 3 + 2.0 / (3 * 10.0))
+    with pytest.raises(ValueError):
+        relaxed_per_hop_delay(0.1, 0.3, 0.4, 2.0, 10.0, 3)  # negative slack
+    with pytest.raises(ValueError):
+        relaxed_per_hop_delay(0.1, 1.0, 0.4, 2.0, 10.0, 0)
+
+
+def test_cumulative_jitter_grows_with_hops():
+    j1 = cumulative_jitter(sigma=4.0, b_min=16.0, l_max=1.0, hop_index=1)
+    j3 = cumulative_jitter(sigma=4.0, b_min=16.0, l_max=1.0, hop_index=3)
+    assert j1 == pytest.approx(5 / 16)
+    assert j3 == pytest.approx(7 / 16)
+    assert j3 > j1
+    with pytest.raises(ValueError):
+        cumulative_jitter(4, 16, 1, 0)
+
+
+def test_wfq_buffer_accumulates_per_hop():
+    assert wfq_buffer(sigma=4.0, l_max=1.0, hop_index=1) == 5.0
+    assert wfq_buffer(sigma=4.0, l_max=1.0, hop_index=5) == 9.0
+    with pytest.raises(ValueError):
+        wfq_buffer(4, 1, 0)
+
+
+def test_rcsp_buffer_first_vs_later_hops():
+    first = rcsp_buffer(sigma=4.0, l_max=1.0, rate=16.0, d_current=0.1)
+    assert first == pytest.approx(4 + 1 + 16 * 0.1)
+    later = rcsp_buffer(sigma=4.0, l_max=1.0, rate=16.0, d_current=0.1,
+                        d_previous=0.2)
+    assert later == pytest.approx(4 + 1 + 16 * 0.3)
+
+
+def test_rcsp_buffer_does_not_accumulate_with_path_length():
+    """Regulators reshape per hop: buffer depends on local delays only."""
+    buf_hop2 = rcsp_buffer(4.0, 1.0, 16.0, 0.1, 0.1)
+    buf_hop9 = rcsp_buffer(4.0, 1.0, 16.0, 0.1, 0.1)
+    assert buf_hop2 == buf_hop9
+
+
+def test_path_loss_probability():
+    assert path_loss_probability([]) == 0.0
+    assert path_loss_probability([0.5]) == pytest.approx(0.5)
+    assert path_loss_probability([0.1, 0.1]) == pytest.approx(1 - 0.81)
+    with pytest.raises(ValueError):
+        path_loss_probability([1.5])
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=8))
+def test_path_loss_is_probability(probs):
+    loss = path_loss_probability(probs)
+    assert 0.0 <= loss <= 1.0
+    if probs:
+        # Adding a lossy link never decreases end-to-end loss.
+        assert path_loss_probability(probs + [0.2]) >= loss - 1e-12
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=1.0, max_value=1000.0),
+    st.integers(min_value=1, max_value=10),
+)
+def test_jitter_monotone_in_hops(sigma, b_min, hops):
+    values = [
+        cumulative_jitter(sigma, b_min, 1.0, h) for h in range(1, hops + 1)
+    ]
+    assert values == sorted(values)

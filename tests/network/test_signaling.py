@@ -1,0 +1,104 @@
+"""Tests for the control-plane signaling network."""
+
+import pytest
+
+from repro.des import Environment
+from repro.network import (
+    ControlPacket,
+    PacketKind,
+    SignalingNetwork,
+    line_topology,
+)
+
+
+def make_packet(**overrides):
+    defaults = dict(
+        kind=PacketKind.ADVERTISE,
+        conn_id="c1",
+        stamped_rate=10.0,
+        direction=1,
+        originator="s0",
+        global_id=("s0", 1),
+    )
+    defaults.update(overrides)
+    return ControlPacket(**defaults)
+
+
+def test_send_delivers_after_prop_delay():
+    env = Environment()
+    topo = line_topology(3, prop_delay=0.25)
+    net = SignalingNetwork(env, topo)
+    received = []
+    net.register("s1", lambda pkt, frm: received.append((env.now, pkt, frm)))
+    net.send("s0", "s1", make_packet())
+    env.run()
+    assert len(received) == 1
+    t, pkt, frm = received[0]
+    assert t == pytest.approx(0.25)
+    assert frm == "s0"
+    assert pkt.conn_id == "c1"
+
+
+def test_hop_overhead_added():
+    env = Environment()
+    topo = line_topology(3, prop_delay=0.1)
+    net = SignalingNetwork(env, topo, hop_overhead=0.05)
+    times = []
+    net.register("s1", lambda pkt, frm: times.append(env.now))
+    net.send("s0", "s1", make_packet())
+    env.run()
+    assert times == [pytest.approx(0.15)]
+
+
+def test_unregistered_destination_raises():
+    env = Environment()
+    topo = line_topology(3)
+    net = SignalingNetwork(env, topo)
+    with pytest.raises(KeyError):
+        net.send("s0", "s1", make_packet())
+
+
+def test_message_counters_by_kind():
+    env = Environment()
+    topo = line_topology(3)
+    net = SignalingNetwork(env, topo)
+    net.register("s1", lambda pkt, frm: None)
+    net.send("s0", "s1", make_packet())
+    net.send("s0", "s1", make_packet(kind=PacketKind.UPDATE))
+    net.send("s0", "s1", make_packet())
+    assert net.messages_sent == 3
+    assert net.messages_by_kind[PacketKind.ADVERTISE] == 2
+    assert net.messages_by_kind[PacketKind.UPDATE] == 1
+
+
+def test_deliver_local_is_synchronous():
+    env = Environment()
+    topo = line_topology(2)
+    net = SignalingNetwork(env, topo)
+    got = []
+    net.register("s0", lambda pkt, frm: got.append(frm))
+    net.deliver_local("s0", make_packet(), from_node="self")
+    assert got == ["self"]
+    assert net.messages_sent == 0  # local delivery is not a transmission
+
+
+def test_packet_copy_with_overrides():
+    pkt = make_packet()
+    clone = pkt.copy_with(stamped_rate=5.0, meta={"returning": True})
+    assert clone.stamped_rate == 5.0
+    assert clone.meta["returning"] is True
+    assert pkt.stamped_rate == 10.0  # original untouched
+    assert pkt.meta == {}
+    assert clone.conn_id == pkt.conn_id
+
+
+def test_fifo_ordering_per_link():
+    env = Environment()
+    topo = line_topology(2, prop_delay=0.1)
+    net = SignalingNetwork(env, topo)
+    order = []
+    net.register("s1", lambda pkt, frm: order.append(pkt.global_id))
+    for i in range(4):
+        net.send("s0", "s1", make_packet(global_id=("s0", i)))
+    env.run()
+    assert order == [("s0", 0), ("s0", 1), ("s0", 2), ("s0", 3)]

@@ -1,0 +1,98 @@
+"""Tests for the Topology graph and its builders."""
+
+import pytest
+
+from repro.network import (
+    NodeKind,
+    Topology,
+    campus_backbone,
+    line_topology,
+    star_topology,
+)
+
+
+def test_add_link_autocreates_nodes():
+    topo = Topology()
+    topo.add_link("a", "b", capacity=10.0)
+    assert topo.has_node("a") and topo.has_node("b")
+    assert topo.node("a").kind is NodeKind.SWITCH
+
+
+def test_duplicate_link_rejected():
+    topo = Topology()
+    topo.add_link("a", "b", capacity=10.0)
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", capacity=10.0)
+
+
+def test_duplex_link_creates_both_directions():
+    topo = Topology()
+    ab, ba = topo.add_duplex_link("a", "b", capacity=10.0)
+    assert ab.key == ("a", "b")
+    assert ba.key == ("b", "a")
+    assert topo.link_count == 2
+
+
+def test_add_node_idempotent_keeps_first():
+    topo = Topology()
+    first = topo.add_node("x", NodeKind.HOST)
+    second = topo.add_node("x")
+    assert first is second
+    assert topo.node("x").kind is NodeKind.HOST
+
+
+def test_successors_are_directed():
+    topo = Topology()
+    topo.add_link("a", "b", capacity=1.0)
+    assert topo.successors("a") == ["b"]
+    assert topo.successors("b") == []
+
+
+def test_path_links_resolution():
+    topo = line_topology(4)
+    links = topo.path_links(["s0", "s1", "s2"])
+    assert [l.key for l in links] == [("s0", "s1"), ("s1", "s2")]
+    assert topo.path_links(["s0"]) == []
+
+
+def test_path_links_unknown_hop_raises():
+    topo = line_topology(3)
+    with pytest.raises(KeyError):
+        topo.path_links(["s0", "s2"])  # not adjacent
+
+
+def test_line_topology_shape():
+    topo = line_topology(5, capacity=123.0)
+    assert topo.node_count == 5
+    assert topo.link_count == 8  # 4 duplex pairs
+    assert topo.link("s0", "s1").capacity == 123.0
+    with pytest.raises(ValueError):
+        line_topology(1)
+
+
+def test_star_topology_shape():
+    topo = star_topology(3)
+    assert topo.node_count == 4
+    assert set(topo.successors("hub")) == {"leaf0", "leaf1", "leaf2"}
+    with pytest.raises(ValueError):
+        star_topology(0)
+
+
+def test_campus_backbone_structure():
+    topo = campus_backbone(["A", "B"], servers=["files"])
+    # router + 2x(bs + air) + server
+    assert topo.node_count == 6
+    assert topo.node("bs:A").kind is NodeKind.BASE_STATION
+    assert topo.node("bs:A").meta["cell"] == "A"
+    wireless = topo.link("bs:A", "air:A")
+    assert wireless.capacity == 1600.0
+    assert wireless.error_prob == 0.01
+    assert topo.has_link("router", "files")
+
+
+def test_networkx_export_roundtrip():
+    topo = line_topology(3)
+    graph = topo.to_networkx()
+    assert graph.number_of_nodes() == 3
+    assert graph.number_of_edges() == 4
+    assert graph["s0"]["s1"]["capacity"] == topo.link("s0", "s1").capacity

@@ -1,0 +1,57 @@
+"""Tests for base-station profile caching."""
+
+from repro.profiles import ProfileCache, ProfileServer
+
+
+def test_admit_and_lookup_hit():
+    server = ProfileServer()
+    cache = ProfileCache("D", server)
+    cache.admit_portable("p")
+    assert cache.lookup("p") is not None
+    assert cache.hits == 1
+    assert cache.misses == 0
+
+
+def test_lookup_miss_falls_back_to_server():
+    server = ProfileServer()
+    server.register_portable("p")
+    cache = ProfileCache("D", server)
+    profile = cache.lookup("p")
+    assert profile is server.portable_profile("p")
+    assert cache.misses == 1
+    # Second lookup is now a hit.
+    cache.lookup("p")
+    assert cache.hits == 1
+
+
+def test_lookup_totally_unknown_is_none():
+    cache = ProfileCache("D", ProfileServer())
+    assert cache.lookup("ghost") is None
+
+
+def test_handoff_out_reports_and_passes_profile():
+    server = ProfileServer()
+    cache_d = ProfileCache("D", server)
+    cache_a = ProfileCache("A", server)
+    cache_d.admit_portable("p")
+    handed = cache_d.handoff_out("p", "A")
+    assert handed is not None
+    assert "p" not in cache_d.cached_portables
+    assert server.handoffs_recorded == 1
+    cache_a.admit_portable("p", handed_profile=handed)
+    assert "p" in cache_a.cached_portables
+
+
+def test_refresh_static_pulls_authoritative_copy():
+    server = ProfileServer()
+    cache = ProfileCache("D", server)
+    cache.admit_portable("p")
+    refreshed = cache.refresh_static("p")
+    assert refreshed is server.portable_profile("p")
+    assert cache.refreshes == 1
+
+
+def test_cell_profile_property_server_backed():
+    server = ProfileServer()
+    cache = ProfileCache("D", server)
+    assert cache.cell_profile is server.cell_profile("D")

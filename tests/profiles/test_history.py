@@ -1,0 +1,90 @@
+"""Tests for handoff histories and their aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.profiles import HandoffHistory, HandoffRecord
+
+
+def test_record_accessors():
+    rec = HandoffRecord("a", "b", "c")
+    assert rec.previous == "a"
+    assert rec.current == "b"
+    assert rec.next == "c"
+    assert rec == ("a", "b", "c")
+
+
+def test_window_bounds_enforced():
+    with pytest.raises(ValueError):
+        HandoffHistory(window=0)
+
+
+def test_sliding_window_evicts_oldest():
+    history = HandoffHistory(window=3)
+    for i in range(5):
+        history.record(None, "cell", f"n{i}")
+    assert len(history) == 3
+    assert [r.next for r in history] == ["n2", "n3", "n4"]
+
+
+def test_transition_counts_and_probabilities():
+    history = HandoffHistory(window=10)
+    for _ in range(3):
+        history.record("p", "c", "x")
+    history.record("p", "c", "y")
+    history.record("q", "c", "y")
+    counts = history.transition_counts("c")
+    assert counts == {"x": 3, "y": 2}
+    probs = history.transition_probabilities("c")
+    assert probs["x"] == pytest.approx(0.6)
+    assert probs["y"] == pytest.approx(0.4)
+
+
+def test_conditioning_on_previous_cell():
+    history = HandoffHistory(window=10)
+    history.record("p", "c", "x")
+    history.record("q", "c", "y")
+    assert history.transition_counts("c", previous="p") == {"x": 1}
+    assert history.most_likely_next("c", previous="q") == "y"
+
+
+def test_most_likely_next_empty_is_none():
+    assert HandoffHistory().most_likely_next("c") is None
+
+
+def test_most_likely_next_tie_break_deterministic():
+    h1 = HandoffHistory()
+    h2 = HandoffHistory()
+    h1.record(None, "c", "x")
+    h1.record(None, "c", "y")
+    h2.record(None, "c", "y")
+    h2.record(None, "c", "x")
+    assert h1.most_likely_next("c") == h2.most_likely_next("c")
+
+
+def test_conditioned_triplets():
+    history = HandoffHistory(window=20)
+    for _ in range(3):
+        history.record("C", "D", "A")
+    history.record("C", "D", "E")
+    history.record("E", "D", "C")
+    triplets = history.conditioned_triplets()
+    assert triplets[("C", "D")] == "A"
+    assert triplets[("E", "D")] == "C"
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abc"), st.sampled_from("de"), st.sampled_from("xyz")),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_probabilities_sum_to_one(records):
+    history = HandoffHistory(window=100)
+    for prev, cur, nxt in records:
+        history.record(prev, cur, nxt)
+    for cur in "de":
+        probs = history.transition_probabilities(cur)
+        if probs:
+            assert sum(probs.values()) == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""Tests for cell/portable profiles and the booking calendar."""
+
+import pytest
+
+from repro.profiles import (
+    BookingCalendar,
+    CellClass,
+    CellProfile,
+    Meeting,
+    PortableProfile,
+)
+
+
+def test_cell_class_lounge_membership():
+    assert CellClass.MEETING_ROOM.is_lounge
+    assert CellClass.CAFETERIA.is_lounge
+    assert CellClass.DEFAULT.is_lounge
+    assert not CellClass.OFFICE.is_lounge
+    assert not CellClass.CORRIDOR.is_lounge
+
+
+def test_meeting_validation():
+    with pytest.raises(ValueError):
+        Meeting(start=10.0, end=10.0, attendees=3)
+    with pytest.raises(ValueError):
+        Meeting(start=0.0, end=10.0, attendees=0)
+    m = Meeting(start=0.0, end=10.0, attendees=3)
+    assert m.contains(0.0)
+    assert m.contains(9.99)
+    assert not m.contains(10.0)
+
+
+def test_calendar_ordering_and_queries():
+    m1 = Meeting(start=100.0, end=200.0, attendees=5)
+    m2 = Meeting(start=10.0, end=50.0, attendees=2)
+    cal = BookingCalendar([m1])
+    cal.book(m2)
+    assert cal.meetings[0] is m2  # sorted by start
+    assert cal.current(20.0) is m2
+    assert cal.current(75.0) is None
+    assert cal.next_after(60.0) is m1
+    assert cal.next_after(500.0) is None
+    assert len(cal) == 2
+
+
+def test_portable_profile_next_predicted():
+    profile = PortableProfile(portable_id="p")
+    profile.history.record("C", "D", "A")
+    profile.history.record("C", "D", "A")
+    profile.history.record("E", "D", "C")
+    assert profile.next_predicted("C", "D") == "A"
+    assert profile.next_predicted("E", "D") == "C"
+    assert profile.next_predicted("Z", "D") is None
+    assert profile.triplets()[("C", "D")] == "A"
+
+
+def test_cell_profile_neighbors_and_occupants():
+    profile = CellProfile(cell_id="A", cell_class=CellClass.OFFICE)
+    profile.add_neighbor("D", CellClass.CORRIDOR)
+    profile.occupants.add("faculty")
+    assert "D" in profile.neighbors
+    assert profile.neighbor_classes["D"] is CellClass.CORRIDOR
+    assert profile.is_occupant("faculty")
+    assert not profile.is_occupant("stranger")
+
+
+def test_cell_profile_prediction_falls_back_unconditioned():
+    profile = CellProfile(cell_id="D")
+    profile.history.record("C", "D", "A")
+    profile.history.record("C", "D", "A")
+    # Unknown previous cell: falls back to the unconditioned aggregate.
+    assert profile.predict_next("unknown-prev") == "A"
+    assert profile.predict_next("C") == "A"
+    assert CellProfile(cell_id="X").predict_next() is None
+
+
+def test_cell_profile_handoff_distribution():
+    profile = CellProfile(cell_id="D")
+    for _ in range(3):
+        profile.history.record("C", "D", "A")
+    profile.history.record("C", "D", "E")
+    dist = profile.handoff_distribution()
+    assert dist["A"] == pytest.approx(0.75)
+    assert dist["E"] == pytest.approx(0.25)

@@ -1,0 +1,83 @@
+"""Tests for the zone directory (Section 3.4.1's locational hierarchy)."""
+
+import pytest
+
+from repro.profiles import CellClass, ZoneDirectory
+
+
+def build():
+    directory = ZoneDirectory()
+    directory.add_zone("north", cells=["n1", "n2"])
+    directory.add_zone("south", cells=["s1", "s2"])
+    return directory
+
+
+def test_zone_assignment_and_lookup():
+    directory = build()
+    assert set(directory.zones) == {"north", "south"}
+    assert directory.zone_of("n1") == "north"
+    assert directory.server_for_cell("s2").zone_id == "south"
+    with pytest.raises(KeyError):
+        directory.zone_of("ghost")
+    with pytest.raises(KeyError):
+        directory.assign_cell("x", "ghost-zone")
+
+
+def test_intra_zone_handoff_stays_on_one_server():
+    directory = build()
+    directory.seed_presence("p", "n1")
+    directory.report_handoff("p", "n1", "n2")
+    assert directory.cross_zone_handoffs == 0
+    assert directory.portable_zone("p") == "north"
+    north = directory.server_for_zone("north")
+    assert north.handoffs_recorded == 1
+    assert "p" in north.portables
+
+
+def test_cross_zone_handoff_migrates_profile():
+    directory = build()
+    directory.seed_presence("p", "n1")
+    directory.report_handoff("p", "n1", "n2")
+    directory.report_handoff("p", "n2", "s1")   # zone crossing
+    assert directory.cross_zone_handoffs == 1
+    assert directory.portable_zone("p") == "south"
+    north = directory.server_for_zone("north")
+    south = directory.server_for_zone("south")
+    assert "p" not in north.portables
+    assert "p" in south.portables
+    # History survived the migration: the (n1, n2) triplet is intact.
+    assert south.portable_profile("p").next_predicted("n1", "n2") == "s1"
+    # Context continues seamlessly in the new zone.
+    directory.report_handoff("p", "s1", "s2")
+    assert south.portable_profile("p").next_predicted("n2", "s1") == "s2"
+
+
+def test_prediction_spans_zones_via_owning_server():
+    directory = build()
+    directory.seed_presence("p", "n1")
+    for _ in range(3):
+        directory.report_handoff("p", "n1", "n2")
+        directory.report_handoff("p", "n2", "s1")
+        directory.report_handoff("p", "s1", "n2")
+        directory.report_handoff("p", "n2", "n1")
+    prediction = directory.predict_next("p", "n2", previous_cell="n1")
+    assert prediction.cell == "s1"
+
+
+def test_zone_stats():
+    directory = build()
+    directory.seed_presence("p", "n1")
+    directory.report_handoff("p", "n1", "n2")
+    stats = {zone: (cells, portables, handoffs)
+             for zone, cells, portables, handoffs in directory.stats()}
+    assert stats["north"] == (2, 1, 1)
+    assert stats["south"] == (2, 0, 0)
+
+
+def test_cell_class_passes_through():
+    directory = ZoneDirectory()
+    directory.add_zone("z")
+    directory.assign_cell("office", "z", cell_class=CellClass.OFFICE)
+    assert directory.server_for_cell("office").cell_profile(
+        "office"
+    ).cell_class is CellClass.OFFICE

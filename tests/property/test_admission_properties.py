@@ -1,0 +1,125 @@
+"""Property-based checks of the Table 2 admission controller."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AdmissionController
+from repro.core.qos import QoSBounds, QoSRequest
+from repro.network import (
+    Discipline,
+    Topology,
+    cumulative_jitter,
+    e2e_delay_lower_bound,
+    path_loss_probability,
+)
+from repro.traffic import Connection, FlowSpec
+
+
+request_strategy = st.builds(
+    dict,
+    b_min=st.floats(min_value=1.0, max_value=200.0),
+    span=st.floats(min_value=0.0, max_value=400.0),
+    sigma=st.floats(min_value=0.0, max_value=50.0),
+    l_max=st.floats(min_value=0.5, max_value=8.0),
+    delay=st.floats(min_value=0.01, max_value=50.0),
+    jitter=st.floats(min_value=0.01, max_value=50.0),
+    loss=st.floats(min_value=0.001, max_value=1.0),
+)
+
+path_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=100.0, max_value=10_000.0),   # capacity
+        st.floats(min_value=0.0, max_value=0.05),         # error prob
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build(path_spec):
+    topo = Topology()
+    nodes = [f"n{i}" for i in range(len(path_spec) + 1)]
+    for (capacity, loss), a, b in zip(path_spec, nodes, nodes[1:]):
+        topo.add_link(a, b, capacity=capacity, error_prob=loss)
+    return topo, nodes
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_strategy, path_strategy, st.booleans(), st.booleans())
+def test_admission_decision_is_sound(params, path_spec, static, rcsp):
+    """If accepted: the grant is inside the bounds, fits every link's
+    capacity, and the QoS bounds genuinely hold; if rejected: some Table 2
+    row genuinely fails."""
+    topo, nodes = build(path_spec)
+    discipline = Discipline.RCSP if rcsp else Discipline.WFQ
+    controller = AdmissionController(topo, discipline)
+    qos = QoSRequest(
+        flowspec=FlowSpec(params["sigma"], params["b_min"], params["l_max"]),
+        bounds=QoSBounds(params["b_min"], params["b_min"] + params["span"]),
+        delay_bound=params["delay"],
+        jitter_bound=params["jitter"],
+        loss_bound=params["loss"],
+    )
+    conn = Connection(src=nodes[0], dst=nodes[-1], qos=qos)
+    result = controller.admit(conn, nodes, static_portable=static)
+
+    caps = [l.capacity for l in topo.path_links(nodes)]
+    errors = [l.error_prob for l in topo.path_links(nodes)]
+    d_min = e2e_delay_lower_bound(
+        params["sigma"], params["b_min"], params["l_max"], caps
+    )
+    loss = path_loss_probability(errors)
+    jitter = cumulative_jitter(
+        params["sigma"], params["b_min"], params["l_max"], len(caps)
+    )
+
+    if result.accepted:
+        assert qos.bounds.contains(result.granted_rate)
+        for link in topo.path_links(nodes):
+            # Floors plus the grant never exceed capacity.
+            assert link.min_committed + link.reserved <= link.capacity + 1e-6
+            assert (
+                link.rate_of(conn.conn_id) <= link.capacity + 1e-6
+            )
+        assert d_min <= params["delay"] + 1e-9
+        assert loss <= params["loss"] + 1e-9
+        assert jitter <= params["jitter"] + 1e-9
+        # Relaxed per-hop delays never shrink below the forward-pass locals.
+        assert all(d > 0 for d in result.hop_delays)
+        assert all(b >= 0 for b in result.hop_buffers)
+        assert len(result.hop_delays) == len(caps)
+    else:
+        # The reported failure is real.
+        violated = (
+            d_min > params["delay"] - 1e-9
+            or loss > params["loss"] - 1e-9
+            or jitter > params["jitter"] - 1e-9
+            or any(params["b_min"] > l.excess_available + 1e-9
+                   for l in topo.path_links(nodes))
+        )
+        assert violated, f"rejected ({result.reason}) without a violated row"
+
+
+@settings(max_examples=40, deadline=None)
+@given(request_strategy, path_strategy)
+def test_static_grant_dominates_mobile(params, path_spec):
+    """A static portable is never granted less than a mobile one."""
+    def admitted(static):
+        topo, nodes = build(path_spec)
+        controller = AdmissionController(topo)
+        qos = QoSRequest(
+            flowspec=FlowSpec(params["sigma"], params["b_min"], params["l_max"]),
+            bounds=QoSBounds(params["b_min"], params["b_min"] + params["span"]),
+            delay_bound=params["delay"],
+            jitter_bound=params["jitter"],
+            loss_bound=params["loss"],
+        )
+        conn = Connection(src=nodes[0], dst=nodes[-1], qos=qos)
+        return controller.admit(conn, nodes, static_portable=static)
+
+    static = admitted(True)
+    mobile = admitted(False)
+    assert static.accepted == mobile.accepted
+    if static.accepted:
+        assert static.granted_rate >= mobile.granted_rate - 1e-9
+        assert mobile.granted_rate == pytest.approx(params["b_min"])

@@ -1,0 +1,230 @@
+"""Property-based invariants across the resource-management plane."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AdmissionController,
+    CellReservations,
+    MaxMinProblem,
+    audio_request,
+    is_maxmin_fair,
+    maxmin_allocation,
+)
+from repro.des import Environment
+from repro.network import Link, Topology
+from repro.traffic import Connection
+
+
+# -- Link ledger under random operation sequences --------------------------------------
+
+link_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("admit"), st.integers(0, 5),
+                  st.floats(1.0, 30.0), st.floats(0.0, 10.0)),
+        st.tuples(st.just("release"), st.integers(0, 5)),
+        st.tuples(st.just("set_excess"), st.integers(0, 5), st.floats(0.0, 40.0)),
+        st.tuples(st.just("reserve"), st.floats(0.0, 20.0)),
+        st.tuples(st.just("unreserve"), st.floats(0.0, 20.0)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(link_ops)
+def test_link_ledger_invariants(ops):
+    """min_committed == sum of minimums, allocated >= min_committed,
+    reserved >= 0, after any operation sequence."""
+    link = Link("a", "b", capacity=1000.0)
+    for op in ops:
+        kind = op[0]
+        try:
+            if kind == "admit":
+                _, cid, minimum, excess = op
+                link.admit(f"c{cid}", minimum, excess)
+            elif kind == "release":
+                link.release(f"c{op[1]}")
+            elif kind == "set_excess":
+                link.set_excess(f"c{op[1]}", op[2])
+            elif kind == "reserve":
+                link.reserve(op[1])
+            else:
+                link.unreserve(op[1])
+        except KeyError:
+            pass  # duplicate admit / missing release: rejected, state intact
+
+        assert link.reserved >= 0
+        assert link.min_committed == pytest.approx(
+            sum(a.minimum for a in link.allocations.values())
+        )
+        assert link.allocated >= link.min_committed - 1e-9
+        assert link.excess_available == pytest.approx(
+            link.capacity - link.reserved - link.min_committed
+        )
+
+
+# -- CellReservations <-> link synchronization ---------------------------------------------
+
+ledger_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("target"), st.integers(0, 3), st.floats(0.0, 50.0)),
+        st.tuples(st.just("release"), st.integers(0, 3)),
+        st.tuples(st.just("claim"), st.integers(0, 3)),
+        st.tuples(st.just("aggregate"), st.integers(0, 2), st.floats(0.0, 50.0)),
+        st.tuples(st.just("draw_agg"), st.integers(0, 2), st.floats(0.0, 60.0)),
+        st.tuples(st.just("pool"), st.floats(0.0, 300.0)),
+        st.tuples(st.just("draw_pool"), st.floats(0.0, 60.0)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ledger_ops)
+def test_reservation_ledger_sync(ops):
+    """link.reserved always equals pool + targeted + aggregate totals."""
+    link = Link("a", "b", capacity=1000.0)
+    ledger = CellReservations(link)
+    for op in ops:
+        kind = op[0]
+        if kind == "target":
+            ledger.reserve_for_portable(f"p{op[1]}", op[2])
+        elif kind == "release":
+            ledger.release_portable(f"p{op[1]}")
+        elif kind == "claim":
+            ledger.claim_portable(f"p{op[1]}")
+        elif kind == "aggregate":
+            ledger.reserve_aggregate(f"tag{op[1]}", op[2])
+        elif kind == "draw_agg":
+            ledger.draw_aggregate(f"tag{op[1]}", op[2])
+        elif kind == "pool":
+            ledger.set_pool(op[1])
+        else:
+            ledger.draw_pool(op[1])
+
+        assert link.reserved == pytest.approx(ledger.total)
+        assert ledger.total >= 0
+        assert (
+            ledger.min_pool_fraction * link.capacity * 0  # pool may be drawn
+            <= ledger.pool
+            <= ledger.max_pool_fraction * link.capacity + 1e-9
+        )
+
+
+# -- admission probe/commit consistency -------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=17.0, max_value=5000.0),
+    st.floats(min_value=0.0, max_value=4000.0),
+    st.integers(min_value=0, max_value=6),
+)
+def test_admission_probe_matches_commit(capacity, reserved, existing):
+    """A dry-run admission decision always equals the committing one."""
+    def build():
+        topo = Topology()
+        topo.add_link("air", "bs", capacity=capacity)
+        topo.add_link("bs", "router", capacity=10_000.0)
+        link = topo.link("air", "bs")
+        link.reserve(min(reserved, capacity - 1.0))
+        for i in range(existing):
+            if link.excess_available >= 16.0:
+                link.admit(f"bg{i}", 16.0)
+        return topo
+
+    route = ["air", "bs", "router"]
+    conn = Connection(src="air", dst="router", qos=audio_request())
+
+    probe = AdmissionController(build()).admit(conn, route, commit=False)
+    committed = AdmissionController(build()).admit(
+        Connection(src="air", dst="router", qos=audio_request()),
+        route,
+    )
+    assert probe.accepted == committed.accepted
+    if probe.accepted:
+        assert probe.granted_rate == committed.granted_rate
+
+
+# -- max-min structural properties ----------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=4),
+    st.integers(min_value=1, max_value=6),
+    st.randoms(use_true_random=False),
+)
+def test_maxmin_scaling_invariance(capacities, n_conns, rng):
+    """Scaling all capacities and demands by k scales the allocation by k."""
+    problem = MaxMinProblem()
+    scaled = MaxMinProblem()
+    k = 3.0
+    links = [f"l{i}" for i in range(len(capacities))]
+    for link, capacity in zip(links, capacities):
+        problem.add_link(link, capacity)
+        scaled.add_link(link, capacity * k)
+    for i in range(n_conns):
+        path = rng.sample(links, rng.randint(1, len(links)))
+        demand = rng.choice([float("inf"), rng.uniform(1.0, 50.0)])
+        problem.add_connection(f"c{i}", path, demand)
+        scaled.add_connection(
+            f"c{i}", path, demand * k if demand != float("inf") else demand
+        )
+    base = maxmin_allocation(problem)
+    big = maxmin_allocation(scaled)
+    for conn in base:
+        assert big[conn] == pytest.approx(base[conn] * k, abs=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=4),
+    st.integers(min_value=1, max_value=6),
+    st.randoms(use_true_random=False),
+)
+def test_maxmin_monotone_in_capacity(capacities, n_conns, rng):
+    """Raising one link's capacity never reduces the minimum allocation."""
+    def build(bonus):
+        problem = MaxMinProblem()
+        links = [f"l{i}" for i in range(len(capacities))]
+        for j, (link, capacity) in enumerate(zip(links, capacities)):
+            problem.add_link(link, capacity + (bonus if j == 0 else 0.0))
+        state = random.Random(17)
+        for i in range(n_conns):
+            path = state.sample(links, state.randint(1, len(links)))
+            problem.add_connection(f"c{i}", path)
+        return problem
+
+    before = maxmin_allocation(build(0.0))
+    after = maxmin_allocation(build(25.0))
+    assert min(after.values()) >= min(before.values()) - 1e-9
+
+
+# -- DES determinism ------------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_des_replay_determinism(seed):
+    """Identical seeds produce identical event traces."""
+
+    def run():
+        env = Environment()
+        rng = random.Random(seed)
+        log = []
+
+        def worker(name, mean):
+            while True:
+                yield env.timeout(rng.expovariate(1.0 / mean))
+                log.append((name, env.now))
+
+        for i in range(3):
+            env.process(worker(f"w{i}", 1.0 + i))
+        env.run(until=50.0)
+        return log
+
+    assert run() == run()

@@ -1,0 +1,92 @@
+"""Property-based checks of the packet MAC and channel model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Environment
+from repro.network import Link
+from repro.traffic import cbr_packets
+from repro.wireless import CellMac, GilbertElliottChannel
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=50.0, max_value=400.0), min_size=1, max_size=4
+    ),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_mac_work_conservation(rates, seed):
+    """Delivered bits ~= min(offered, capacity * time) for saturated input."""
+    capacity = 500.0
+    duration = 20.0
+    env = Environment()
+    link = Link("bs", "air", capacity=capacity)
+    mac = CellMac(env, link)
+    offered_rate = 0.0
+    for i, rate in enumerate(rates):
+        link.admit(f"f{i}", rate)
+        # Each flow offers twice its reserved rate: the system saturates
+        # whenever sum(2*rates) > capacity.
+        env.process(
+            mac.feed(f"f{i}", cbr_packets(2 * rate, 10.0, duration=duration))
+        )
+        offered_rate += 2 * rate
+    env.run(until=duration)
+    delivered = mac.total_delivered_bits()
+    expected = min(offered_rate, capacity) * duration
+    assert delivered == pytest.approx(expected, rel=0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_mac_no_packet_lost_without_channel(seed):
+    """Without a channel model, every submitted packet is delivered."""
+    rng = random.Random(seed)
+    env = Environment()
+    link = Link("bs", "air", capacity=1000.0)
+    mac = CellMac(env, link)
+    link.admit("c", 500.0)
+    n = rng.randint(1, 80)
+    for _ in range(n):
+        mac.submit("c", rng.uniform(1.0, 20.0))
+    env.run(until=100.0)
+    assert mac.stats["c"].delivered == n
+    assert mac.stats["c"].lost == 0
+    # Delays are non-negative and finite.
+    assert all(r.delay >= 0 for r in mac.stats["c"].records)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=0.5),
+    st.floats(min_value=0.0, max_value=0.5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_channel_loss_between_state_extremes(loss_good, loss_bad, seed):
+    """Long-run measured loss lies between the two state probabilities."""
+    lo, hi = sorted((loss_good, loss_bad))
+    channel = GilbertElliottChannel(
+        random.Random(seed), mean_good=5.0, mean_bad=5.0,
+        loss_good=loss_good, loss_bad=loss_bad,
+    )
+    env = Environment()
+    env.process(channel.run(env))
+
+    losses = 0
+    samples = 3000
+
+    def sampler():
+        nonlocal losses
+        for _ in range(samples):
+            yield env.timeout(0.05)
+            if channel.packet_lost():
+                losses += 1
+
+    env.process(sampler())
+    env.run(until=200.0)
+    measured = losses / samples
+    assert lo - 0.05 <= measured <= hi + 0.05
+    assert lo <= channel.steady_state_loss() <= hi

@@ -1,0 +1,105 @@
+"""Property-based checks of the adaptation protocol and handoff engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AdaptationProtocol, QoSBounds, QoSRequest, audio_request
+from repro.des import Environment
+from repro.network import line_topology
+from repro.network.routing import shortest_path
+from repro.profiles import CellClass
+from repro.traffic import Connection, FlowSpec
+from repro.wireless import Cell, HandoffEngine, Portable
+
+
+scenario = st.tuples(
+    st.integers(min_value=3, max_value=6),                    # switches
+    st.lists(
+        st.tuples(
+            st.integers(0, 4),                                # start index
+            st.integers(1, 5),                                # span
+            st.sampled_from([15.0, 60.0, 1000.0]),            # b_max
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario)
+def test_adaptation_always_converges_to_maxmin(params):
+    """Theorem 1 as a property: arbitrary line scenarios converge exactly."""
+    switches, conn_specs = params
+    topo = line_topology(switches, capacity=200.0, prop_delay=0.001)
+    env = Environment()
+    protocol = AdaptationProtocol(env, topo)
+    for i, (start, span, b_max) in enumerate(conn_specs):
+        a = min(start, switches - 2)
+        b = min(a + span, switches - 1)
+        qos = QoSRequest(
+            flowspec=FlowSpec(sigma=1.0, rho=10.0),
+            bounds=QoSBounds(10.0, max(10.0, b_max)),
+        )
+        conn = Connection(src=f"s{a}", dst=f"s{b}", qos=qos, conn_id=f"c{i}")
+        conn.activate(shortest_path(topo, conn.src, conn.dst), 10.0, 0.0)
+        protocol.register_connection(conn)
+    env.run()
+
+    reference = protocol.reference_allocation()
+    for conn_id, excess in reference.items():
+        conn = protocol.connections[conn_id]
+        assert protocol.rate_of(conn_id) == pytest.approx(
+            conn.b_min + excess, abs=1e-3
+        )
+        # Rates never violate negotiated bounds.
+        assert conn.rate <= conn.b_max + 1e-9
+        assert conn.rate >= conn.b_min - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),   # portables
+    st.floats(min_value=40.0, max_value=400.0),
+    st.integers(min_value=0, max_value=3000),
+)
+def test_handoff_engine_conserves_connections(n_portables, capacity, seed):
+    """Every connection ends up either allocated at the target or dropped —
+    never duplicated, never leaked at the source."""
+    rng = random.Random(seed)
+    src = Cell("src", capacity=10_000.0, cell_class=CellClass.CORRIDOR)
+    dst = Cell("dst", capacity=capacity, cell_class=CellClass.DEFAULT)
+    src.add_neighbor("dst")
+    dst.add_neighbor("src")
+    cells = {"src": src, "dst": dst}
+    engine = HandoffEngine(get_cell=cells.__getitem__)
+
+    conns = []
+    for i in range(n_portables):
+        p = Portable(f"p{i}")
+        p.move_to("src", 0.0)
+        src.enter(p.portable_id, 0.0)
+        conn = Connection(src="x", dst="y", qos=audio_request())
+        conn.activate(["x", "y"], 16.0, 0.0)
+        p.attach(conn)
+        src.link.admit(conn.conn_id, 16.0)
+        conns.append((p, conn))
+        if rng.random() < 0.4:
+            dst.reservations.reserve_for_portable(p.portable_id, 16.0)
+
+    moved = dropped = 0
+    for p, conn in conns:
+        outcome = engine.execute(p, "dst", now=1.0)
+        moved += len(outcome.moved)
+        dropped += len(outcome.dropped)
+
+    assert moved + dropped == n_portables
+    # Source link fully vacated.
+    assert not src.link.allocations
+    # Target carries exactly the moved connections, within capacity.
+    assert len(dst.link.allocations) == moved
+    assert dst.link.min_committed <= dst.link.capacity + 1e-9
+    # No negative reservation state.
+    assert dst.link.reserved >= -1e-9

@@ -1,0 +1,62 @@
+"""Tests for the Figure 5 replay harness internals."""
+
+import pytest
+
+from repro.experiments.figure5 import (
+    Figure5Config,
+    _ReplayHarness,
+    _bandwidth_quota,
+)
+import random
+
+
+def test_bandwidth_quota_deterministic_mix():
+    config = Figure5Config(students=40)
+    quota = _bandwidth_quota(config, random.Random(1))
+    assert len(quota) == 40
+    assert quota.count(config.bw_high) == 10   # exactly 25%
+    assert quota.count(config.bw_low) == 30
+    # Aggregate load is deterministic regardless of shuffle order.
+    assert sum(quota) == 10 * 64.0 + 30 * 16.0
+
+
+def test_offered_load_formula():
+    config = Figure5Config(students=35)
+    # 35 users at mean 28 kbps on 1600 kbps.
+    assert config.offered_load == pytest.approx(35 * 28.0 / 1600.0)
+
+
+def test_harness_reservation_capping():
+    config = Figure5Config(students=5)
+    harness = _ReplayHarness(config)
+    cell = harness.cells["class"]
+    # Uncapped booking may exceed headroom (the brute-force behavior).
+    booked = harness.place_reservation("p1", "class", 10_000.0)
+    assert booked == 10_000.0
+    harness.clear_reservations("p1")
+    # Capped booking respects the link headroom.
+    booked = harness.place_reservation("p2", "class", 10_000.0, cap=True)
+    assert booked <= cell.link.capacity
+    assert booked > 0
+
+
+def test_harness_retires_departed_portables():
+    config = Figure5Config(students=0, walkby_rate=0.05)
+    harness = _ReplayHarness(config)
+    portable = harness.ensure_portable("walker-1", now=0.0)
+    assert "walker-1" in harness.portables
+    outcome = harness.engine.execute(portable, "hall", now=1.0)
+    assert outcome.clean
+    outcome = harness.engine.execute(portable, "outside", now=2.0)
+    harness._retire(portable)
+    assert "walker-1" not in harness.portables
+    # Everything released.
+    for cell in harness.cells.values():
+        assert not cell.link.allocations
+
+
+def test_student_bandwidths_follow_quota_order():
+    config = Figure5Config(students=4)
+    harness = _ReplayHarness(config)
+    bws = [harness._bandwidth_for(f"attendee-{i}") for i in range(4)]
+    assert sorted(bws) == sorted(harness._bw_pool)

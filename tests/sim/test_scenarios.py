@@ -1,0 +1,37 @@
+"""Tests for the packaged campus-day scenario."""
+
+from repro.sim import run_campus_day
+
+
+def test_campus_day_exercises_the_whole_pipeline():
+    result = run_campus_day(seed=42, day_length=2 * 3600.0, patrons=6, walkers=3)
+    stats = result.stats
+    # Everybody opened connections.
+    assert stats.new_requests >= 10
+    assert stats.admitted > 0
+    # Mobility happened.
+    assert stats.handoff_attempts > 5
+    # Static office workers got upgraded beyond their floors.
+    assert result.static_upgrades > 0
+    assert result.final_rates
+
+
+def test_campus_day_reproducible():
+    a = run_campus_day(seed=7, day_length=3600.0, patrons=4, walkers=2)
+    b = run_campus_day(seed=7, day_length=3600.0, patrons=4, walkers=2)
+    assert a.stats.new_requests == b.stats.new_requests
+    assert a.stats.handoff_attempts == b.stats.handoff_attempts
+    assert a.handoffs == b.handoffs
+
+
+def test_office_week_replay_through_live_system():
+    from repro.sim import run_office_week
+
+    result = run_office_week(seed=1996)
+    tracked = result.reservation_hits + result.reservation_misses
+    assert tracked > 3000
+    # The predictor-driven reservations are right most of the time...
+    assert result.hit_rate > 0.6
+    # ...and at 1.6 Mbps cells the week passes without a single drop.
+    assert result.drops == 0
+    assert result.stats.handoff_attempts >= tracked

@@ -1,0 +1,91 @@
+"""Tests for the two-cell teletraffic simulator (Figure 6 substrate)."""
+
+import pytest
+
+from repro.sim import TwoCellConfig, TwoCellSimulator, figure6_config
+
+
+def run(policy="plain", horizon=120.0, seed=3, **kw):
+    config = figure6_config(policy=policy, horizon=horizon, seed=seed, **kw)
+    return TwoCellSimulator(config).run()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TwoCellConfig(capacity=0.0)
+    with pytest.raises(ValueError):
+        TwoCellConfig(policy="bogus")
+    with pytest.raises(ValueError):
+        TwoCellConfig(horizon=10.0, warmup=20.0)
+
+
+def test_reproducible_with_seed():
+    a = run(seed=5)
+    b = run(seed=5)
+    assert a.stats.new_requests == b.stats.new_requests
+    assert a.stats.handoff_drops == b.stats.handoff_drops
+    c = run(seed=6)
+    assert (
+        c.stats.new_requests != a.stats.new_requests
+        or c.stats.handoff_attempts != a.stats.handoff_attempts
+    )
+
+
+def test_workload_statistics_plausible():
+    result = run(horizon=120.0)
+    stats = result.stats
+    # lambda_total = 31 per cell, two cells, minus warmup.
+    expected = 2 * 31 * (120.0 - 20.0)
+    assert stats.new_requests == pytest.approx(expected, rel=0.1)
+    # With h = 0.7, handoff attempts are a substantial share of admissions.
+    assert stats.handoff_attempts > stats.admitted
+    assert stats.completed > 0
+
+
+def test_bandwidth_never_exceeds_capacity():
+    config = figure6_config(policy="plain", horizon=60.0, seed=2)
+    sim = TwoCellSimulator(config)
+
+    violations = []
+
+    def monitor():
+        while True:
+            yield sim.env.timeout(0.05)
+            for cell in sim.CELLS:
+                if sim._bandwidth_used(cell) > config.capacity + 1e-9:
+                    violations.append(sim.env.now)
+
+    sim.env.process(monitor())
+    sim.run()
+    assert violations == []
+
+
+def test_static_policy_blocks_more_drops_less_than_plain():
+    plain = run(policy="plain", horizon=250.0)
+    static = run(policy="static", static_reserve=6.0, horizon=250.0)
+    assert static.blocking_probability > plain.blocking_probability
+    assert static.dropping_probability <= plain.dropping_probability
+
+
+def test_probabilistic_policy_trades_blocking_for_dropping():
+    strict = run(policy="probabilistic", window=0.05, p_qos=0.001, horizon=250.0)
+    loose = run(policy="probabilistic", window=0.05, p_qos=0.5, horizon=250.0)
+    assert strict.blocking_probability >= loose.blocking_probability
+    assert strict.dropping_probability <= loose.dropping_probability
+
+
+def test_loose_pqos_approaches_plain_admission():
+    loose = run(policy="probabilistic", window=0.05, p_qos=0.9999, horizon=250.0)
+    plain = run(policy="plain", horizon=250.0)
+    assert loose.blocking_probability == pytest.approx(
+        plain.blocking_probability, abs=0.01
+    )
+    assert loose.dropping_probability == pytest.approx(
+        plain.dropping_probability, abs=0.01
+    )
+
+
+def test_warmup_excluded_from_counts():
+    short = run(policy="plain", horizon=60.0, warmup=50.0)
+    long = run(policy="plain", horizon=60.0, warmup=5.0)
+    assert short.stats.new_requests < long.stats.new_requests

@@ -1,0 +1,53 @@
+"""Tests for teletraffic counters."""
+
+import pytest
+
+from repro.stats import TeletrafficStats
+
+
+def test_blocking_probability():
+    stats = TeletrafficStats()
+    assert stats.blocking_probability == 0.0
+    for admitted in (True, True, False, True):
+        stats.record_request(admitted)
+    assert stats.new_requests == 4
+    assert stats.blocked == 1
+    assert stats.blocking_probability == pytest.approx(0.25)
+
+
+def test_dropping_probability():
+    stats = TeletrafficStats()
+    assert stats.dropping_probability == 0.0
+    stats.record_handoff(attempts=10, drops=2)
+    assert stats.dropping_probability == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        stats.record_handoff(attempts=1, drops=2)
+
+
+def test_completions_and_extra_counters():
+    stats = TeletrafficStats()
+    stats.record_completion(3)
+    stats.bump("claims")
+    stats.bump("claims", 4)
+    assert stats.completed == 3
+    assert stats.extra["claims"] == 5
+
+
+def test_merge_pools_runs():
+    a = TeletrafficStats()
+    a.record_request(True)
+    a.record_handoff(5, 1)
+    a.bump("x", 2)
+    b = TeletrafficStats()
+    b.record_request(False)
+    b.record_handoff(5, 0)
+    b.bump("x", 3)
+    b.bump("y")
+    merged = a.merge(b)
+    assert merged.new_requests == 2
+    assert merged.blocked == 1
+    assert merged.handoff_attempts == 10
+    assert merged.dropping_probability == pytest.approx(0.1)
+    assert merged.extra == {"x": 5, "y": 1}
+    # Originals untouched.
+    assert a.new_requests == 1

@@ -1,0 +1,99 @@
+"""Tests for the Kaufman-Roberts / Erlang-B analytic oracle, including the
+cross-validation of the two-cell simulator against it."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import TwoCellConfig, TwoCellSimulator
+from repro.stats import erlang_b, kaufman_roberts, multirate_blocking
+from repro.traffic import TypeSpec
+
+
+def test_erlang_b_known_values():
+    # Classic table values.
+    assert erlang_b(1, 1.0) == pytest.approx(0.5)
+    assert erlang_b(2, 1.0) == pytest.approx(0.2)
+    assert erlang_b(10, 5.0) == pytest.approx(0.018385, abs=1e-5)
+    assert erlang_b(0, 3.0) == pytest.approx(1.0)
+    assert erlang_b(5, 0.0) == 0.0
+
+
+def test_erlang_b_validation():
+    with pytest.raises(ValueError):
+        erlang_b(-1, 1.0)
+    with pytest.raises(ValueError):
+        erlang_b(1, -1.0)
+
+
+def test_kaufman_roberts_reduces_to_erlang_b():
+    """Single class with b=1: blocking equals Erlang-B."""
+    for servers, load in [(5, 2.0), (12, 9.0), (40, 30.0)]:
+        blocking = multirate_blocking(servers, [(1, load)])[0]
+        assert blocking == pytest.approx(erlang_b(servers, load), abs=1e-12)
+
+
+def test_kaufman_roberts_distribution_properties():
+    q = kaufman_roberts(10, [(1, 3.0), (2, 1.0)])
+    assert q.sum() == pytest.approx(1.0)
+    assert (q >= 0).all()
+    assert len(q) == 11
+
+
+def test_kaufman_roberts_validation():
+    with pytest.raises(ValueError):
+        kaufman_roberts(-1, [(1, 1.0)])
+    with pytest.raises(ValueError):
+        kaufman_roberts(5, [(0, 1.0)])
+    with pytest.raises(ValueError):
+        kaufman_roberts(5, [(1, -1.0)])
+
+
+def test_wider_classes_block_more():
+    blocking = multirate_blocking(20, [(1, 8.0), (4, 2.0)])
+    assert blocking[1] > blocking[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.floats(min_value=0.1, max_value=30.0),
+)
+def test_property_blocking_monotone_in_capacity(capacity, load):
+    b_small = multirate_blocking(capacity, [(1, load)])[0]
+    b_large = multirate_blocking(capacity + 5, [(1, load)])[0]
+    assert b_large <= b_small + 1e-12
+
+
+def test_two_cell_simulator_matches_kaufman_roberts():
+    """With handoffs disabled the simulator is a multi-rate loss system:
+    measured per-request blocking must match the analytic oracle.
+
+    Load is raised (half the Figure 6 capacity) so blocking is well above
+    Monte-Carlo noise.
+    """
+    types = (
+        TypeSpec(bandwidth=1.0, arrival_rate=30.0, holding_mean=0.4,
+                 handoff_prob=0.0),
+        TypeSpec(bandwidth=4.0, arrival_rate=2.0, holding_mean=0.5,
+                 handoff_prob=0.0),
+    )
+    capacity = 20
+    offers = [(1, 30.0 * 0.4), (4, 2.0 * 0.5)]
+    analytic = multirate_blocking(capacity, offers)
+    # Aggregate (request-weighted) blocking probability.
+    rates = [t.arrival_rate for t in types]
+    expected = sum(b * r for b, r in zip(analytic, rates)) / sum(rates)
+
+    measured = 0.0
+    requests = 0
+    for seed in (1, 2, 3, 4):
+        config = TwoCellConfig(
+            capacity=float(capacity), types=types, policy="plain",
+            seed=seed, horizon=400.0, warmup=40.0,
+        )
+        stats = TwoCellSimulator(config).run().stats
+        measured += stats.blocked
+        requests += stats.new_requests
+    measured /= requests
+
+    assert measured == pytest.approx(expected, rel=0.12)

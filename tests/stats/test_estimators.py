@@ -1,0 +1,69 @@
+"""Tests for interval estimators."""
+
+import random
+
+import pytest
+
+from repro.stats import batch_means, mean_confidence_interval, wilson_interval
+
+
+def test_mean_ci_basic():
+    mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    assert lo < 2.0 < hi
+
+
+def test_mean_ci_single_sample_degenerate():
+    mean, lo, hi = mean_confidence_interval([5.0])
+    assert mean == lo == hi == 5.0
+    with pytest.raises(ValueError):
+        mean_confidence_interval([])
+
+
+def test_mean_ci_coverage():
+    """~95% of CIs over N(0,1) samples should cover 0."""
+    rng = random.Random(12)
+    covered = 0
+    trials = 300
+    for _ in range(trials):
+        samples = [rng.gauss(0, 1) for _ in range(30)]
+        _, lo, hi = mean_confidence_interval(samples)
+        if lo <= 0 <= hi:
+            covered += 1
+    assert covered / trials > 0.88
+
+
+def test_wilson_validation():
+    with pytest.raises(ValueError):
+        wilson_interval(1, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(5, 3)
+
+
+def test_wilson_bounds_sane():
+    p, lo, hi = wilson_interval(2, 100)
+    assert lo < p < hi
+    assert 0.0 <= lo and hi <= 1.0
+    # Zero successes still gives a positive upper bound.
+    p0, lo0, hi0 = wilson_interval(0, 50)
+    assert p0 == 0.0
+    assert lo0 == 0.0
+    assert hi0 > 0.0
+
+
+def test_wilson_narrows_with_samples():
+    _, lo1, hi1 = wilson_interval(5, 50)
+    _, lo2, hi2 = wilson_interval(50, 500)
+    assert (hi2 - lo2) < (hi1 - lo1)
+
+
+def test_batch_means_validation():
+    with pytest.raises(ValueError):
+        batch_means([1.0] * 5, batches=1)
+    with pytest.raises(ValueError):
+        batch_means([1.0] * 5, batches=10)
+
+
+def test_batch_means_constant_series():
+    mean, lo, hi = batch_means([3.0] * 100, batches=10)
+    assert mean == lo == hi == 3.0

@@ -1,0 +1,73 @@
+"""Tests for binned event series."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import BinnedSeries
+
+
+def test_bin_width_validation():
+    with pytest.raises(ValueError):
+        BinnedSeries(0.0)
+
+
+def test_events_fall_into_correct_bins():
+    series = BinnedSeries(bin_width=60.0)
+    series.add(10.0)
+    series.add(59.9)
+    series.add(60.0)
+    assert series.count_at(0.0) == 2
+    assert series.count_at(60.0) == 1
+    assert series.total == 3
+
+
+def test_origin_shifts_bins():
+    series = BinnedSeries(bin_width=60.0, origin=30.0)
+    series.add(30.0)
+    series.add(89.9)
+    series.add(90.0)
+    assert series.count_at(30.0) == 2
+    assert series.count_at(90.0) == 1
+
+
+def test_negative_times_supported():
+    series = BinnedSeries(bin_width=10.0)
+    series.add(-5.0)
+    assert series.count_at(-1.0) == 1
+
+
+def test_series_dense_over_range():
+    series = BinnedSeries(bin_width=10.0)
+    series.add(5.0)
+    series.add(35.0, n=2)
+    rows = series.series(0.0, 50.0)
+    assert rows == [(0.0, 1), (10.0, 0), (20.0, 0), (30.0, 2), (40.0, 0)]
+
+
+def test_series_defaults_to_observed_extent():
+    series = BinnedSeries(bin_width=10.0)
+    series.add(12.0)
+    series.add(41.0)
+    rows = series.series()
+    assert rows[0] == (10.0, 1)
+    assert rows[-1] == (40.0, 1)
+    assert BinnedSeries(1.0).series() == []
+
+
+def test_peak():
+    series = BinnedSeries(bin_width=10.0)
+    series.add(5.0)
+    series.add(25.0, n=3)
+    assert series.peak() == (20.0, 3)
+    with pytest.raises(ValueError):
+        BinnedSeries(1.0).peak()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0), max_size=200))
+def test_property_total_preserved(times):
+    series = BinnedSeries(bin_width=7.0)
+    for t in times:
+        series.add(t)
+    if times:
+        assert sum(series.counts()) == len(times)
+    assert series.total == len(times)

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_enumerates_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(EXPERIMENTS)
+
+
+def test_single_experiment_runs(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "=== table2 ===" in out
+    assert "admission round-trip outcomes" in out
+
+
+def test_figure2_runs(capsys):
+    assert main(["figure2"]) == 0
+    assert "Figure 2" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure99"])

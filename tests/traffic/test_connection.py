@@ -1,0 +1,68 @@
+"""Tests for the Connection lifecycle state machine."""
+
+import pytest
+
+from repro.core import audio_request
+from repro.traffic import Connection, ConnectionState
+
+
+def make_conn():
+    return Connection(src="a", dst="b", qos=audio_request())
+
+
+def test_auto_assigned_unique_ids():
+    c1, c2 = make_conn(), make_conn()
+    assert c1.conn_id != c2.conn_id
+
+
+def test_activate_sets_route_rate_and_time():
+    conn = make_conn()
+    conn.activate(["a", "m", "b"], rate=16.0, now=3.0)
+    assert conn.state is ConnectionState.ACTIVE
+    assert conn.route == ["a", "m", "b"]
+    assert conn.rate == 16.0
+    assert conn.started_at == 3.0
+
+
+def test_lifecycle_transitions_guarded():
+    conn = make_conn()
+    with pytest.raises(RuntimeError):
+        conn.drop(0.0)  # cannot drop before activation
+    with pytest.raises(RuntimeError):
+        conn.terminate(0.0)
+    conn.activate(["a", "b"], 16.0, 0.0)
+    with pytest.raises(RuntimeError):
+        conn.activate(["a", "b"], 16.0, 1.0)  # double activation
+    with pytest.raises(RuntimeError):
+        conn.block(1.0)  # already active
+    conn.terminate(5.0)
+    assert conn.state is ConnectionState.TERMINATED
+    assert conn.ended_at == 5.0
+    with pytest.raises(RuntimeError):
+        conn.drop(6.0)  # already finished
+
+
+def test_block_path():
+    conn = make_conn()
+    conn.block(2.0)
+    assert conn.state is ConnectionState.BLOCKED
+    assert conn.ended_at == 2.0
+
+
+def test_drop_path():
+    conn = make_conn()
+    conn.activate(["a", "b"], 16.0, 0.0)
+    conn.drop(4.0)
+    assert conn.state is ConnectionState.DROPPED
+
+
+def test_is_adaptive_reflects_bounds():
+    assert make_conn().is_adaptive  # audio: [16, 64]
+    fixed = Connection(src="a", dst="b", qos=audio_request(b_min=16, b_max=16))
+    assert not fixed.is_adaptive
+
+
+def test_bandwidth_accessors():
+    conn = make_conn()
+    assert conn.b_min == 16.0
+    assert conn.b_max == 64.0

@@ -1,0 +1,55 @@
+"""Tests for the (sigma, rho) token-bucket envelope."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic import FlowSpec
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FlowSpec(sigma=-1.0, rho=1.0)
+    with pytest.raises(ValueError):
+        FlowSpec(sigma=1.0, rho=0.0)
+    with pytest.raises(ValueError):
+        FlowSpec(sigma=1.0, rho=1.0, l_max=0.0)
+
+
+def test_max_bits_envelope():
+    spec = FlowSpec(sigma=10.0, rho=2.0)
+    assert spec.max_bits(0.0) == 10.0
+    assert spec.max_bits(5.0) == 20.0
+    with pytest.raises(ValueError):
+        spec.max_bits(-1.0)
+
+
+def test_conformance_check():
+    spec = FlowSpec(sigma=10.0, rho=2.0)
+    assert spec.conforms(bits=20.0, interval=5.0)
+    assert not spec.conforms(bits=20.1, interval=5.0)
+
+
+def test_scaled_to_rate_preserves_burst():
+    spec = FlowSpec(sigma=10.0, rho=2.0, l_max=1.5)
+    scaled = spec.scaled_to_rate(8.0)
+    assert scaled.rho == 8.0
+    assert scaled.sigma == spec.sigma
+    assert scaled.l_max == spec.l_max
+
+
+def test_frozen():
+    spec = FlowSpec(sigma=1.0, rho=1.0)
+    with pytest.raises(Exception):
+        spec.rho = 2.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=0.001, max_value=1e6),
+    st.floats(min_value=0.0, max_value=1e4),
+    st.floats(min_value=0.0, max_value=1e4),
+)
+def test_envelope_superadditive(sigma, rho, t1, t2):
+    """sigma is charged once: A(t1+t2) <= A(t1) + A(t2)."""
+    spec = FlowSpec(sigma=sigma, rho=rho)
+    assert spec.max_bits(t1 + t2) <= spec.max_bits(t1) + spec.max_bits(t2) + 1e-6

@@ -1,0 +1,134 @@
+"""Tests for the base-station control agent (Section 6.4 cascade)."""
+
+import pytest
+
+from repro.core import StaticMobileClassifier, audio_request
+from repro.core.prediction import PredictionLevel
+from repro.profiles import CellClass, ProfileServer
+from repro.traffic import Connection
+from repro.wireless import BaseStation, Cell, Portable
+
+
+def build():
+    cells = {
+        "office": Cell("office", capacity=160.0, cell_class=CellClass.OFFICE),
+        "corridor": Cell("corridor", capacity=160.0, cell_class=CellClass.CORRIDOR),
+        "lounge": Cell("lounge", capacity=160.0, cell_class=CellClass.DEFAULT),
+    }
+    cells["office"].add_neighbor("corridor")
+    cells["corridor"].add_neighbor("office")
+    cells["corridor"].add_neighbor("lounge")
+    cells["lounge"].add_neighbor("corridor")
+    cells["office"].occupants.add("worker")
+    server = ProfileServer()
+    for cid, cell in cells.items():
+        profile = server.register_cell(cid, cell.cell_class,
+                                       neighbors=sorted(cell.neighbors, key=repr))
+        profile.occupants |= cell.occupants
+    statmob = StaticMobileClassifier(threshold=100.0)
+    stations = {
+        cid: BaseStation(cell, server, statmob, cells.__getitem__)
+        for cid, cell in cells.items()
+    }
+    return cells, server, statmob, stations
+
+
+def with_connection(pid, cell_id, cells):
+    p = Portable(pid)
+    p.move_to(cell_id, 0.0)
+    conn = Connection(src="x", dst="y", qos=audio_request())
+    conn.activate(["x", "y"], 16.0, 0.0)
+    p.attach(conn)
+    return p
+
+
+def test_static_portable_gets_no_reservation():
+    cells, server, statmob, stations = build()
+    p = with_connection("worker", "office", cells)
+    statmob.observe("worker", "office", 0.0)
+    prediction = stations["office"].plan_advance_reservation(p, now=200.0)
+    assert prediction is None
+    assert stations["office"].predictions_skipped_static == 1
+    assert cells["corridor"].reservations.targeted_for("worker") == 0.0
+
+
+def test_occupant_in_own_office_no_reservation():
+    """Section 6.4 office rule 2: an occupant at home is expected to stay."""
+    cells, server, statmob, stations = build()
+    p = with_connection("worker", "office", cells)
+    prediction = stations["office"].plan_advance_reservation(p, now=0.0)
+    assert prediction is not None
+    assert prediction.cell is None
+    for cell in cells.values():
+        assert cell.reservations.targeted_for("worker") == 0.0
+
+
+def test_corridor_occupant_rule_reserves_home_office():
+    cells, server, statmob, stations = build()
+    p = with_connection("worker", "corridor", cells)
+    prediction = stations["corridor"].plan_advance_reservation(p, now=0.0)
+    assert prediction.cell == "office"
+    assert prediction.level is PredictionLevel.CELL_PROFILE
+    assert cells["office"].reservations.targeted_for("worker") == pytest.approx(16.0)
+
+
+def test_portable_profile_beats_occupant_rule():
+    cells, server, statmob, stations = build()
+    p = with_connection("worker", "corridor", cells)
+    p.previous_cell = "office"
+    # History says: coming from office, the worker heads to the lounge.
+    server.seed_presence("worker", "office")
+    for _ in range(3):
+        server.report_handoff("worker", "office", "corridor")
+        server.report_handoff("worker", "corridor", "lounge")
+        server.report_handoff("worker", "lounge", "corridor")
+        server.report_handoff("worker", "corridor", "office")
+    prediction = stations["corridor"].plan_advance_reservation(p, now=0.0)
+    assert prediction.level is PredictionLevel.PORTABLE_PROFILE
+    assert prediction.cell == "lounge"
+    assert cells["lounge"].reservations.targeted_for("worker") == pytest.approx(16.0)
+
+
+def test_moving_reservation_releases_old_target():
+    cells, server, statmob, stations = build()
+    p = with_connection("worker", "corridor", cells)
+    stations["corridor"].plan_advance_reservation(p, now=0.0)
+    assert cells["office"].reservations.targeted_for("worker") == 16.0
+    # Teach a strong (prev, cur) -> lounge triplet; replan moves the booking.
+    server.seed_presence("worker", "office")
+    for _ in range(3):
+        server.report_handoff("worker", "office", "corridor")
+        server.report_handoff("worker", "corridor", "lounge")
+        server.report_handoff("worker", "lounge", "office")
+    p.previous_cell = "office"
+    stations["corridor"].plan_advance_reservation(p, now=0.0)
+    assert cells["office"].reservations.targeted_for("worker") == 0.0
+    assert cells["lounge"].reservations.targeted_for("worker") == 16.0
+
+
+def test_default_prediction_makes_no_targeted_reservation():
+    cells, server, statmob, stations = build()
+    p = with_connection("stranger", "lounge", cells)
+    prediction = stations["lounge"].plan_advance_reservation(p, now=0.0)
+    assert prediction.cell is None
+    assert prediction.level is PredictionLevel.DEFAULT
+    for cell in cells.values():
+        assert cell.reservations.targeted_for("stranger") == 0.0
+
+
+def test_no_demand_no_reservation():
+    cells, server, statmob, stations = build()
+    p = Portable("idle")
+    p.move_to("corridor", 0.0)
+    prediction = stations["corridor"].plan_advance_reservation(p, now=0.0)
+    assert prediction is None
+
+
+def test_withdraw_reservation_idempotent():
+    cells, server, statmob, stations = build()
+    p = with_connection("worker", "corridor", cells)
+    stations["corridor"].plan_advance_reservation(p, now=0.0)
+    stations["corridor"].withdraw_reservation("worker")
+    stations["corridor"].withdraw_reservation("worker")
+    assert cells["office"].reservations.targeted_for("worker") == 0.0
+    assert stations["corridor"].reservation_target("worker") is None

@@ -1,0 +1,45 @@
+"""Tests for the Cell abstraction."""
+
+import pytest
+
+from repro.profiles import CellClass
+from repro.wireless import Cell
+
+
+def test_cell_wires_link_and_ledger():
+    cell = Cell("A", capacity=1600.0, cell_class=CellClass.OFFICE)
+    assert cell.capacity == 1600.0
+    assert cell.link.src == "bs:A"
+    assert cell.link.dst == "air:A"
+    # The B_dyn pool is live from the start.
+    assert cell.link.reserved == pytest.approx(0.05 * 1600.0)
+
+
+def test_free_capacity_accounts_for_pool_and_floors():
+    cell = Cell("A", capacity=100.0)
+    cell.link.admit("c1", 30.0)
+    assert cell.load == 30.0
+    assert cell.free_capacity == pytest.approx(100.0 - 5.0 - 30.0)
+
+
+def test_neighbors_no_self_loop():
+    cell = Cell("A", capacity=10.0)
+    cell.add_neighbor("B")
+    assert cell.neighbors == {"B"}
+    with pytest.raises(ValueError):
+        cell.add_neighbor("A")
+
+
+def test_presence_tracking():
+    cell = Cell("A", capacity=10.0)
+    cell.enter("p", now=5.0)
+    assert cell.occupancy() == 1
+    assert cell.present["p"] == 5.0
+    assert cell.leave("p") == 5.0
+    assert cell.leave("ghost") is None
+    assert cell.occupancy() == 0
+
+
+def test_error_prob_propagates_to_link():
+    cell = Cell("A", capacity=10.0, error_prob=0.02)
+    assert cell.link.error_prob == 0.02

@@ -1,0 +1,76 @@
+"""Tests for the Gilbert-Elliott channel model."""
+
+import random
+
+import pytest
+
+from repro.des import Environment
+from repro.wireless import ChannelState, GilbertElliottChannel
+
+
+def make(**kw):
+    defaults = dict(mean_good=10.0, mean_bad=2.0, loss_good=0.01, loss_bad=0.5)
+    defaults.update(kw)
+    return GilbertElliottChannel(random.Random(3), **defaults)
+
+
+def test_validation():
+    rng = random.Random(1)
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(rng, mean_good=0.0)
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(rng, loss_bad=1.5)
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(rng, capacity_factor_bad=0.0)
+
+
+def test_starts_good():
+    channel = make()
+    assert channel.state is ChannelState.GOOD
+    assert channel.loss_probability == 0.01
+    assert channel.capacity_factor() == 1.0
+
+
+def test_steady_state_loss_weighted_average():
+    channel = make(mean_good=9.0, mean_bad=1.0, loss_good=0.0, loss_bad=0.3)
+    assert channel.steady_state_loss() == pytest.approx(0.03)
+
+
+def test_packet_loss_statistics_per_state():
+    channel = make(loss_good=0.0, loss_bad=1.0)
+    assert not any(channel.packet_lost() for _ in range(100))
+    channel.state = ChannelState.BAD
+    assert all(channel.packet_lost() for _ in range(100))
+
+
+def test_des_process_alternates_states():
+    env = Environment()
+    channel = make(mean_good=5.0, mean_bad=5.0)
+    flips = []
+    env.process(channel.run(env, on_change=lambda s, t: flips.append((s, t))))
+    env.run(until=200.0)
+    assert len(flips) >= 10
+    # Strictly alternating states.
+    for (s1, _), (s2, _) in zip(flips, flips[1:]):
+        assert s1 is not s2
+    assert channel.transitions == [(t, s) for s, t in flips]
+
+
+def test_sojourn_times_match_configuration():
+    env = Environment()
+    channel = make(mean_good=20.0, mean_bad=2.0)
+    env.process(channel.run(env))
+    env.run(until=20000.0)
+    times = [t for t, _ in channel.transitions]
+    durations = [b - a for a, b in zip(times, times[1:])]
+    # Transitions alternate GOOD-sojourn, BAD-sojourn, ...
+    good = durations[1::2]
+    bad = durations[0::2]
+    assert sum(good) / len(good) == pytest.approx(20.0, rel=0.25)
+    assert sum(bad) / len(bad) == pytest.approx(2.0, rel=0.25)
+
+
+def test_capacity_factor_in_bad_state():
+    channel = make(capacity_factor_bad=0.25)
+    channel.state = ChannelState.BAD
+    assert channel.capacity_factor() == 0.25

@@ -1,0 +1,160 @@
+"""Tests for the handoff engine's admission cascade."""
+
+import pytest
+
+from repro.core import audio_request
+from repro.profiles import CellClass
+from repro.traffic import Connection, ConnectionState
+from repro.wireless import Cell, HandoffEngine, Portable
+
+
+def build(target_capacity=100.0):
+    cells = {
+        "src": Cell("src", capacity=1000.0, cell_class=CellClass.CORRIDOR),
+        "dst": Cell("dst", capacity=target_capacity, cell_class=CellClass.DEFAULT),
+    }
+    cells["src"].add_neighbor("dst")
+    cells["dst"].add_neighbor("src")
+    engine = HandoffEngine(get_cell=cells.__getitem__)
+    return cells, engine
+
+
+def portable_with_conn(cells, bw=16.0):
+    p = Portable("p")
+    p.move_to("src", 0.0)
+    cells["src"].enter("p", 0.0)
+    conn = Connection(src="x", dst="y", qos=audio_request(b_min=bw, b_max=bw))
+    conn.activate(["x", "y"], bw, 0.0)
+    p.attach(conn)
+    cells["src"].link.admit(conn.conn_id, bw)
+    return p, conn
+
+
+def test_clean_handoff_moves_allocation():
+    cells, engine = build()
+    p, conn = portable_with_conn(cells)
+    outcome = engine.execute(p, "dst", now=1.0)
+    assert outcome.clean
+    assert conn.conn_id in cells["dst"].link.allocations
+    assert conn.conn_id not in cells["src"].link.allocations
+    assert p.current_cell == "dst"
+    assert conn.handoffs == 1
+    assert "p" in cells["dst"].present
+    assert "p" not in cells["src"].present
+
+
+def test_handoff_rate_resets_to_floor():
+    cells, engine = build()
+    p = Portable("p")
+    p.move_to("src", 0.0)
+    conn = Connection(src="x", dst="y", qos=audio_request())  # [16, 64]
+    conn.activate(["x", "y"], 16.0, 0.0)
+    conn.rate = 64.0  # upgraded while static
+    p.attach(conn)
+    cells["src"].link.admit(conn.conn_id, 16.0)
+    engine.execute(p, "dst", now=1.0)
+    assert conn.rate == 16.0
+
+
+def test_drop_when_target_saturated():
+    cells, engine = build(target_capacity=40.0)
+    p, conn = portable_with_conn(cells)
+    cells["dst"].link.admit("bg", 38.0)
+    cells["dst"].reservations.set_pool(0.0)  # clamps to 5% = 2.0
+    outcome = engine.execute(p, "dst", now=1.0)
+    assert not outcome.clean
+    assert conn.state is ConnectionState.DROPPED
+    assert conn not in p.connections
+    # The portable itself still moved.
+    assert p.current_cell == "dst"
+
+
+def test_targeted_reservation_rescues_handoff():
+    cells, engine = build(target_capacity=40.0)
+    p, conn = portable_with_conn(cells)
+    cells["dst"].reservations.reserve_for_portable("p", 16.0)
+    cells["dst"].link.admit("bg", 22.0)  # leaves 0 free beyond resv + pool
+    outcome = engine.execute(p, "dst", now=1.0)
+    assert outcome.clean
+    assert outcome.claimed_targeted == pytest.approx(16.0)
+    # The reservation was consumed.
+    assert cells["dst"].reservations.targeted_for("p") == 0.0
+
+
+def test_aggregate_pool_draw():
+    cells, engine = build(target_capacity=40.0)
+    p, conn = portable_with_conn(cells)
+    cells["dst"].reservations.reserve_aggregate(("meeting", "dst"), 16.0)
+    cells["dst"].link.admit("bg", 22.0)
+    outcome = engine.execute(p, "dst", now=1.0)
+    assert outcome.clean
+    assert outcome.claimed_aggregate == pytest.approx(16.0)
+    assert cells["dst"].reservations.aggregate_for(("meeting", "dst")) == 0.0
+
+
+def test_pool_draw_for_unforeseen_arrival():
+    cells, engine = build(target_capacity=100.0)
+    p, conn = portable_with_conn(cells)
+    # Pool is 5 (5% of 100).  Floors of 80 leave 15 free beyond the pool:
+    # the 16-unit arrival needs 1 unit from B_dyn.
+    cells["dst"].link.admit("bg", 80.0)
+    outcome = engine.execute(p, "dst", now=1.0)
+    assert outcome.clean
+    assert outcome.claimed_pool == pytest.approx(1.0)
+    assert cells["dst"].reservations.pool == pytest.approx(4.0)
+
+
+def test_best_effort_connections_always_move():
+    from repro.core.qos import QoSRequest
+    from repro.traffic import FlowSpec
+
+    cells, engine = build(target_capacity=40.0)
+    cells["dst"].link.admit("bg", 40.0 - 2.0)
+    p = Portable("p")
+    p.move_to("src", 0.0)
+    conn = Connection(
+        src="x", dst="y",
+        qos=QoSRequest(flowspec=FlowSpec(sigma=1.0, rho=1.0), bounds=None),
+    )
+    conn.activate(["x", "y"], 0.0, 0.0)
+    p.attach(conn)
+    outcome = engine.execute(p, "dst", now=1.0)
+    assert outcome.clean
+    assert conn.state is ConnectionState.ACTIVE
+
+
+def test_partial_bundle_drop():
+    """Only the connection that does not fit is dropped."""
+    cells, engine = build(target_capacity=40.0)
+    p = Portable("p")
+    p.move_to("src", 0.0)
+    conns = []
+    for bw in (16.0, 16.0):
+        conn = Connection(src="x", dst="y", qos=audio_request(b_min=bw, b_max=bw))
+        conn.activate(["x", "y"], bw, 0.0)
+        p.attach(conn)
+        cells["src"].link.admit(conn.conn_id, bw)
+        conns.append(conn)
+    cells["dst"].link.admit("bg", 20.0)
+    cells["dst"].reservations.set_pool(0.0)
+    outcome = engine.execute(p, "dst", now=1.0)
+    assert len(outcome.moved) == 1
+    assert len(outcome.dropped) == 1
+    states = sorted(c.state.value for c in conns)
+    assert states == ["active", "dropped"]
+
+
+def test_observer_callback_invoked():
+    seen = []
+    cells = {
+        "src": Cell("src", capacity=100.0),
+        "dst": Cell("dst", capacity=100.0),
+    }
+    engine = HandoffEngine(
+        get_cell=cells.__getitem__,
+        on_handoff=lambda outcome, now: seen.append((outcome.to_cell, now)),
+    )
+    p, conn = portable_with_conn(cells)
+    engine.execute(p, "dst", now=7.0)
+    assert seen == [("dst", 7.0)]
+    assert len(engine.outcomes) == 1
