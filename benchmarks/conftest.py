@@ -17,7 +17,7 @@ def report():
     """Callable ``report(name, text)`` printing + persisting an artifact."""
 
     def _report(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")

@@ -5,7 +5,15 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro table2               # run one experiment, print it
     python -m repro figure5
+    python -m repro --jobs 4 figure6     # parallel sweep execution
     python -m repro all                  # run everything (slow)
+
+Sweep-style experiments dispatch through
+:class:`repro.runtime.ExperimentRunner`; ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) fans replications out over a process
+pool, and ``--cache`` persists per-config results under
+``benchmarks/.cache/`` so re-runs only simulate new points.  Results are
+bit-identical regardless of the worker count.
 """
 
 from __future__ import annotations
@@ -14,14 +22,16 @@ import argparse
 import sys
 from typing import Callable, Dict
 
+from .runtime import ExperimentRunner, ResultCache
 
-def _table2() -> str:
+
+def _table2(runner: ExperimentRunner) -> str:
     from .experiments import render_table2, run_table2
 
-    return render_table2(run_table2())
+    return render_table2(run_table2(runner=runner))
 
 
-def _figure2() -> str:
+def _figure2(runner: ExperimentRunner) -> str:
     from .experiments.common import format_series
     from .mobility import class_session_trace
     from .stats import BinnedSeries
@@ -47,27 +57,27 @@ def _figure2() -> str:
     )
 
 
-def _figure4() -> str:
-    from .experiments import render_figure4, run_figure4
+def _figure4(runner: ExperimentRunner) -> str:
+    from .experiments import render_figure4, run_figure4_sweep
 
-    return render_figure4(run_figure4())
+    return render_figure4(run_figure4_sweep(runner=runner)[0])
 
 
-def _figure5() -> str:
+def _figure5(runner: ExperimentRunner) -> str:
     from .experiments import render_figure5, run_figure5_comparison
 
-    return render_figure5(run_figure5_comparison())
+    return render_figure5(run_figure5_comparison(runner=runner))
 
 
-def _figure6() -> str:
+def _figure6(runner: ExperimentRunner) -> str:
     from .experiments import render_figure6, run_figure6, run_plain_baseline
 
-    points = run_figure6(seeds=(1, 2), horizon=200.0)
-    baseline = run_plain_baseline(seeds=(1, 2), horizon=200.0)
+    points = run_figure6(seeds=(1, 2), horizon=200.0, runner=runner)
+    baseline = run_plain_baseline(seeds=(1, 2), horizon=200.0, runner=runner)
     return render_figure6(points, baseline)
 
 
-def _ablations() -> str:
+def _ablations(runner: ExperimentRunner) -> str:
     from .experiments import (
         mlist_overhead,
         pool_fraction_sweep,
@@ -80,23 +90,25 @@ def _ablations() -> str:
     )
 
     parts = [
-        render_mlist_overhead(mlist_overhead()),
-        render_prediction_levels(prediction_levels()),
-        render_pool_fraction(pool_fraction_sweep(trials=200)),
+        render_mlist_overhead(mlist_overhead(runner=runner)),
+        render_prediction_levels(prediction_levels(runner=runner)),
+        render_pool_fraction(pool_fraction_sweep(trials=200, runner=runner)),
         render_static_vs_predictive(
-            static_vs_predictive(seeds=(1, 2), horizon=200.0)
+            static_vs_predictive(seeds=(1, 2), horizon=200.0, runner=runner)
         ),
     ]
     return "\n\n".join(parts)
 
 
-def _adaptation_value() -> str:
+def _adaptation_value(runner: ExperimentRunner) -> str:
     from .experiments import render_adaptation_value, run_adaptation_value
 
-    return render_adaptation_value(run_adaptation_value(duration=200.0))
+    return render_adaptation_value(
+        run_adaptation_value(duration=200.0, runner=runner)
+    )
 
 
-def _campus_day() -> str:
+def _campus_day(runner: ExperimentRunner) -> str:
     from .experiments.common import format_table
     from .sim import run_campus_day
 
@@ -116,7 +128,7 @@ def _campus_day() -> str:
     )
 
 
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
+EXPERIMENTS: Dict[str, Callable[[ExperimentRunner], str]] = {
     "table2": _table2,
     "figure2": _figure2,
     "figure4": _figure4,
@@ -138,6 +150,15 @@ def main(argv=None) -> int:
         choices=sorted(EXPERIMENTS) + ["list", "all"],
         help="which experiment to run ('list' to enumerate, 'all' for every one)",
     )
+    parser.add_argument(
+        "--jobs", "-j", default=None, metavar="N",
+        help="worker processes for sweeps (0 or 'auto' = all cores; "
+        "default: $REPRO_JOBS, else 1)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse previously simulated sweep points from benchmarks/.cache/",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -145,10 +166,13 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    runner = ExperimentRunner(
+        jobs=args.jobs, cache=ResultCache() if args.cache else None
+    )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"=== {name} ===")
-        print(EXPERIMENTS[name]())
+        print(EXPERIMENTS[name](runner))
         print()
     return 0
 

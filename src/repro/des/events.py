@@ -21,7 +21,13 @@ class Event:
     An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
     *triggers* it, scheduling it on the environment's queue; once the
     environment pops it, the event is *processed* and its callbacks run.
+
+    Events are the single hottest allocation in a simulation, so the core
+    hierarchy is ``__slots__``-ed; subclasses outside this module may still
+    add ad-hoc attributes (they get a ``__dict__`` automatically).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env):
         self.env = env
@@ -101,10 +107,16 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after ``delay`` time units."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env, delay: float, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__ — timeouts dominate event creation in the
+        # schedule/step hot path, and the extra super() frame is measurable.
+        self.env = env
+        self.callbacks = []
+        self.defused = False
         self._delay = delay
         self._ok = True
         self._value = value
@@ -124,6 +136,8 @@ class Condition(Event):
     The condition's value is a dict mapping each *processed* sub-event to its
     value, in the order the sub-events were given.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(self, env, evaluate, events):
         super().__init__(env)
@@ -172,12 +186,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that fires once *all* of ``events`` have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that fires once *any* of ``events`` has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):
         super().__init__(env, Condition.any_events, events)

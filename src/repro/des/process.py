@@ -18,6 +18,8 @@ __all__ = ["Process", "Initialize"]
 class Initialize(Event):
     """Immediate event that starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env, process: "Process"):
         super().__init__(env)
         self._ok = True
@@ -32,6 +34,8 @@ class Process(Event):
     The process's value is the generator's return value (``StopIteration``
     value), or the value passed to :meth:`Environment.exit`.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env, generator: Generator):
         if not hasattr(generator, "throw"):

@@ -6,6 +6,7 @@ Each module pairs a ``run_*`` function (returns structured results) with a
 """
 
 from .adaptation_value import (
+    AdaptationValueConfig,
     AdaptationValueResult,
     render_adaptation_value,
     run_adaptation_value,
@@ -20,7 +21,12 @@ from .ablations import (
     render_static_vs_predictive,
     static_vs_predictive,
 )
-from .figure4 import Figure4Result, render_figure4, run_figure4
+from .figure4 import (
+    Figure4Result,
+    render_figure4,
+    run_figure4,
+    run_figure4_sweep,
+)
 from .figure5 import (
     Figure5Config,
     Figure5Result,
@@ -38,6 +44,7 @@ from .figure6 import (
 from .table2 import Table2Case, build_reference_path, render_table2, run_table2
 
 __all__ = [
+    "AdaptationValueConfig",
     "AdaptationValueResult",
     "render_adaptation_value",
     "run_adaptation_value",
@@ -52,6 +59,7 @@ __all__ = [
     "Figure4Result",
     "render_figure4",
     "run_figure4",
+    "run_figure4_sweep",
     "Figure5Config",
     "Figure5Result",
     "POLICIES",

@@ -9,8 +9,8 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.adaptation import AdaptationProtocol
 from ..core.prediction import ProfileAwarePredictor
@@ -21,8 +21,9 @@ from ..network.routing import shortest_path
 from ..network.topology import line_topology
 from ..profiles.records import CellClass
 from ..profiles.server import ProfileServer
+from ..runtime import ExperimentRunner
 from ..sim.config import figure6_config
-from ..sim.simulator import TwoCellSimulator
+from ..sim.simulator import simulate_twocell_stats
 from ..stats.counters import TeletrafficStats
 from ..traffic.connection import Connection
 from ..traffic.flowspec import FlowSpec
@@ -46,11 +47,16 @@ __all__ = [
 # -- ablation 1: static vs predictive reservation ------------------------------------
 
 
-def _pooled(policy: str, seeds: Sequence[int], horizon: float, **kw) -> TeletrafficStats:
+def _pooled(policy: str, seeds: Sequence[int], horizon: float,
+            runner: Optional[ExperimentRunner] = None, **kw) -> TeletrafficStats:
+    runner = runner if runner is not None else ExperimentRunner()
+    configs = [
+        figure6_config(policy=policy, seed=seed, horizon=horizon, **kw)
+        for seed in seeds
+    ]
     pooled = TeletrafficStats()
-    for seed in seeds:
-        config = figure6_config(policy=policy, seed=seed, horizon=horizon, **kw)
-        pooled = pooled.merge(TwoCellSimulator(config).run().stats)
+    for stats in runner.run_many(simulate_twocell_stats, configs):
+        pooled = pooled.merge(stats)
     return pooled
 
 
@@ -60,18 +66,42 @@ def static_vs_predictive(
     window: float = 0.05,
     seeds: Sequence[int] = (1, 2, 3),
     horizon: float = 300.0,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, List[Tuple[float, float, float]]]:
-    """(knob, P_d, P_b) operating curves for both reservation styles."""
+    """(knob, P_d, P_b) operating curves for both reservation styles.
+
+    Both knob sweeps flatten into one ``run_many`` batch so a parallel
+    runner overlaps the static and predictive replications.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    seeds = list(seeds)
+    configs = [
+        figure6_config(policy="static", seed=seed, horizon=horizon,
+                       static_reserve=reserve)
+        for reserve in static_reserves
+        for seed in seeds
+    ] + [
+        figure6_config(policy="probabilistic", seed=seed, horizon=horizon,
+                       window=window, p_qos=p_qos)
+        for p_qos in p_qos_values
+        for seed in seeds
+    ]
+    stats_list = runner.run_many(simulate_twocell_stats, configs)
+
+    def pooled(group: int) -> TeletrafficStats:
+        merged = TeletrafficStats()
+        for stats in stats_list[group * len(seeds) : (group + 1) * len(seeds)]:
+            merged = merged.merge(stats)
+        return merged
+
     rows: Dict[str, List[Tuple[float, float, float]]] = {"static": [], "predictive": []}
-    for reserve in static_reserves:
-        stats = _pooled("static", seeds, horizon, static_reserve=reserve)
+    for index, reserve in enumerate(static_reserves):
+        stats = pooled(index)
         rows["static"].append(
             (reserve, stats.dropping_probability, stats.blocking_probability)
         )
-    for p_qos in p_qos_values:
-        stats = _pooled(
-            "probabilistic", seeds, horizon, window=window, p_qos=p_qos
-        )
+    for index, p_qos in enumerate(p_qos_values, start=len(static_reserves)):
+        stats = pooled(index)
         rows["predictive"].append(
             (p_qos, stats.dropping_probability, stats.blocking_probability)
         )
@@ -139,31 +169,43 @@ def _adaptation_scenario(use_bottleneck_sets: bool, conns: int = 6,
     return protocol
 
 
+@dataclass(frozen=True)
+class _MlistJob:
+    """Picklable sweep point for :func:`mlist_overhead`."""
+
+    conns: int
+    switches: int
+    seed: int
+
+
+def _mlist_row(job: _MlistJob) -> Tuple:
+    """Worker: run both protocol variants for one seed, return the row."""
+    refined = _adaptation_scenario(True, job.conns, job.switches, job.seed)
+    flooding = _adaptation_scenario(False, job.conns, job.switches, job.seed)
+    ref_alloc = refined.reference_allocation()
+    # Both must land on (near) the same allocation.
+    err_refined = max(
+        abs(refined.rate_of(c) - 10.0 - ref_alloc[c]) for c in ref_alloc
+    )
+    err_flooding = max(
+        abs(flooding.rate_of(c) - 10.0 - ref_alloc[c]) for c in ref_alloc
+    )
+    return (
+        job.seed,
+        refined.signaling.messages_sent,
+        flooding.signaling.messages_sent,
+        err_refined,
+        err_flooding,
+    )
+
+
 def mlist_overhead(conns: int = 6, switches: int = 6,
-                   seeds: Sequence[int] = (3, 4, 5)) -> List[Tuple]:
+                   seeds: Sequence[int] = (3, 4, 5),
+                   runner: Optional[ExperimentRunner] = None) -> List[Tuple]:
     """Message counts with and without the bottleneck-set refinement."""
-    rows = []
-    for seed in seeds:
-        refined = _adaptation_scenario(True, conns, switches, seed)
-        flooding = _adaptation_scenario(False, conns, switches, seed)
-        ref_alloc = refined.reference_allocation()
-        # Both must land on (near) the same allocation.
-        err_refined = max(
-            abs(refined.rate_of(c) - 10.0 - ref_alloc[c]) for c in ref_alloc
-        )
-        err_flooding = max(
-            abs(flooding.rate_of(c) - 10.0 - ref_alloc[c]) for c in ref_alloc
-        )
-        rows.append(
-            (
-                seed,
-                refined.signaling.messages_sent,
-                flooding.signaling.messages_sent,
-                err_refined,
-                err_flooding,
-            )
-        )
-    return rows
+    runner = runner if runner is not None else ExperimentRunner()
+    jobs = [_MlistJob(conns, switches, seed) for seed in seeds]
+    return runner.run_many(_mlist_row, jobs)
 
 
 def render_mlist_overhead(rows) -> str:
@@ -178,53 +220,67 @@ def render_mlist_overhead(rows) -> str:
 # -- ablation 3: prediction levels ---------------------------------------------------------
 
 
-def prediction_levels(seed: int = 1996) -> List[Tuple[str, int, float]]:
-    """Hit rates of the predictor with levels selectively disabled."""
+@dataclass(frozen=True)
+class _PredictionVariantJob:
+    """Picklable sweep point for :func:`prediction_levels`."""
+
+    name: str
+    enabled: Tuple[str, ...]
+    seed: int
+
+
+def _prediction_variant(job: _PredictionVariantJob) -> Tuple[str, int, float]:
+    """Worker: replay the office week with a subset of predictor levels."""
     from ..mobility.floorplan import figure4_floorplan
 
     plan = figure4_floorplan()
-    trace = office_week_trace(seed=seed)
+    trace = office_week_trace(seed=job.seed)
 
-    def fresh_server() -> ProfileServer:
-        server = ProfileServer()
-        for cell_id in plan.cells:
-            profile = server.register_cell(
-                cell_id,
-                plan.cell_class(cell_id),
-                neighbors=sorted(plan.neighbors(cell_id), key=repr),
+    server = ProfileServer()
+    for cell_id in plan.cells:
+        profile = server.register_cell(
+            cell_id,
+            plan.cell_class(cell_id),
+            neighbors=sorted(plan.neighbors(cell_id), key=repr),
+        )
+        if plan.cell_class(cell_id) is CellClass.OFFICE:
+            profile.occupants |= plan.occupants.get(cell_id, set())
+
+    predictor = ProfileAwarePredictor(server)
+    levels = tuple(
+        level
+        for level, tag in ((1, "portable"), (2, "cell"))
+        if tag in job.enabled
+    )
+    predictions = hits = 0
+    for event in trace:
+        if event.from_cell == "D":
+            previous, _ = server.context_of(event.portable)
+            prediction = predictor.predict_for(
+                event.portable, "D", previous, levels=levels
             )
-            if plan.cell_class(cell_id) is CellClass.OFFICE:
-                profile.occupants |= plan.occupants.get(cell_id, set())
-        return server
+            predictions += 1
+            if prediction.cell == event.to_cell:
+                hits += 1
+        server.report_handoff(event.portable, event.from_cell, event.to_cell)
+    return (job.name, predictions, hits / predictions if predictions else 0.0)
 
+
+def prediction_levels(
+    seed: int = 1996, runner: Optional[ExperimentRunner] = None
+) -> List[Tuple[str, int, float]]:
+    """Hit rates of the predictor with levels selectively disabled."""
+    runner = runner if runner is not None else ExperimentRunner()
     variants = {
         "level 1 only (portable profile)": ("portable",),
         "level 2 only (cell profile)": ("cell",),
         "full three-level": ("portable", "cell"),
     }
-    results = []
-    for name, enabled in variants.items():
-        server = fresh_server()
-        predictor = ProfileAwarePredictor(server)
-        levels = tuple(
-            level
-            for level, tag in ((1, "portable"), (2, "cell"))
-            if tag in enabled
-        )
-        predictions = hits = 0
-        for event in trace:
-            if event.from_cell == "D":
-                previous, _ = server.context_of(event.portable)
-                prediction = predictor.predict_for(
-                    event.portable, "D", previous, levels=levels
-                )
-                guess = prediction.cell
-                predictions += 1
-                if guess == event.to_cell:
-                    hits += 1
-            server.report_handoff(event.portable, event.from_cell, event.to_cell)
-        results.append((name, predictions, hits / predictions if predictions else 0.0))
-    return results
+    jobs = [
+        _PredictionVariantJob(name, enabled, seed)
+        for name, enabled in variants.items()
+    ]
+    return runner.run_many(_prediction_variant, jobs)
 
 
 def render_prediction_levels(rows) -> str:
@@ -238,11 +294,72 @@ def render_prediction_levels(rows) -> str:
 # -- ablation 4: B_dyn pool sizing -----------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _PoolFractionJob:
+    """Picklable sweep point for :func:`pool_fraction_sweep`."""
+
+    fraction: float
+    trials: int
+    capacity: float
+    seed: int
+
+
+def _pool_fraction_point(job: _PoolFractionJob) -> Tuple[float, int, int, float]:
+    """Worker: measure one pool fraction's sudden-handoff drop rate."""
+    fraction, trials, capacity, seed = (
+        job.fraction, job.trials, job.capacity, job.seed,
+    )
+    rng = random.Random(seed)
+    drops = 0
+    for _ in range(trials):
+        target = Cell(
+            "t",
+            capacity=capacity,
+            cell_class=CellClass.DEFAULT,
+            min_pool_fraction=fraction,
+            max_pool_fraction=max(fraction, 0.20),
+        )
+        target.reservations.set_pool(fraction * capacity)
+        origin = Cell("o", capacity=capacity, cell_class=CellClass.DEFAULT)
+        origin.add_neighbor("t")
+        target.add_neighbor("o")
+        cells = {"t": target, "o": origin}
+        engine = HandoffEngine(get_cell=cells.__getitem__)
+
+        # Background load: fine-grained connections fill the non-pool
+        # capacity to 95-100%, so the pool is the only slack left when
+        # the unforeseen handoff arrives.
+        target_load = (capacity - target.reservations.pool) * rng.uniform(
+            0.95, 1.0
+        )
+        i = 0
+        while target.link.min_committed + 4.0 <= target_load:
+            target.link.admit(f"bg-{i}", 4.0)
+            i += 1
+
+        portable = Portable(f"p-{seed}")
+        portable.move_to("o", 0.0)
+        origin.enter(portable.portable_id, 0.0)
+        qos = QoSRequest(
+            flowspec=FlowSpec(sigma=1.0, rho=16.0),
+            bounds=QoSBounds(16.0, 16.0),
+        )
+        conn = Connection(src="o", dst="net", qos=qos)
+        conn.activate(["o", "net"], 16.0, 0.0)
+        portable.attach(conn)
+        origin.link.admit(conn.conn_id, 16.0)
+
+        outcome = engine.execute(portable, "t", 1.0)
+        drops += len(outcome.dropped)
+    return (fraction, trials, drops, drops / trials)
+
+
 def pool_fraction_sweep(
     fractions: Sequence[float] = (0.0, 0.05, 0.10, 0.20),
     trials: int = 200,
     capacity: float = 160.0,
     seed: int = 9,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[Tuple[float, int, int, float]]:
     """Sudden movement of static portables vs the ``B_dyn`` pool size.
 
@@ -251,52 +368,12 @@ def pool_fraction_sweep(
     suddenly hands in with a 16-unit connection.  The pool is the only slack
     that can absorb it.  Returns (fraction, attempts, drops, drop rate).
     """
-    results = []
-    for fraction in fractions:
-        rng = random.Random(seed)
-        drops = 0
-        for _ in range(trials):
-            target = Cell(
-                "t",
-                capacity=capacity,
-                cell_class=CellClass.DEFAULT,
-                min_pool_fraction=fraction,
-                max_pool_fraction=max(fraction, 0.20),
-            )
-            target.reservations.set_pool(fraction * capacity)
-            origin = Cell("o", capacity=capacity, cell_class=CellClass.DEFAULT)
-            origin.add_neighbor("t")
-            target.add_neighbor("o")
-            cells = {"t": target, "o": origin}
-            engine = HandoffEngine(get_cell=cells.__getitem__)
-
-            # Background load: fine-grained connections fill the non-pool
-            # capacity to 95-100%, so the pool is the only slack left when
-            # the unforeseen handoff arrives.
-            target_load = (capacity - target.reservations.pool) * rng.uniform(
-                0.95, 1.0
-            )
-            i = 0
-            while target.link.min_committed + 4.0 <= target_load:
-                target.link.admit(f"bg-{i}", 4.0)
-                i += 1
-
-            portable = Portable(f"p-{seed}")
-            portable.move_to("o", 0.0)
-            origin.enter(portable.portable_id, 0.0)
-            qos = QoSRequest(
-                flowspec=FlowSpec(sigma=1.0, rho=16.0),
-                bounds=QoSBounds(16.0, 16.0),
-            )
-            conn = Connection(src="o", dst="net", qos=qos)
-            conn.activate(["o", "net"], 16.0, 0.0)
-            portable.attach(conn)
-            origin.link.admit(conn.conn_id, 16.0)
-
-            outcome = engine.execute(portable, "t", 1.0)
-            drops += len(outcome.dropped)
-        results.append((fraction, trials, drops, drops / trials))
-    return results
+    runner = runner if runner is not None else ExperimentRunner()
+    jobs = [
+        _PoolFractionJob(fraction, trials, capacity, seed)
+        for fraction in fractions
+    ]
+    return runner.run_many(_pool_fraction_point, jobs)
 
 
 def render_pool_fraction(rows) -> str:

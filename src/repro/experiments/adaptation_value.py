@@ -20,19 +20,38 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.adaptation import AdaptationProtocol
 from ..core.qos import QoSBounds, QoSRequest
 from ..des import Environment
 from ..network.topology import Topology
+from ..runtime import ExperimentRunner
 from ..traffic.connection import Connection
 from ..traffic.sources import AdaptiveVideoSource
 from ..wireless.channel import GilbertElliottChannel
 from ..wireless.mac import CellMac
 from .common import format_table
 
-__all__ = ["AdaptationValueResult", "run_adaptation_value", "render_adaptation_value"]
+__all__ = [
+    "AdaptationValueConfig",
+    "AdaptationValueResult",
+    "run_adaptation_value",
+    "render_adaptation_value",
+]
+
+
+@dataclass(frozen=True)
+class AdaptationValueConfig:
+    """Picklable parameters of one policy run (fixed or adaptive)."""
+
+    adaptive: bool
+    seed: int = 23
+    duration: float = 300.0
+    n_videos: int = 3
+    capacity: float = 1600.0
+    mean_good: float = 30.0
+    mean_bad: float = 15.0
 
 
 @dataclass
@@ -45,15 +64,14 @@ class AdaptationValueResult:
     layer_switches: int
 
 
-def _run_policy(
-    adaptive: bool,
-    seed: int,
-    duration: float,
-    n_videos: int,
-    capacity: float,
-    mean_good: float,
-    mean_bad: float,
+def simulate_adaptation_policy(
+    config: AdaptationValueConfig,
 ) -> AdaptationValueResult:
+    """Module-level worker: run one policy on its own channel realization."""
+    adaptive = config.adaptive
+    seed, duration = config.seed, config.duration
+    n_videos, capacity = config.n_videos, config.capacity
+    mean_good, mean_bad = config.mean_good, config.mean_bad
     env = Environment()
     rng = random.Random(seed)
 
@@ -143,12 +161,16 @@ def run_adaptation_value(
     capacity: float = 1600.0,
     mean_good: float = 30.0,
     mean_bad: float = 15.0,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[AdaptationValueResult]:
     """Run both policies on the identical channel realization (same seed)."""
-    return [
-        _run_policy(False, seed, duration, n_videos, capacity, mean_good, mean_bad),
-        _run_policy(True, seed, duration, n_videos, capacity, mean_good, mean_bad),
+    runner = runner if runner is not None else ExperimentRunner()
+    configs = [
+        AdaptationValueConfig(adaptive, seed, duration, n_videos, capacity,
+                              mean_good, mean_bad)
+        for adaptive in (False, True)
     ]
+    return runner.run_many(simulate_adaptation_policy, configs)
 
 
 def render_adaptation_value(results: List[AdaptationValueResult]) -> str:

@@ -19,16 +19,17 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.prediction import ProfileAwarePredictor
 from ..mobility.floorplan import figure4_floorplan
 from ..mobility.traces import OFFICE_WEEK_TARGETS, MoveTrace, office_week_trace
 from ..profiles.records import CellClass
 from ..profiles.server import ProfileServer
+from ..runtime import ExperimentRunner
 from .common import format_table
 
-__all__ = ["Figure4Result", "run_figure4", "render_figure4"]
+__all__ = ["Figure4Result", "run_figure4", "run_figure4_sweep", "render_figure4"]
 
 
 @dataclass
@@ -157,6 +158,20 @@ def run_figure4(seed: int = 1996) -> Figure4Result:
     result.strategies = [brute, aggregate, threelevel]
     result.threelevel_by_group = by_group
     return result
+
+
+def run_figure4_sweep(
+    seeds: Sequence[int] = (1996,),
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Figure4Result]:
+    """Replay independently seeded workweeks, one worker per seed.
+
+    ``run_figure4`` is already a picklable module-level worker taking one
+    picklable config (the seed), so it dispatches through ``run_many``
+    directly; results come back in seed order.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    return runner.run_many(run_figure4, list(seeds))
 
 
 def render_figure4(result: Figure4Result) -> str:

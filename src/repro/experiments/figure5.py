@@ -26,6 +26,7 @@ from ..core.meeting import MeetingRoomReservation
 from ..core.qos import QoSBounds, QoSRequest
 from ..des import Environment
 from ..mobility.traces import MoveTrace, class_session_trace
+from ..runtime import ExperimentRunner
 from ..profiles.records import BookingCalendar, CellClass, Meeting
 from ..profiles.server import ProfileServer
 from ..stats.timeseries import BinnedSeries
@@ -403,16 +404,36 @@ def run_figure5(
     )
 
 
+@dataclass(frozen=True)
+class _Figure5Job:
+    """Picklable (session, policy) sweep point."""
+
+    config: Figure5Config
+    policy: str
+    pretrain_seed: Optional[int] = 101
+
+
+def _figure5_job(job: _Figure5Job) -> Figure5Result:
+    """Module-level worker for :func:`run_figure5_comparison`."""
+    return run_figure5(job.config, job.policy, job.pretrain_seed)
+
+
 def run_figure5_comparison(
-    lecture_students: int = 35, lab_students: int = 55, seed: int = 5
+    lecture_students: int = 35, lab_students: int = 55, seed: int = 5,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[Tuple[int, str], Figure5Result]:
     """The full Figure 5 drop table: two class sizes, three policies."""
-    results: Dict[Tuple[int, str], Figure5Result] = {}
-    for students in (lecture_students, lab_students):
-        config = Figure5Config(students=students, seed=seed)
-        for policy in POLICIES:
-            results[(students, policy)] = run_figure5(config, policy)
-    return results
+    runner = runner if runner is not None else ExperimentRunner()
+    jobs = [
+        _Figure5Job(Figure5Config(students=students, seed=seed), policy)
+        for students in (lecture_students, lab_students)
+        for policy in POLICIES
+    ]
+    results = runner.run_many(_figure5_job, jobs)
+    return {
+        (job.config.students, job.policy): result
+        for job, result in zip(jobs, results)
+    }
 
 
 def render_figure5(results: Dict[Tuple[int, str], Figure5Result]) -> str:

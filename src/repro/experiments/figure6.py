@@ -10,10 +10,11 @@ protecting handoffs and admits whenever bandwidth fits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from ..runtime import ExperimentRunner
 from ..sim.config import figure6_config
-from ..sim.simulator import TwoCellSimulator
+from ..sim.simulator import simulate_twocell_stats
 from ..stats.counters import TeletrafficStats
 from .common import format_table
 
@@ -37,12 +38,21 @@ class Figure6Point:
     handoffs: int
 
 
+def _merge_pooled(stats_list: Sequence[TeletrafficStats]) -> TeletrafficStats:
+    """Merge per-seed replications in submission order (determinism)."""
+    pooled = TeletrafficStats()
+    for stats in stats_list:
+        pooled = pooled.merge(stats)
+    return pooled
+
+
 def _pooled_run(window: float, p_qos: float, seeds: Sequence[int],
                 horizon: float, policy: str = "probabilistic",
-                static_reserve: float = 0.0) -> TeletrafficStats:
-    pooled = TeletrafficStats()
-    for seed in seeds:
-        config = figure6_config(
+                static_reserve: float = 0.0,
+                runner: Optional[ExperimentRunner] = None) -> TeletrafficStats:
+    runner = runner if runner is not None else ExperimentRunner()
+    configs = [
+        figure6_config(
             policy=policy,
             window=window,
             p_qos=p_qos,
@@ -50,9 +60,9 @@ def _pooled_run(window: float, p_qos: float, seeds: Sequence[int],
             horizon=horizon,
             static_reserve=static_reserve,
         )
-        result = TwoCellSimulator(config).run()
-        pooled = pooled.merge(result.stats)
-    return pooled
+        for seed in seeds
+    ]
+    return _merge_pooled(runner.run_many(simulate_twocell_stats, configs))
 
 
 def run_figure6(
@@ -60,30 +70,54 @@ def run_figure6(
     p_qos_values: Sequence[float] = DEFAULT_PQOS,
     seeds: Sequence[int] = (1, 2, 3),
     horizon: float = 300.0,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[Figure6Point]:
-    """Sweep (T, P_QOS) and measure (P_b, P_d) for each operating point."""
+    """Sweep (T, P_QOS) and measure (P_b, P_d) for each operating point.
+
+    The whole ``(window x p_qos x seed)`` grid is dispatched as one flat
+    batch so a parallel runner keeps every worker busy across the sweep.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    grid = [(window, p_qos) for window in windows for p_qos in p_qos_values]
+    seeds = list(seeds)
+    configs = [
+        figure6_config(
+            policy="probabilistic",
+            window=window,
+            p_qos=p_qos,
+            seed=seed,
+            horizon=horizon,
+        )
+        for window, p_qos in grid
+        for seed in seeds
+    ]
+    stats_list = runner.run_many(simulate_twocell_stats, configs)
+
     points: List[Figure6Point] = []
-    for window in windows:
-        for p_qos in p_qos_values:
-            stats = _pooled_run(window, p_qos, seeds, horizon)
-            points.append(
-                Figure6Point(
-                    window=window,
-                    p_qos=p_qos,
-                    p_b=stats.blocking_probability,
-                    p_d=stats.dropping_probability,
-                    requests=stats.new_requests,
-                    handoffs=stats.handoff_attempts,
-                )
+    for index, (window, p_qos) in enumerate(grid):
+        stats = _merge_pooled(
+            stats_list[index * len(seeds) : (index + 1) * len(seeds)]
+        )
+        points.append(
+            Figure6Point(
+                window=window,
+                p_qos=p_qos,
+                p_b=stats.blocking_probability,
+                p_d=stats.dropping_probability,
+                requests=stats.new_requests,
+                handoffs=stats.handoff_attempts,
             )
+        )
     return points
 
 
 def run_plain_baseline(
-    seeds: Sequence[int] = (1, 2, 3), horizon: float = 300.0
+    seeds: Sequence[int] = (1, 2, 3), horizon: float = 300.0,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Figure6Point:
     """The no-reservation corner all curves converge to."""
-    stats = _pooled_run(0.05, 1.0, seeds, horizon, policy="plain")
+    stats = _pooled_run(0.05, 1.0, seeds, horizon, policy="plain",
+                        runner=runner)
     return Figure6Point(
         window=float("inf"),
         p_qos=1.0,

@@ -10,16 +10,20 @@ and the reverse-pass (relaxed) commitments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..core.admission import AdmissionController, AdmissionResult
 from ..core.qos import audio_request, video_request
 from ..network.scheduling import Discipline, cumulative_jitter, per_hop_delay
 from ..network.topology import Topology
+from ..runtime import ExperimentRunner
 from ..traffic.connection import Connection
 from .common import format_table
 
 __all__ = ["Table2Case", "build_reference_path", "run_table2", "render_table2"]
+
+#: The canonical route through the reference path.
+ROUTE = ("air:1", "bs:1", "router", "server")
 
 
 @dataclass
@@ -44,51 +48,66 @@ def build_reference_path() -> Topology:
     return topo
 
 
-def run_table2() -> List[Table2Case]:
+@dataclass(frozen=True)
+class Table2Spec:
+    """Picklable description of one admission run."""
+
+    name: str
+    discipline: Discipline
+    static_portable: bool
+    media: str  # "audio" | "video"
+    delay_bound: Optional[float] = None
+
+
+def _admit_case(spec: Table2Spec) -> Table2Case:
+    """Module-level worker: one admission round trip on a fresh path."""
+    if spec.media == "audio":
+        request = (
+            audio_request(delay_bound=spec.delay_bound)
+            if spec.delay_bound is not None
+            else audio_request()
+        )
+    else:
+        request = video_request()
+    topo = build_reference_path()
+    controller = AdmissionController(topo, spec.discipline)
+    conn = Connection(src="air:1", dst="server", qos=request)
+    route = list(ROUTE)
+    result = controller.admit(
+        conn, route, static_portable=spec.static_portable
+    )
+    return Table2Case(
+        name=spec.name,
+        discipline=spec.discipline,
+        static_portable=spec.static_portable,
+        result=result,
+        conn=conn,
+        route=route,
+    )
+
+
+def run_table2(runner: Optional[ExperimentRunner] = None) -> List[Table2Case]:
     """Admission runs covering the Table 2 columns.
 
     Four accepted cases (audio/video x WFQ/RCSP, static portable) plus a
-    mobile-grant case and a rejection (delay bound too tight).
+    mobile-grant case and a rejection (delay bound too tight).  Each case
+    runs on its own fresh reference path, so the batch is embarrassingly
+    parallel and dispatches through ``run_many``.
     """
-    cases: List[Table2Case] = []
-    route = ["air:1", "bs:1", "router", "server"]
-
-    for discipline in (Discipline.WFQ, Discipline.RCSP):
-        for name, request in (("audio", audio_request()), ("video", video_request())):
-            topo = build_reference_path()
-            controller = AdmissionController(topo, discipline)
-            conn = Connection(src="air:1", dst="server", qos=request)
-            result = controller.admit(conn, route, static_portable=True)
-            cases.append(
-                Table2Case(
-                    name=f"{name} (static)",
-                    discipline=discipline,
-                    static_portable=True,
-                    result=result,
-                    conn=conn,
-                    route=route,
-                )
-            )
-
+    runner = runner if runner is not None else ExperimentRunner()
+    specs = [
+        Table2Spec(f"{media} (static)", discipline, True, media)
+        for discipline in (Discipline.WFQ, Discipline.RCSP)
+        for media in ("audio", "video")
+    ]
     # Mobile grant: pinned at b_min.
-    topo = build_reference_path()
-    controller = AdmissionController(topo, Discipline.WFQ)
-    conn = Connection(src="air:1", dst="server", qos=audio_request())
-    result = controller.admit(conn, route, static_portable=False)
-    cases.append(
-        Table2Case("audio (mobile)", Discipline.WFQ, False, result, conn, route)
-    )
-
+    specs.append(Table2Spec("audio (mobile)", Discipline.WFQ, False, "audio"))
     # Rejection: an end-to-end delay bound below d_min.
-    topo = build_reference_path()
-    controller = AdmissionController(topo, Discipline.WFQ)
-    tight = audio_request(delay_bound=0.05)
-    conn = Connection(src="air:1", dst="server", qos=tight)
-    result = controller.admit(conn, route, static_portable=True)
-    cases.append(
-        Table2Case("audio (tight delay)", Discipline.WFQ, True, result, conn, route)
+    specs.append(
+        Table2Spec("audio (tight delay)", Discipline.WFQ, True, "audio",
+                   delay_bound=0.05)
     )
-    return cases
+    return runner.run_many(_admit_case, specs)
 
 
 def render_table2(cases: List[Table2Case]) -> str:

@@ -1,0 +1,29 @@
+"""Parallel experiment runtime.
+
+Every experiment sweep in the reproduction is a list of independent
+``(sweep point x seed)`` simulations.  This package turns those serial
+loops into a single dispatch surface:
+
+* :class:`~repro.runtime.runner.ExperimentRunner` — ``run_many`` over
+  picklable configs with pluggable serial / process-pool backends;
+* :class:`~repro.runtime.cache.ResultCache` — an on-disk result cache so
+  re-running a sweep only simulates new points.
+
+Determinism contract: each replication owns its seed inside its config,
+workers never share RNG state, and merging stays on the coordinator in
+submission order — parallel results are bit-identical to serial runs.
+"""
+
+from .cache import CACHE_VERSION, ResultCache, config_key, default_cache_dir
+from .runner import JOBS_ENV, ExperimentRunner, WorkerError, resolve_jobs
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultCache",
+    "config_key",
+    "default_cache_dir",
+    "JOBS_ENV",
+    "ExperimentRunner",
+    "WorkerError",
+    "resolve_jobs",
+]

@@ -1,0 +1,139 @@
+"""On-disk result cache for experiment sweeps.
+
+Results live under ``benchmarks/.cache/v<N>/<worker>/<hash>.pkl`` where the
+hash is a stable content digest of the config: dataclasses hash by class
+name plus field values (recursively), so two configs with equal content
+always map to the same entry and *any* field change — including a new
+default — produces a different key.  Bumping :data:`CACHE_VERSION`
+invalidates every prior entry at once (the versioned directory is simply
+never consulted again).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from enum import Enum
+from pathlib import Path
+from typing import Any, Callable, Tuple, Union
+
+__all__ = [
+    "CACHE_VERSION",
+    "CACHE_DIR_ENV",
+    "ResultCache",
+    "config_key",
+    "default_cache_dir",
+]
+
+#: Bump when the result format (or simulation semantics) changes.
+CACHE_VERSION = 1
+
+#: Environment override for the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``benchmarks/.cache`` in the repo checkout (or ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+
+
+def _canonical(value: Any):
+    """Reduce a config to a JSON-stable structure for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Enum):
+        cls = type(value)
+        return {"__enum__": f"{cls.__module__}.{cls.__qualname__}.{value.name}"}
+    if isinstance(value, dict):
+        return {
+            "__mapping__": sorted(
+                (str(k), _canonical(v)) for k, v in value.items()
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, float):
+        # repr round-trips exactly; JSON float encoding may not.
+        return {"__float__": repr(value)}
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    return {"__repr__": repr(value)}
+
+
+def config_key(config: Any) -> str:
+    """Stable hex digest of a config's content."""
+    blob = json.dumps(_canonical(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _namespace(fn: Union[str, Callable]) -> str:
+    if isinstance(fn, str):
+        return fn
+    return f"{fn.__module__}.{fn.__qualname__}"
+
+
+class ResultCache:
+    """Pickle-backed result store keyed by (worker function, config hash)."""
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 version: int = CACHE_VERSION):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, fn: Union[str, Callable], config: Any) -> Path:
+        return (
+            self.root
+            / f"v{self.version}"
+            / _namespace(fn)
+            / f"{config_key(config)}.pkl"
+        )
+
+    def get(self, fn: Union[str, Callable], config: Any) -> Tuple[bool, Any]:
+        """``(hit, value)``; unreadable or stale entries count as misses."""
+        path = self.path_for(fn, config)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # Unpickling arbitrary corruption can raise nearly anything
+            # (ValueError from stray opcodes, UnicodeDecodeError, ...);
+            # every failure mode is just a miss.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, fn: Union[str, Callable], config: Any, value: Any) -> Path:
+        path = self.path_for(fn, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic publish: concurrent readers never
+        return path            # observe a half-written entry
+
+    def clear(self) -> None:
+        """Drop every entry for this cache's version."""
+        shutil.rmtree(self.root / f"v{self.version}", ignore_errors=True)
+
+    def __len__(self) -> int:
+        versioned = self.root / f"v{self.version}"
+        if not versioned.is_dir():
+            return 0
+        return sum(1 for _ in versioned.glob("*/*.pkl"))

@@ -1,0 +1,170 @@
+"""``ExperimentRunner``: dispatch independent simulation configs.
+
+The runner owns *how* a sweep executes (serial loop or a
+``ProcessPoolExecutor``), never *what* it computes: workers receive a
+module-level function plus one picklable config and return one picklable
+result.  Submission order is preserved, worker exceptions surface as
+:class:`WorkerError` with the failing config attached, and an optional
+:class:`~repro.runtime.cache.ResultCache` short-circuits configs that were
+already simulated.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+__all__ = ["JOBS_ENV", "ExperimentRunner", "WorkerError", "resolve_jobs"]
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Union[int, str, None] = None) -> int:
+    """Resolve a worker count from an argument or ``REPRO_JOBS``.
+
+    Accepts a positive int, ``0`` or ``"auto"`` for all cores, or ``None``
+    to fall back to the environment (default 1).
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        jobs = raw if raw else 1
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            raise ValueError(
+                f"invalid job count {jobs!r}: expected a positive integer, "
+                f"0, or 'auto'"
+            ) from None
+    jobs = int(jobs)
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"job count must be >= 0, got {jobs}")
+    return jobs
+
+
+class WorkerError(RuntimeError):
+    """A sweep point failed; carries the config that provoked it."""
+
+    def __init__(self, config, index: int, cause: BaseException,
+                 worker_traceback: str = ""):
+        super().__init__(
+            f"sweep config #{index} ({config!r}) failed: {cause!r}"
+        )
+        self.config = config
+        self.index = index
+        self.cause = cause
+        self.worker_traceback = worker_traceback
+
+
+def _call(payload):
+    """Process-pool trampoline: never raises, so the config context is
+    attached on the coordinator side rather than lost in the pool."""
+    fn, config = payload
+    try:
+        return True, fn(config)
+    except Exception as exc:  # noqa: BLE001 - re-raised with context
+        return False, (exc, traceback.format_exc())
+
+
+class ExperimentRunner:
+    """Executes batches of independent simulation configs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count (see :func:`resolve_jobs`); 1 means in-process serial.
+    backend:
+        ``"serial"`` or ``"process"``; defaults to ``"process"`` when
+        ``jobs > 1``.
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache`; hits skip
+        simulation entirely.
+    chunk_size:
+        Configs per pool task; default splits the batch into about four
+        chunks per worker to amortize pickling without starving the pool.
+    """
+
+    def __init__(
+        self,
+        jobs: Union[int, str, None] = None,
+        backend: Optional[str] = None,
+        cache=None,
+        chunk_size: Optional[int] = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        if backend is None:
+            backend = "process" if self.jobs > 1 else "serial"
+        if backend not in ("serial", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.cache = cache
+        self.chunk_size = chunk_size
+
+    def run_many(self, fn: Callable[[Any], Any], configs: Sequence) -> List:
+        """Run ``fn(config)`` for every config, results in submission order.
+
+        ``fn`` must be a module-level callable and each config picklable
+        when the process backend is active.
+        """
+        configs = list(configs)
+        results: List[Any] = [None] * len(configs)
+        pending = list(range(len(configs)))
+
+        if self.cache is not None:
+            missing = []
+            for i in pending:
+                hit, value = self.cache.get(fn, configs[i])
+                if hit:
+                    results[i] = value
+                else:
+                    missing.append(i)
+            pending = missing
+
+        if pending:
+            computed = self._execute(fn, [configs[i] for i in pending])
+            for i, value in zip(pending, computed):
+                results[i] = value
+                if self.cache is not None:
+                    self.cache.put(fn, configs[i], value)
+        return results
+
+    # -- backends ---------------------------------------------------------
+
+    def _execute(self, fn, configs: List) -> List:
+        if self.backend == "serial" or self.jobs == 1 or len(configs) <= 1:
+            return self._run_serial(fn, configs)
+        return self._run_pool(fn, configs)
+
+    @staticmethod
+    def _run_serial(fn, configs: List) -> List:
+        out = []
+        for index, config in enumerate(configs):
+            try:
+                out.append(fn(config))
+            except Exception as exc:
+                raise WorkerError(
+                    config, index, exc, traceback.format_exc()
+                ) from exc
+        return out
+
+    def _run_pool(self, fn, configs: List) -> List:
+        workers = min(self.jobs, len(configs))
+        chunk = self.chunk_size or max(1, len(configs) // (workers * 4))
+        out = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = [(fn, config) for config in configs]
+            for index, (ok, value) in enumerate(
+                pool.map(_call, payloads, chunksize=chunk)
+            ):
+                if not ok:
+                    exc, tb = value
+                    raise WorkerError(configs[index], index, exc, tb) from exc
+                out.append(value)
+        return out

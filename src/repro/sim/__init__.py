@@ -7,7 +7,12 @@ from .scenarios import (
     run_campus_day,
     run_office_week,
 )
-from .simulator import FloorplanSimulator, TwoCellResult, TwoCellSimulator
+from .simulator import (
+    FloorplanSimulator,
+    TwoCellResult,
+    TwoCellSimulator,
+    simulate_twocell_stats,
+)
 
 __all__ = [
     "FIGURE6_TYPES",
@@ -20,4 +25,5 @@ __all__ = [
     "FloorplanSimulator",
     "TwoCellResult",
     "TwoCellSimulator",
+    "simulate_twocell_stats",
 ]

@@ -28,7 +28,22 @@ from ..wireless.cell import Cell
 from ..wireless.portable import Portable
 from .config import TwoCellConfig
 
-__all__ = ["TwoCellSimulator", "TwoCellResult", "FloorplanSimulator"]
+__all__ = [
+    "TwoCellSimulator",
+    "TwoCellResult",
+    "FloorplanSimulator",
+    "simulate_twocell_stats",
+]
+
+
+def simulate_twocell_stats(config: TwoCellConfig) -> TeletrafficStats:
+    """Run one two-cell replication and return its pooled counters.
+
+    Module-level so :meth:`repro.runtime.ExperimentRunner.run_many` can
+    dispatch it to worker processes (both the config and the stats are
+    picklable).
+    """
+    return TwoCellSimulator(config).run().stats
 
 
 @dataclass

@@ -90,9 +90,14 @@ class GilbertElliottChannel:
     def steady_state_loss(self) -> float:
         """Long-run average loss probability of the chain."""
         total = self.mean_good + self.mean_bad
-        return (
+        mean = (
             self.loss_good * self.mean_good + self.loss_bad * self.mean_bad
         ) / total
+        # The weighted mean of two probabilities lies between them, but
+        # float rounding can land one ULP outside; clamp so callers can rely
+        # on the mathematical bound.
+        lo, hi = sorted((self.loss_good, self.loss_bad))
+        return min(max(mean, lo), hi)
 
     # -- DES integration ---------------------------------------------------------------
 

@@ -1,0 +1,162 @@
+"""Tests for the on-disk result cache: keying, hit/miss, invalidation."""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime import (
+    ExperimentRunner,
+    ResultCache,
+    config_key,
+    default_cache_dir,
+)
+from repro.runtime.cache import CACHE_DIR_ENV
+from repro.sim import figure6_config
+
+
+def _double(x):
+    return 2 * x
+
+
+COUNTER_FILE = "calls.txt"
+
+
+def _counting_worker_factory(tmp_path):
+    """A worker that tallies real invocations via the filesystem (so tallies
+    survive process-pool dispatch too, though these tests run serial)."""
+    counter = tmp_path / COUNTER_FILE
+    counter.write_text("")
+
+    def count_calls(x):
+        with open(counter, "a") as fh:
+            fh.write("x\n")
+        return 2 * x
+
+    return count_calls, counter
+
+
+# -- config keying ---------------------------------------------------------
+
+
+def test_config_key_is_content_stable():
+    a = figure6_config(seed=1, p_qos=0.01)
+    b = figure6_config(seed=1, p_qos=0.01)
+    assert a is not b
+    assert config_key(a) == config_key(b)
+
+
+def test_config_key_changes_with_any_field():
+    base = figure6_config(seed=1)
+    assert config_key(base) != config_key(figure6_config(seed=2))
+    assert config_key(base) != config_key(figure6_config(seed=1, p_qos=0.02))
+    assert config_key(base) != config_key(figure6_config(seed=1, horizon=99.0))
+
+
+def test_config_key_distinguishes_dataclass_types():
+    @dataclasses.dataclass(frozen=True)
+    class Other:
+        seed: int = 1
+
+    assert config_key(Other()) != config_key(figure6_config(seed=1))
+
+
+def test_config_key_handles_plain_values():
+    assert config_key(3) == config_key(3)
+    assert config_key(3) != config_key("3")
+    assert config_key((1.0, 2.0)) != config_key((1.0, 2.5))
+
+
+# -- hit / miss / invalidation --------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    config = figure6_config(seed=3)
+    hit, _ = cache.get(_double, config)
+    assert not hit
+    cache.put(_double, config, 42)
+    hit, value = cache.get(_double, config)
+    assert hit and value == 42
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_cache_version_bump_invalidates(tmp_path):
+    old = ResultCache(root=tmp_path, version=1)
+    config = figure6_config(seed=3)
+    old.put(_double, config, 42)
+    new = ResultCache(root=tmp_path, version=2)
+    hit, _ = new.get(_double, config)
+    assert not hit
+
+
+def test_cache_namespaced_per_worker_function(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    config = figure6_config(seed=3)
+    cache.put(_double, config, 42)
+    hit, _ = cache.get("some.other.worker", config)
+    assert not hit
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    cache.put(_double, 1, 2)
+    cache.put(_double, 2, 4)
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+    hit, _ = cache.get(_double, 1)
+    assert not hit
+
+
+@pytest.mark.parametrize(
+    "junk",
+    [
+        b"not a pickle",  # UnpicklingError
+        b"garbage\n",     # 'g' is a valid opcode whose arg raises ValueError
+        b"",              # EOFError
+    ],
+)
+def test_corrupt_entry_counts_as_miss(tmp_path, junk):
+    cache = ResultCache(root=tmp_path)
+    path = cache.put(_double, 5, 10)
+    path.write_bytes(junk)
+    hit, _ = cache.get(_double, 5)
+    assert not hit
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "alt"))
+    assert default_cache_dir() == tmp_path / "alt"
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert default_cache_dir().name == ".cache"
+    assert default_cache_dir().parent.name == "benchmarks"
+
+
+# -- runner integration ----------------------------------------------------
+
+
+def test_runner_skips_cached_configs(tmp_path):
+    worker, counter = _counting_worker_factory(tmp_path)
+    cache = ResultCache(root=tmp_path / "cache")
+    runner = ExperimentRunner(jobs=1, cache=cache)
+
+    assert runner.run_many(worker, [1, 2, 3]) == [2, 4, 6]
+    assert counter.read_text().count("x") == 3
+
+    # Second run: all hits, no new simulations.
+    assert runner.run_many(worker, [1, 2, 3]) == [2, 4, 6]
+    assert counter.read_text().count("x") == 3
+
+    # A partially-new sweep only simulates the new points, and results
+    # still come back in submission order.
+    assert runner.run_many(worker, [4, 1, 5, 2]) == [8, 2, 10, 4]
+    assert counter.read_text().count("x") == 5
+
+
+def test_runner_without_cache_always_computes(tmp_path):
+    worker, counter = _counting_worker_factory(tmp_path)
+    runner = ExperimentRunner(jobs=1)
+    runner.run_many(worker, [1, 2])
+    runner.run_many(worker, [1, 2])
+    assert counter.read_text().count("x") == 4

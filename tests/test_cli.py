@@ -26,3 +26,28 @@ def test_figure2_runs(capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["figure99"])
+
+
+def test_jobs_flag_runs_through_process_pool(capsys):
+    assert main(["--jobs", "2", "table2"]) == 0
+    assert "admission round-trip outcomes" in capsys.readouterr().out
+
+
+def test_bad_jobs_value_rejected():
+    with pytest.raises(ValueError):
+        main(["--jobs", "bogus", "table2"])
+
+
+def test_repro_jobs_env_is_honored(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert main(["table2"]) == 0
+    assert "admission round-trip outcomes" in capsys.readouterr().out
+
+
+def test_cache_flag_reuses_results(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["--cache", "table2"]) == 0
+    first = capsys.readouterr().out
+    assert main(["--cache", "table2"]) == 0
+    assert capsys.readouterr().out == first
+    assert any(tmp_path.rglob("*.pkl"))
