@@ -9,7 +9,7 @@ meeting room 0 & 0 — our calibrated traces give the same ordering (2 & ~6,
 
 from conftest import once
 
-from repro.experiments import POLICIES, render_figure5, run_figure5_comparison
+from repro.experiments import render_figure5, run_figure5_comparison
 
 
 def test_figure5_reproduction(benchmark, report):

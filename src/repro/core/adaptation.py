@@ -79,10 +79,14 @@ def compute_advertised_rate(
         return max(0.0, capacity)
 
     def calc(restricted: Set[Hashable]) -> float:
-        n_r = len(restricted)
-        sum_r = sum(recorded[c] for c in restricted)
+        # Summation order is fixed: float addition over a hash-ordered set
+        # would round differently between PYTHONHASHSEED values, breaking
+        # the serial == parallel bit-identity contract.
+        ordered = sorted(restricted, key=repr)
+        n_r = len(ordered)
+        sum_r = sum(recorded[c] for c in ordered)
         if n_r == n:
-            return capacity - sum_r + max(recorded[c] for c in restricted)
+            return capacity - sum_r + max(recorded[c] for c in ordered)
         return (capacity - sum_r) / (n - n_r)
 
     restricted = {c for c, r in recorded.items() if r <= mu_prev + _EPS}
@@ -305,7 +309,7 @@ class AdaptationProtocol:
         for conn_id, route in self.routes.items():
             problem.add_connection(
                 conn_id,
-                [l.key for l in self.topo.path_links(route)],
+                [link.key for link in self.topo.path_links(route)],
                 self.demands[conn_id],
             )
         return maxmin_allocation(problem)
@@ -449,7 +453,7 @@ class AdaptationProtocol:
                 if conn_id in link.allocations
             )
             candidate = min(
-                min(self.link_states[l.key].advertised() for l in links),
+                min(self.link_states[link.key].advertised() for link in links),
                 self.demands[conn_id],
             )
             if abs(candidate - rate) > self.delta:

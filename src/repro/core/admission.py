@@ -253,10 +253,10 @@ class AdmissionController:
         if self.discipline is Discipline.WFQ:
             return [wfq_buffer(sigma, l_max, i) for i in range(1, len(fwd) + 1)]
         buffers = [rcsp_buffer(sigma, l_max, granted, relaxed[0])]
-        for l in range(2, len(fwd) + 1):
+        for hop in range(2, len(fwd) + 1):
             # Table 2: sigma + b_j * (d'_{l-1} + d_l): relaxed previous hop,
             # unrelaxed current hop (the regulator holds packets for d'_{l-1}).
-            buffers.append(sigma + granted * (relaxed[l - 2] + fwd[l - 1]))
+            buffers.append(sigma + granted * (relaxed[hop - 2] + fwd[hop - 1]))
         return buffers
 
     def _commit(

@@ -13,7 +13,7 @@ message-passing realization is :mod:`repro.core.adaptation`.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from ..network.topology import Topology
 from ..traffic.connection import Connection, ConnectionState
@@ -83,7 +83,7 @@ class ConflictResolver:
             span = conn.qos.bounds.span
             demand = span if self._static.get(conn_id, False) else 0.0
             demands[conn_id] = demand
-            links = [l.key for l in self.topo.path_links(self._routes[conn_id])]
+            links = [link.key for link in self.topo.path_links(self._routes[conn_id])]
             problem.add_connection(conn_id, links, demand)
         return problem, demands
 

@@ -14,10 +14,7 @@ admission is available separately via
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Dict, Hashable, List, Optional
-
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional
 
 from ..profiles.server import ProfileServer
 from ..traffic.connection import Connection, ConnectionState
@@ -274,7 +271,7 @@ class CellularResourceManager:
         now = self.env.now
         for cell in self.cells.values():
             peak = 0.0
-            for neighbor_id in cell.neighbors:
+            for neighbor_id in sorted(cell.neighbors, key=repr):
                 neighbor = self.cells[neighbor_id]
                 for pid in neighbor.present:
                     if not self.statmob.is_static(pid, now):

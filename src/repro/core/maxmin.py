@@ -19,7 +19,7 @@ sum(b_min,i)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Mapping, Sequence, Set
 
 __all__ = [
     "MaxMinProblem",
@@ -60,7 +60,7 @@ class MaxMinProblem:
     ) -> None:
         if demand < 0:
             raise ValueError(f"demand must be >= 0, got {demand}")
-        missing = [l for l in path if l not in self.capacities]
+        missing = [link for link in path if link not in self.capacities]
         if missing:
             raise KeyError(f"path uses unknown links: {missing}")
         self.demands[conn_id] = float(demand)
@@ -85,9 +85,14 @@ def maxmin_allocation(problem: MaxMinProblem) -> Dict[Hashable, float]:
     # Zero-demand or pathless connections are frozen at zero immediately.
 
     while active:
+        # One deterministic order per round: iterating the ``active`` set
+        # directly would visit connections in hash-randomized order, and
+        # every float update below must replay identically across processes.
+        ordered = sorted(active, key=repr)
+
         # Count active connections per link.
         load: Dict[Hashable, int] = {}
-        for conn in active:
+        for conn in ordered:
             for link_id in problem.paths[conn]:
                 load[link_id] = load.get(link_id, 0) + 1
 
@@ -97,18 +102,18 @@ def maxmin_allocation(problem: MaxMinProblem) -> Dict[Hashable, float]:
         )
         increment = min(
             increment,
-            min(problem.demands[c] - allocation[c] for c in active),
+            min(problem.demands[c] - allocation[c] for c in ordered),
         )
         increment = max(increment, 0.0)
 
-        for conn in active:
+        for conn in ordered:
             allocation[conn] += increment
             for link_id in problem.paths[conn]:
                 remaining[link_id] -= increment
 
         # Freeze satisfied connections and those crossing a saturated link.
         frozen = set()
-        for conn in active:
+        for conn in ordered:
             if allocation[conn] >= problem.demands[conn] - _EPS:
                 frozen.add(conn)
             elif any(
@@ -132,7 +137,7 @@ def is_maxmin_fair(
     link — saturated, and on which no other connection receives more.
     """
     # Feasibility.
-    used: Dict[Hashable, float] = {l: 0.0 for l in problem.capacities}
+    used: Dict[Hashable, float] = {link: 0.0 for link in problem.capacities}
     for conn, path in problem.paths.items():
         rate = allocation.get(conn, 0.0)
         if rate < -tol or rate > problem.demands[conn] + tol:
@@ -173,7 +178,7 @@ def connection_bottlenecks(
     measure "excess available to j at l" as the link's leftover capacity plus
     j's own share there (what j could get if everyone else held still).
     """
-    used: Dict[Hashable, float] = {l: 0.0 for l in problem.capacities}
+    used: Dict[Hashable, float] = {link: 0.0 for link in problem.capacities}
     for conn, path in problem.paths.items():
         for link_id in path:
             used[link_id] += allocation.get(conn, 0.0)
@@ -217,7 +222,7 @@ def network_bottleneck_links(
     (Section 5.2's recursive definition collapses to this certificate once
     the allocation is max-min fair).
     """
-    used: Dict[Hashable, float] = {l: 0.0 for l in problem.capacities}
+    used: Dict[Hashable, float] = {link: 0.0 for link in problem.capacities}
     for conn, path in problem.paths.items():
         for link_id in path:
             used[link_id] += allocation.get(conn, 0.0)

@@ -9,7 +9,7 @@ Section 4.3).  This ledger sits on top of a cell's wireless
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable
 
 from ..network.link import Link
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
 
 from .errors import EmptySchedule, StopProcess
 from .events import AllOf, AnyOf, Event, Timeout
@@ -35,7 +35,7 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list = []
+        self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
         self._push = heapq.heappush
@@ -59,7 +59,7 @@ class Environment:
         """Create a new untriggered :class:`Event`."""
         return Event(self)
 
-    def timeout(self, delay: float, value=None) -> Timeout:
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
@@ -67,15 +67,15 @@ class Environment:
         """Start a new process from ``generator``."""
         return Process(self, generator)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all of ``events`` have fired."""
         return AllOf(self, events)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when any of ``events`` has fired."""
         return AnyOf(self, events)
 
-    def exit(self, value=None):
+    def exit(self, value: Any = None) -> None:
         """Terminate the active process, making ``value`` its result."""
         raise StopProcess(value)
 
@@ -107,7 +107,7 @@ class Environment:
             # SimPy behaviour: errors should never pass silently.
             raise event._value
 
-    def run(self, until=None) -> Any:
+    def run(self, until: Union[Event, float, None] = None) -> Any:
         """Run the simulation.
 
         ``until`` may be ``None`` (run until the queue drains), a number (run
@@ -158,7 +158,7 @@ class Environment:
 class _StopSimulation(Exception):
     """Internal control-flow exception ending :meth:`Environment.run`."""
 
-    def __init__(self, value):
+    def __init__(self, value: Any):
         super().__init__(value)
         self.value = value
 

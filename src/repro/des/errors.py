@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class SimulationError(Exception):
     """Base class for all kernel-level errors."""
@@ -14,7 +16,7 @@ class StopProcess(Exception):
     than raising this directly.
     """
 
-    def __init__(self, value=None):
+    def __init__(self, value: Any = None):
         super().__init__(value)
         self.value = value
 
@@ -26,11 +28,11 @@ class Interrupt(Exception):
     interrupter (often a short string explaining why).
     """
 
-    def __init__(self, cause=None):
+    def __init__(self, cause: Any = None):
         super().__init__(cause)
 
     @property
-    def cause(self):
+    def cause(self) -> Any:
         return self.args[0]
 
 

@@ -7,7 +7,10 @@ they fire.  Events can be combined with ``&`` (all-of) and ``|`` (any-of).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from .engine import Environment
 
 __all__ = ["PENDING", "Event", "Timeout", "Condition", "AllOf", "AnyOf"]
 
@@ -29,7 +32,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
-    def __init__(self, env):
+    def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
@@ -58,7 +61,7 @@ class Event:
         return self._ok
 
     @property
-    def value(self):
+    def value(self) -> Any:
         """The event's payload (or exception for failed events)."""
         if self._value is PENDING:
             raise AttributeError("value of untriggered event is not ready")
@@ -72,7 +75,7 @@ class Event:
         self._value = event._value
         self.env.schedule(self)
 
-    def succeed(self, value=None) -> "Event":
+    def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self.triggered:
             raise RuntimeError(f"{self!r} has already been triggered")
@@ -100,7 +103,7 @@ class Event:
     def __or__(self, other: "Event") -> "Condition":
         return Condition(self.env, Condition.any_events, [self, other])
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<{self.__class__.__name__} object at {id(self):#x}>"
 
 
@@ -109,7 +112,7 @@ class Timeout(Event):
 
     __slots__ = ("_delay",)
 
-    def __init__(self, env, delay: float, value=None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         # Inlined Event.__init__ — timeouts dominate event creation in the
@@ -126,7 +129,7 @@ class Timeout(Event):
     def delay(self) -> float:
         return self._delay
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Timeout({self._delay}) object at {id(self):#x}>"
 
 
@@ -139,7 +142,12 @@ class Condition(Event):
 
     __slots__ = ("_evaluate", "_events", "_count")
 
-    def __init__(self, env, evaluate, events):
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[Sequence["Event"], int], bool],
+        events: Iterable["Event"],
+    ):
         super().__init__(env)
         self._evaluate = evaluate
         self._events = list(events)
@@ -156,7 +164,7 @@ class Condition(Event):
             else:
                 event.callbacks.append(self._check)
 
-    def _collect_values(self) -> dict:
+    def _collect_values(self) -> Dict["Event", Any]:
         return {e: e._value for e in self._events if e.callbacks is None}
 
     def _check(self, event: Event) -> None:
@@ -171,15 +179,15 @@ class Condition(Event):
             self._value = self._collect_values()
             self.env.schedule(self)
 
-    def trigger(self, event):  # pragma: no cover - not used for conditions
+    def trigger(self, event: "Event") -> None:  # pragma: no cover - not used for conditions
         raise NotImplementedError("conditions cannot be re-triggered")
 
     @staticmethod
-    def all_events(events, count) -> bool:
+    def all_events(events: Sequence["Event"], count: int) -> bool:
         return len(events) == count
 
     @staticmethod
-    def any_events(events, count) -> bool:
+    def any_events(events: Sequence["Event"], count: int) -> bool:
         return count > 0 or not events
 
 
@@ -188,7 +196,7 @@ class AllOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, env, events):
+    def __init__(self, env: "Environment", events: Iterable["Event"]):
         super().__init__(env, Condition.all_events, events)
 
 
@@ -197,5 +205,5 @@ class AnyOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, env, events):
+    def __init__(self, env: "Environment", events: Iterable["Event"]):
         super().__init__(env, Condition.any_events, events)

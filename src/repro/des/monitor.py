@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from .engine import Environment
+    from .events import Timeout
 
 __all__ = ["TimeSeriesProbe", "periodic_sampler"]
 
@@ -25,11 +29,11 @@ class TimeSeriesProbe:
     def values(self) -> List[float]:
         return [v for _, v in self.samples]
 
-    def last(self):
+    def last(self) -> Optional[Tuple[float, float]]:
         """Most recent sample, or None if empty."""
         return self.samples[-1] if self.samples else None
 
-    def time_average(self, until: float = None) -> float:
+    def time_average(self, until: Optional[float] = None) -> float:
         """Time-weighted average assuming piecewise-constant values."""
         if not self.samples:
             raise ValueError("no samples recorded")
@@ -47,7 +51,12 @@ class TimeSeriesProbe:
         return len(self.samples)
 
 
-def periodic_sampler(env, probe: TimeSeriesProbe, fn: Callable[[], float], period: float):
+def periodic_sampler(
+    env: "Environment",
+    probe: TimeSeriesProbe,
+    fn: Callable[[], float],
+    period: float,
+) -> Iterator["Timeout"]:
     """Process generator that samples ``fn()`` into ``probe`` every ``period``."""
     while True:
         probe.record(env.now, fn())

@@ -11,7 +11,7 @@ record.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional, Tuple
 
 from .resources import Request, Resource
 
@@ -39,7 +39,7 @@ class PriorityRequest(Request):
         super().__init__(resource)
 
     @property
-    def sort_key(self):
+    def sort_key(self) -> Tuple[int, float]:
         return (self.priority, self.time)
 
 

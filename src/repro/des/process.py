@@ -7,7 +7,10 @@ event's value is sent back into the generator (or its exception thrown in).
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:
+    from .engine import Environment
 
 from .errors import Interrupt, StopProcess
 from .events import Event
@@ -20,7 +23,7 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env, process: "Process"):
+    def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self._ok = True
         self._value = None
@@ -37,7 +40,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target")
 
-    def __init__(self, env, generator: Generator):
+    def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise ValueError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -54,7 +57,7 @@ class Process(Event):
         """True until the wrapped generator has exited."""
         return not self.triggered
 
-    def interrupt(self, cause=None) -> None:
+    def interrupt(self, cause: Any = None) -> None:
         """Throw an :class:`Interrupt` into the process as soon as possible."""
         if self.triggered:
             raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from .engine import Environment
 
 from .events import Event
 
@@ -28,7 +31,7 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         self.cancel()
 
     def cancel(self) -> None:
@@ -51,7 +54,7 @@ class Release(Event):
 class Resource:
     """A resource with ``capacity`` identical slots and FIFO queueing."""
 
-    def __init__(self, env, capacity: int = 1):
+    def __init__(self, env: "Environment", capacity: int = 1):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
@@ -120,7 +123,9 @@ class ContainerPut(Event):
 class Container:
     """A homogeneous bulk resource (e.g. bandwidth units, buffer bytes)."""
 
-    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf"), init: float = 0.0
+    ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if not 0 <= init <= capacity:

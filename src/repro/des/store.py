@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:
+    from .engine import Environment
 
 from .events import Event
 
@@ -18,9 +21,11 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
-    def __init__(self, store: "Store", predicate: Callable[[Any], bool] = None):
+    def __init__(
+        self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None
+    ):
         super().__init__(store.env)
-        self.predicate = predicate
+        self.predicate: Optional[Callable[[Any], bool]] = predicate
         store._get_waiters.append(self)
         store._settle()
 
@@ -32,7 +37,7 @@ class Store:
     simulated network elements (signaling channels, handoff messages).
     """
 
-    def __init__(self, env, capacity: float = float("inf")):
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
@@ -53,7 +58,7 @@ class Store:
         """Event that fires with the oldest stored item."""
         return StoreGet(self)
 
-    def _match(self, getter: StoreGet):
+    def _match(self, getter: StoreGet) -> Optional[int]:
         """Return index of the item satisfying ``getter`` or None."""
         if not self.items:
             return None
@@ -80,11 +85,11 @@ class Store:
 class FilterStore(Store):
     """A store whose getters may select items with a predicate."""
 
-    def get(self, predicate: Callable[[Any], bool] = None) -> StoreGet:
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
         """Event that fires with the oldest item matching ``predicate``."""
         return StoreGet(self, predicate)
 
-    def _match(self, getter: StoreGet):
+    def _match(self, getter: StoreGet) -> Optional[int]:
         if getter.predicate is None:
             return super()._match(getter)
         for index, item in enumerate(self.items):

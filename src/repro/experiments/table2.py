@@ -169,4 +169,4 @@ def render_table2(cases: List[Table2Case]) -> str:
 
 def _route_capacities(case: Table2Case) -> List[float]:
     topo = build_reference_path()
-    return [l.capacity for l in topo.path_links(case.route)]
+    return [link.capacity for link in topo.path_links(case.route)]

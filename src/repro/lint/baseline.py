@@ -1,0 +1,113 @@
+"""Baseline file support: grandfathered findings that do not fail the run.
+
+A baseline entry pins a finding by ``(rule, path, code)`` where ``code`` is
+the stripped source line — not the line *number*, so unrelated edits above a
+grandfathered site do not invalidate the entry, while any change to the
+flagged line itself (including a fix) retires it.  ``--write-baseline``
+regenerates the file from the current findings; stale entries (nothing
+matches them any more) are reported so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass(frozen=True)
+class _Entry:
+    rule: str
+    path: str
+    code: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+
+class Baseline:
+    """An in-memory baseline, loadable from and writable to JSON."""
+
+    def __init__(self, entries: Iterable[_Entry] = ()):
+        self._entries: Dict[Tuple[str, str, str], _Entry] = {
+            e.key(): e for e in entries
+        }
+        self._matched: Set[Tuple[str, str, str]] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON ({exc})") from None
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"{path}: expected a baseline object with version "
+                f"{_FORMAT_VERSION}"
+            )
+        entries = []
+        for raw in data.get("entries", []):
+            try:
+                entries.append(
+                    _Entry(rule=raw["rule"], path=raw["path"], code=raw["code"])
+                )
+            except (TypeError, KeyError):
+                raise BaselineError(
+                    f"{path}: malformed entry {raw!r} "
+                    "(need rule/path/code)"
+                ) from None
+        return cls(entries)
+
+    def matches(self, finding: Finding, code: str) -> bool:
+        """True (and mark the entry used) if ``finding`` is grandfathered."""
+        key = (finding.rule, finding.path, code.strip())
+        if key in self._entries:
+            self._matched.add(key)
+            return True
+        return False
+
+    def stale_entries(self) -> List[_Entry]:
+        """Entries that matched nothing in the run just performed."""
+        return [
+            self._entries[k]
+            for k in sorted(set(self._entries) - self._matched)
+        ]
+
+    @staticmethod
+    def write(path: Path, findings: Sequence[Finding],
+              code_for: Dict[Tuple[str, str, int], str]) -> None:
+        """Serialize ``findings`` as a fresh baseline.
+
+        ``code_for`` maps ``(rule, path, line)`` to the stripped source line.
+        Line and message are stored for human readers only; matching uses
+        ``(rule, path, code)``.
+        """
+        entries = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "code": code_for.get((f.rule, f.path, f.line), ""),
+                "message": f.message,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,185 @@
+"""Shared checker machinery: import resolution, name dotting, scope stack.
+
+Every checker is an :class:`ast.NodeVisitor` over one module.  The runner
+annotates each node with a ``.parent`` backlink before visiting, and
+:class:`Checker` pre-computes the module's import alias table so rules can
+match *resolved* dotted names (``np.random.seed`` and
+``from numpy.random import seed`` both resolve to ``numpy.random.seed``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..config import LintConfig
+from ..findings import Finding
+
+__all__ = ["Checker", "ModuleContext", "annotate_parents", "dotted_parts"]
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a ``.parent`` backlink to every node (root gets ``None``)."""
+    tree.parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class ModuleContext:
+    """Everything a checker needs to know about the module under lint."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 config: LintConfig):
+        self.path = path  # forward-slash relative path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.lines = source.splitlines()
+        self.in_sim_package = self._in_packages(config.sim_packages)
+        self.in_engine_package = self._in_packages(config.engine_packages)
+        self.module_name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        self.is_entry_module = self.module_name in config.entry_points
+
+    def _in_packages(self, packages: Tuple[str, ...]) -> bool:
+        haystack = "/" + self.path.strip("/") + "/"
+        return any(f"/{pkg.strip('/')}/" in haystack for pkg in packages)
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for all rule checkers.
+
+    Subclasses call :meth:`report` with a rule id, the offending node, and a
+    message.  ``self.ctx`` carries the module context; ``self.imports`` maps
+    local alias -> dotted origin for both ``import x [as y]`` and
+    ``from m import n [as y]`` forms.
+    """
+
+    def __init__(self, ctx: ModuleContext, active_rules: Tuple[str, ...]):
+        self.ctx = ctx
+        self.active = frozenset(active_rules)
+        self.findings: List[Finding] = []
+        self.imports: Dict[str, str] = self._collect_imports(ctx.tree)
+        self._func_stack: List[ast.AST] = []
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule not in self.active:
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    # -- imports / name resolution -----------------------------------------
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+        table: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None and "." in alias.name:
+                        # ``import numpy.random`` binds ``numpy``.
+                        table[alias.name.split(".")[0]] = alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: stays project-internal
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    table[alias.asname or alias.name] = f"{module}.{alias.name}"
+        return table
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Resolved dotted name of a Name/Attribute chain, or None.
+
+        The chain head is expanded through the import table, so with
+        ``import numpy as np`` the expression ``np.random.seed`` resolves to
+        ``numpy.random.seed``.
+        """
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        head = self.imports.get(parts[0])
+        if head is not None:
+            parts = head.split(".") + parts[1:]
+        return ".".join(parts)
+
+    def call_name(self, call: ast.Call) -> Optional[str]:
+        return self.resolve(call.func)
+
+    # -- scope helpers ------------------------------------------------------
+
+    def _walk_function(self, node: ast.AST) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _walk_function
+    visit_AsyncFunctionDef = _walk_function
+    visit_Lambda = _walk_function
+
+    @property
+    def current_function(self) -> Optional[ast.AST]:
+        return self._func_stack[-1] if self._func_stack else None
+
+    def enclosing_functions(self) -> Iterator[ast.AST]:
+        return reversed(self._func_stack)
+
+    def in_entry_point(self, node: ast.AST) -> bool:
+        """True inside ``main()``, an entry module, or an
+        ``if __name__ == "__main__":`` block."""
+        if self.ctx.is_entry_module:
+            return True
+        for func in self._func_stack:
+            name = getattr(func, "name", "")
+            if name in self.ctx.config.entry_points:
+                return True
+        parent = getattr(node, "parent", None)
+        while parent is not None:
+            if isinstance(parent, ast.If) and _is_name_main_test(parent.test):
+                return True
+            parent = getattr(parent, "parent", None)
+        return False
+
+
+def _is_name_main_test(test: ast.AST) -> bool:
+    if not isinstance(test, ast.Compare):
+        return False
+    names = [test.left, *test.comparators]
+    has_dunder = any(
+        isinstance(n, ast.Name) and n.id == "__name__" for n in names
+    )
+    has_main = any(
+        isinstance(n, ast.Constant) and n.value == "__main__" for n in names
+    )
+    return has_dunder and has_main

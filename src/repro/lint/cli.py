@@ -1,0 +1,210 @@
+"""``python -m repro.lint`` — the command-line front end.
+
+Exit codes (stable, asserted by tests):
+
+* ``0`` — no findings (after suppressions and baseline),
+* ``1`` — at least one finding, or a file failed to parse,
+* ``2`` — usage error (unknown rule id, missing path, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, BaselineError
+from .config import LintConfig, load_config
+from .registry import all_rules
+from .runner import LintResult, lint_paths
+
+__all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Bump only when the --format=json shape changes (schema-tested).
+JSON_FORMAT_VERSION = 1
+
+
+def _split_rules(values: Optional[List[str]]) -> List[str]:
+    rules: List[str] = []
+    for value in values or []:
+        rules.extend(r.strip().upper() for r in value.split(",") if r.strip())
+    return rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based simulation-correctness linter for the repro "
+                    "codebase (determinism, DES protocol, pickle safety).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline JSON of grandfathered findings "
+             "(default: [tool.repro-lint] baseline, if the file exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any configured baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _validate_rules(rules: Sequence[str]) -> Optional[str]:
+    known = {r.id for r in all_rules()}
+    for rule in rules:
+        if rule not in known:
+            return rule
+    return None
+
+
+def _print_text(result: LintResult, baseline: Optional[Baseline],
+                out) -> None:
+    findings = result.sorted_findings()
+    for finding in findings:
+        print(finding.render(), file=out)
+    for path, message in result.parse_errors:
+        print(f"{path}: error: {message}", file=out)
+    if baseline is not None:
+        for entry in baseline.stale_entries():
+            print(
+                f"note: stale baseline entry {entry.rule} @ {entry.path} "
+                f"({entry.code!r}) — remove it",
+                file=out,
+            )
+    summary = (
+        f"{len(findings)} finding(s) in {result.files_checked} file(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    print(summary, file=out)
+
+
+def _print_json(result: LintResult, out) -> None:
+    findings = result.sorted_findings()
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "errors": [
+            {"path": path, "message": message}
+            for path, message in result.parse_errors
+        ],
+    }
+    json.dump(payload, out, indent=2, sort_keys=False)
+    out.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:<28} {rule.summary}")
+        return EXIT_CLEAN
+
+    try:
+        config: LintConfig = load_config()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    select = _split_rules(args.select)
+    ignore = _split_rules(args.ignore)
+    bad = _validate_rules(select + ignore)
+    if bad is not None:
+        print(
+            f"error: unknown rule id {bad!r} "
+            "(see --list-rules for the catalogue)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    config = config.with_overrides(
+        select=select or None,
+        ignore=ignore or None,
+        baseline=args.baseline,
+        no_baseline=args.no_baseline,
+    )
+
+    baseline: Optional[Baseline] = None
+    baseline_path: Optional[Path] = None
+    if config.baseline and not args.write_baseline:
+        baseline_path = Path(config.baseline)
+        if args.baseline and not baseline_path.is_file():
+            print(
+                f"error: baseline file not found: {baseline_path}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if baseline_path.is_file():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+
+    try:
+        result = lint_paths(args.paths, config=config, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        target = Path(config.baseline or "lint-baseline.json")
+        Baseline.write(target, result.findings, result.code_for)
+        print(
+            f"wrote {len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to {target}",
+        )
+        return EXIT_CLEAN
+
+    if args.format == "json":
+        _print_json(result, sys.stdout)
+    else:
+        _print_text(result, baseline, sys.stdout)
+
+    if result.findings or result.parse_errors:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN

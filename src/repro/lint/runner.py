@@ -1,0 +1,152 @@
+"""File discovery and per-module checker execution."""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .baseline import Baseline
+from .config import LintConfig
+from .findings import Finding
+from .registry import iter_checkers
+from .suppressions import collect_suppressions, is_suppressed
+from .checkers import ModuleContext, annotate_parents
+
+__all__ = ["LintResult", "discover_files", "lint_paths", "lint_source"]
+
+_SKIP_DIRS = {
+    ".git", "__pycache__", ".cache", ".mypy_cache", ".ruff_cache",
+    ".pytest_cache", ".venv", "venv", "node_modules", "build", "dist",
+}
+
+
+class LintResult:
+    """Findings plus the bookkeeping the CLI needs."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.suppressed = 0
+        self.baselined = 0
+        self.parse_errors: List[Tuple[str, str]] = []
+        #: (rule, path, line) -> stripped source line, for baseline writing.
+        self.code_for: Dict[Tuple[str, str, int], str] = {}
+        self.files_checked = 0
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+
+def discover_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.append(path)
+        elif path.is_dir():
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(Path(dirpath) / name)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    # De-duplicate while keeping deterministic order.
+    seen = set()
+    unique = []
+    for path in found:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _relpath(path: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(Path.cwd())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: Optional[LintConfig] = None,
+    enabled: Optional[Iterable[str]] = None,
+    result: Optional[LintResult] = None,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """Lint one module given as text; the unit-test entry point.
+
+    ``path`` is virtual: it determines package membership (sim/engine) and
+    appears in findings, but is never opened.
+    """
+    from .registry import all_rules
+
+    config = config or LintConfig()
+    result = result if result is not None else LintResult()
+    if enabled is None:
+        enabled = config.enabled_rules([r.id for r in all_rules()])
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.parse_errors.append((path, f"syntax error: {exc.msg} "
+                                          f"(line {exc.lineno})"))
+        return []
+    annotate_parents(tree)
+    ctx = ModuleContext(path=path, source=source, tree=tree, config=config)
+    suppressions = collect_suppressions(source)
+
+    module_findings: List[Finding] = []
+    for checker_cls, active in iter_checkers(enabled):
+        checker = checker_cls(ctx, active)
+        checker.visit(tree)
+        module_findings.extend(checker.findings)
+
+    kept: List[Finding] = []
+    for finding in module_findings:
+        code = ctx.line_at(finding.line).strip()
+        if is_suppressed(suppressions, finding.line, finding.rule):
+            result.suppressed += 1
+            continue
+        if baseline is not None and baseline.matches(finding, code):
+            result.baselined += 1
+            continue
+        result.code_for[(finding.rule, finding.path, finding.line)] = code
+        kept.append(finding)
+
+    result.findings.extend(kept)
+    result.files_checked += 1
+    return kept
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: Optional[LintConfig] = None,
+    enabled: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint files and directories; returns an aggregate :class:`LintResult`."""
+    result = LintResult()
+    for path in discover_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.parse_errors.append((_relpath(path), str(exc)))
+            continue
+        lint_source(
+            source,
+            _relpath(path),
+            config=config,
+            enabled=enabled,
+            result=result,
+            baseline=baseline,
+        )
+    return result

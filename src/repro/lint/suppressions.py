@@ -1,0 +1,67 @@
+"""Per-line ``# repro-lint: ignore[...]`` suppression comments.
+
+Syntax, on the offending line::
+
+    for n in cell.neighbors:  # repro-lint: ignore[REP004]
+    risky()                   # repro-lint: ignore[REP001,REP003]
+    anything()                # repro-lint: ignore
+
+A bare ``ignore`` suppresses every rule on that line; the bracketed form
+suppresses only the listed rule ids.  Comments are found with
+:mod:`tokenize`, so strings containing the marker text are never
+misinterpreted.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+__all__ = ["ALL_RULES", "collect_suppressions", "is_suppressed"]
+
+#: Sentinel rule-set meaning "every rule is suppressed on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+_MARKER = re.compile(
+    r"#\s*repro-lint\s*:\s*ignore\s*(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed rule ids for ``source``.
+
+    Tokenization errors (the file will already have failed :func:`ast.parse`
+    or is mid-edit) yield no suppressions rather than crashing the linter.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                parsed = ALL_RULES
+            else:
+                parsed = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                ) or ALL_RULES
+            line = tok.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | parsed
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    rules = suppressions.get(line)
+    if rules is None:
+        return False
+    return rules == ALL_RULES or "*" in rules or rule in rules

@@ -7,7 +7,7 @@ cells **C**–**G**) and a richer campus floor used by the end-to-end examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Set
 
 from ..profiles.records import CellClass
 

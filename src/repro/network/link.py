@@ -9,7 +9,7 @@ algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Tuple
 
 __all__ = ["Link", "LinkAllocation"]

@@ -103,7 +103,7 @@ def qos_route(
     the bandwidth row of the paper's Table 2 forward-pass test.
     """
     return shortest_path(
-        topo, src, dst, hop_metric, usable=lambda l: l.excess_available >= b_min
+        topo, src, dst, hop_metric, usable=lambda link: link.excess_available >= b_min
     )
 
 

@@ -44,7 +44,7 @@ def default_cache_dir() -> Path:
     return Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
 
 
-def _canonical(value: Any):
+def _canonical(value: Any) -> Any:
     """Reduce a config to a JSON-stable structure for hashing."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         cls = type(value)
@@ -66,6 +66,16 @@ def _canonical(value: Any):
         }
     if isinstance(value, (list, tuple)):
         return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        # Canonicalize before ordering: set iteration order is
+        # hash-randomized, and the old ``repr`` fallback made cache keys for
+        # set-valued configs differ from run to run (every lookup a miss).
+        return {
+            "__set__": sorted(
+                (_canonical(v) for v in value),
+                key=lambda item: json.dumps(item, sort_keys=True),
+            )
+        }
     if isinstance(value, float):
         # repr round-trips exactly; JSON float encoding may not.
         return {"__float__": repr(value)}

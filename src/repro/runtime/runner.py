@@ -14,7 +14,10 @@ from __future__ import annotations
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from .cache import ResultCache
 
 __all__ = ["JOBS_ENV", "ExperimentRunner", "WorkerError", "resolve_jobs"]
 
@@ -52,7 +55,7 @@ def resolve_jobs(jobs: Union[int, str, None] = None) -> int:
 class WorkerError(RuntimeError):
     """A sweep point failed; carries the config that provoked it."""
 
-    def __init__(self, config, index: int, cause: BaseException,
+    def __init__(self, config: Any, index: int, cause: BaseException,
                  worker_traceback: str = ""):
         super().__init__(
             f"sweep config #{index} ({config!r}) failed: {cause!r}"
@@ -63,7 +66,7 @@ class WorkerError(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
-def _call(payload):
+def _call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]:
     """Process-pool trampoline: never raises, so the config context is
     attached on the coordinator side rather than lost in the pool."""
     fn, config = payload
@@ -95,7 +98,7 @@ class ExperimentRunner:
         self,
         jobs: Union[int, str, None] = None,
         backend: Optional[str] = None,
-        cache=None,
+        cache: Optional["ResultCache"] = None,
         chunk_size: Optional[int] = None,
     ):
         self.jobs = resolve_jobs(jobs)
@@ -107,7 +110,7 @@ class ExperimentRunner:
         self.cache = cache
         self.chunk_size = chunk_size
 
-    def run_many(self, fn: Callable[[Any], Any], configs: Sequence) -> List:
+    def run_many(self, fn: Callable[[Any], Any], configs: Sequence[Any]) -> List[Any]:
         """Run ``fn(config)`` for every config, results in submission order.
 
         ``fn`` must be a module-level callable and each config picklable
@@ -118,7 +121,7 @@ class ExperimentRunner:
         pending = list(range(len(configs)))
 
         if self.cache is not None:
-            missing = []
+            missing: List[int] = []
             for i in pending:
                 hit, value = self.cache.get(fn, configs[i])
                 if hit:
@@ -137,14 +140,14 @@ class ExperimentRunner:
 
     # -- backends ---------------------------------------------------------
 
-    def _execute(self, fn, configs: List) -> List:
+    def _execute(self, fn: Callable[[Any], Any], configs: List[Any]) -> List[Any]:
         if self.backend == "serial" or self.jobs == 1 or len(configs) <= 1:
             return self._run_serial(fn, configs)
         return self._run_pool(fn, configs)
 
     @staticmethod
-    def _run_serial(fn, configs: List) -> List:
-        out = []
+    def _run_serial(fn: Callable[[Any], Any], configs: List[Any]) -> List[Any]:
+        out: List[Any] = []
         for index, config in enumerate(configs):
             try:
                 out.append(fn(config))
@@ -154,10 +157,10 @@ class ExperimentRunner:
                 ) from exc
         return out
 
-    def _run_pool(self, fn, configs: List) -> List:
+    def _run_pool(self, fn: Callable[[Any], Any], configs: List[Any]) -> List[Any]:
         workers = min(self.jobs, len(configs))
         chunk = self.chunk_size or max(1, len(configs) // (workers * 4))
-        out = []
+        out: List[Any] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = [(fn, config) for config in configs]
             for index, (ok, value) in enumerate(

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
 
 from ..core.classifier import CellTypeLearner
@@ -196,7 +196,7 @@ class FloorplanSimulator:
             cell = Cell(cell_id, capacity=capacity, cell_class=plan.cell_class(cell_id))
             self.cells[cell_id] = cell
         for cell_id in plan.cells:
-            for neighbor in plan.neighbors(cell_id):
+            for neighbor in sorted(plan.neighbors(cell_id), key=repr):
                 self.cells[cell_id].add_neighbor(neighbor)
         for office, occupants in plan.occupants.items():
             self.cells[office].occupants |= set(occupants)
@@ -222,8 +222,12 @@ class FloorplanSimulator:
         # Class-specific reservation processes.
         self.lounge_processes: Dict[Hashable, object] = {}
         for cell_id, cell in self.cells.items():
+            # Sorted so the ledger dict's insertion order (which downstream
+            # reservation processes iterate when spreading bandwidth) never
+            # depends on set hash order.
             neighbor_ledgers = {
-                n: self.cells[n].reservations for n in cell.neighbors
+                n: self.cells[n].reservations
+                for n in sorted(cell.neighbors, key=repr)
             }
             profile = self.manager.server.register_cell(cell_id)
             dist = profile.handoff_distribution
@@ -250,7 +254,7 @@ class FloorplanSimulator:
                     slot_duration=slot_duration,
                     default_neighbors=[
                         n
-                        for n in cell.neighbors
+                        for n in sorted(cell.neighbors, key=repr)
                         if plan.cell_class(n) is CellClass.DEFAULT
                     ],
                 )
@@ -267,7 +271,7 @@ class FloorplanSimulator:
                     slot_duration=slot_duration,
                     default_neighbors=[
                         n
-                        for n in cell.neighbors
+                        for n in sorted(cell.neighbors, key=repr)
                         if plan.cell_class(n) is CellClass.DEFAULT
                     ],
                     admission=probabilistic,

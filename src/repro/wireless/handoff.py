@@ -11,7 +11,7 @@ Figure 6 count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional
+from typing import Callable, Hashable, List, Optional
 
 from ..traffic.connection import Connection
 from .cell import Cell

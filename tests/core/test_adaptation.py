@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import AdaptationProtocol, QoSBounds, QoSRequest
 from repro.core.adaptation import compute_advertised_rate
-from repro.network import Topology, line_topology, star_topology
+from repro.network import line_topology, star_topology
 from repro.network.routing import shortest_path
 from repro.traffic import Connection, FlowSpec
 

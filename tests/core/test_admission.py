@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import AdmissionController, RejectReason, audio_request
-from repro.core.qos import QoSBounds, QoSRequest
+from repro.core.qos import QoSRequest
 from repro.network import Discipline, Topology
 from repro.traffic import Connection, FlowSpec
 

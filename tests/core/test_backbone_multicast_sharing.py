@@ -72,8 +72,8 @@ def test_rapid_handoff_chain_keeps_state_consistent():
         assert setup.result.accepted
         # Exactly one wireless link carries the connection.
         carrying = [
-            l.key for l in topo.links
-            if conn.conn_id in l.allocations and str(l.src).startswith("air:")
+            link.key for link in topo.links
+            if conn.conn_id in link.allocations and str(link.src).startswith("air:")
         ]
         assert carrying == [(src, f"bs:{cell}")]
     assert conn.handoffs == 3

@@ -169,7 +169,9 @@ def test_default_lounge_probabilistic_local_reservation():
         capacity=40.0, window=0.05, p_qos=0.02,
         types=[(1.0, 5.0, 0.7), (4.0, 4.0, 0.7)],
     )
-    occupancy = lambda: ([5, 1], [3, 0])
+    def occupancy():
+        return ([5, 1], [3, 0])
+
     env, process, own, n1, n2 = build(
         DefaultLoungeReservation,
         default_neighbors=["n1"],

@@ -49,8 +49,8 @@ def test_zero_capacity_gives_zero():
 def test_classic_line_network():
     """Three-link line: a long flow + three one-hop flows (textbook case)."""
     problem = MaxMinProblem()
-    for l in ("l0", "l1", "l2"):
-        problem.add_link(l, 30.0)
+    for link_id in ("l0", "l1", "l2"):
+        problem.add_link(link_id, 30.0)
     problem.add_connection("long", ["l0", "l1", "l2"])
     problem.add_connection("h0", ["l0"])
     problem.add_connection("h1", ["l1"])

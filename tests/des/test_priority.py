@@ -1,7 +1,5 @@
 """Tests for priority and preemptive resources."""
 
-import pytest
-
 from repro.des import (
     Environment,
     Interrupt,

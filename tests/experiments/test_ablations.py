@@ -1,7 +1,5 @@
 """Tests for the ablation experiments."""
 
-import pytest
-
 from repro.experiments import (
     mlist_overhead,
     pool_fraction_sweep,

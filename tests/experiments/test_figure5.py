@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments import (
     Figure5Config,
-    POLICIES,
     render_figure5,
     run_figure5,
     run_figure5_comparison,

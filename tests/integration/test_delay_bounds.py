@@ -8,10 +8,6 @@ analytic bound (plus one packet transmission time of SCFQ slack per
 competing flow).
 """
 
-import random
-
-import pytest
-
 from repro.des import Environment
 from repro.network import Link, per_hop_delay
 from repro.traffic import FlowSpec, cbr_packets

@@ -7,7 +7,6 @@ import pytest
 from repro.core import (
     AdaptationProtocol,
     AdmissionController,
-    CellularResourceManager,
     audio_request,
     video_request,
 )
@@ -15,10 +14,10 @@ from repro.des import Environment
 from repro.mobility import campus_floorplan, figure4_floorplan, office_week_trace
 from repro.network import Discipline, campus_backbone
 from repro.network.routing import qos_route
-from repro.profiles import CellClass, ProfileServer
+from repro.profiles import ProfileServer
 from repro.sim import FloorplanSimulator
 from repro.traffic import Connection
-from repro.wireless import Cell, GilbertElliottChannel, Portable
+from repro.wireless import GilbertElliottChannel
 
 
 def test_wired_admission_plus_distributed_adaptation():

@@ -2,7 +2,7 @@
 
 import random
 
-from repro.profiles import CellClass, ZoneDirectory
+from repro.profiles import ZoneDirectory
 
 
 def build_two_zone_floor():

@@ -1,9 +1,5 @@
 """Tests for the calibrated trace generators."""
 
-from collections import Counter
-
-import pytest
-
 from repro.mobility import (
     OFFICE_WEEK_TARGETS,
     class_session_trace,

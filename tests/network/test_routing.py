@@ -59,10 +59,10 @@ def test_unknown_endpoints_raise():
 
 def test_usable_filter_prunes_links():
     topo = grid_topology()
-    path = shortest_path(topo, "a", "d", usable=lambda l: l.capacity >= 50.0)
+    path = shortest_path(topo, "a", "d", usable=lambda link: link.capacity >= 50.0)
     assert path == ["a", "b", "d"]
     with pytest.raises(NoRouteError):
-        shortest_path(topo, "a", "d", usable=lambda l: False)
+        shortest_path(topo, "a", "d", usable=lambda link: False)
 
 
 def test_qos_route_respects_reservations():
@@ -85,7 +85,7 @@ def test_widest_path_maximizes_bottleneck():
 def test_negative_metric_rejected():
     topo = line_topology(3)
     with pytest.raises(ValueError):
-        shortest_path(topo, "s0", "s2", metric=lambda l: -1.0)
+        shortest_path(topo, "s0", "s2", metric=lambda link: -1.0)
 
 
 def test_shortest_path_agrees_with_networkx():

@@ -35,10 +35,10 @@ def test_e2e_delay_lower_bound_formula():
 def test_e2e_bound_consistent_with_per_hop_sum():
     """The e2e bound equals per-hop sums plus one burst-drain term: the
     burst penalty sigma/b is paid once end-to-end, never per hop."""
-    sigma, b, l = 8.0, 10.0, 1.0
+    sigma, b, l_max = 8.0, 10.0, 1.0
     caps = [100.0, 100.0, 100.0]
-    e2e = e2e_delay_lower_bound(sigma, b, l, caps)
-    per_hop_sum = sum(per_hop_delay(b, c, l) for c in caps)
+    e2e = e2e_delay_lower_bound(sigma, b, l_max, caps)
+    per_hop_sum = sum(per_hop_delay(b, c, l_max) for c in caps)
     assert e2e == pytest.approx(per_hop_sum + sigma / b)
 
 

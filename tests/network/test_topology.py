@@ -51,7 +51,7 @@ def test_successors_are_directed():
 def test_path_links_resolution():
     topo = line_topology(4)
     links = topo.path_links(["s0", "s1", "s2"])
-    assert [l.key for l in links] == [("s0", "s1"), ("s1", "s2")]
+    assert [link.key for link in links] == [("s0", "s1"), ("s1", "s2")]
     assert topo.path_links(["s0"]) == []
 
 

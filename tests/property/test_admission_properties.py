@@ -63,8 +63,8 @@ def test_admission_decision_is_sound(params, path_spec, static, rcsp):
     conn = Connection(src=nodes[0], dst=nodes[-1], qos=qos)
     result = controller.admit(conn, nodes, static_portable=static)
 
-    caps = [l.capacity for l in topo.path_links(nodes)]
-    errors = [l.error_prob for l in topo.path_links(nodes)]
+    caps = [link.capacity for link in topo.path_links(nodes)]
+    errors = [link.error_prob for link in topo.path_links(nodes)]
     d_min = e2e_delay_lower_bound(
         params["sigma"], params["b_min"], params["l_max"], caps
     )
@@ -94,8 +94,8 @@ def test_admission_decision_is_sound(params, path_spec, static, rcsp):
             d_min > params["delay"] - 1e-9
             or loss > params["loss"] - 1e-9
             or jitter > params["jitter"] - 1e-9
-            or any(params["b_min"] > l.excess_available + 1e-9
-                   for l in topo.path_links(nodes))
+            or any(params["b_min"] > link.excess_available + 1e-9
+                   for link in topo.path_links(nodes))
         )
         assert violated, f"rejected ({result.reason}) without a violated row"
 

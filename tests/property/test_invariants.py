@@ -10,7 +10,6 @@ from repro.core import (
     CellReservations,
     MaxMinProblem,
     audio_request,
-    is_maxmin_fair,
     maxmin_allocation,
 )
 from repro.des import Environment

@@ -1,8 +1,6 @@
 """Property-based checks of the mobility traces and routing."""
 
 from collections import defaultdict
-
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mobility import class_session_trace, figure4_floorplan, office_week_trace
@@ -121,6 +119,6 @@ def test_widest_path_bottleneck_dominates_shortest(edges):
         return
 
     def bottleneck(route):
-        return min(l.excess_available for l in topo.path_links(route))
+        return min(link.excess_available for link in topo.path_links(route))
 
     assert bottleneck(wide) >= bottleneck(short) - 1e-9

@@ -66,6 +66,56 @@ def test_config_key_handles_plain_values():
     assert config_key((1.0, 2.0)) != config_key((1.0, 2.5))
 
 
+def test_config_key_set_values_are_content_keyed():
+    """Equal sets key equally regardless of construction order, and a set
+    is not confused with a list of the same elements."""
+    forward = set()
+    backward = set()
+    for name in ["alpha", "beta", "gamma", "delta"]:
+        forward.add(name)
+    for name in ["delta", "gamma", "beta", "alpha"]:
+        backward.add(name)
+    assert config_key(forward) == config_key(backward)
+    assert config_key(frozenset(forward)) == config_key(frozenset(backward))
+    assert config_key(forward) != config_key(sorted(forward))
+    assert config_key({1, 2}) != config_key({1, 3})
+
+
+def test_config_key_sets_stable_across_hash_seeds(tmp_path):
+    """Regression: ``_canonical`` used to fall back to ``repr`` for sets, so
+    a set-valued config hashed differently under each PYTHONHASHSEED and
+    every cross-run cache lookup missed."""
+    import subprocess
+    import sys
+
+    snippet = (
+        "from repro.runtime import config_key;"
+        "print(config_key({'office_a', 'office_b', 'hall', 'cafeteria'}))"
+    )
+    keys = set()
+    for hash_seed in ("0", "1", "4242"):
+        proc = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True,
+            text=True,
+            env={**_child_env(), "PYTHONHASHSEED": hash_seed},
+        )
+        assert proc.returncode == 0, proc.stderr
+        keys.add(proc.stdout.strip())
+    assert len(keys) == 1, f"cache key depends on PYTHONHASHSEED: {keys}"
+
+
+def _child_env():
+    import os
+
+    env = dict(os.environ)
+    src = str(
+        __import__("pathlib").Path(__file__).resolve().parents[2] / "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
 # -- hit / miss / invalidation --------------------------------------------
 
 

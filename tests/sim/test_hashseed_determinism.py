@@ -1,0 +1,138 @@
+"""Regression tests: simulation results must not depend on PYTHONHASHSEED.
+
+PR 1 made "parallel is bit-identical to serial" a hard contract, and pool
+workers are separate interpreters with their own hash seeds.  Any code path
+that lets ``set`` iteration order (hash-randomized for strings) leak into
+float accumulation or container insertion order breaks that contract.
+These tests re-run small scenarios under several explicit hash seeds in
+subprocesses and require bit-identical output.
+
+Each test pins a concrete fix:
+
+* ``compute_advertised_rate`` summed ``recorded[c] for c in restricted``
+  (a set) — float addition order varied with the hash seed;
+* ``maxmin_allocation`` iterated its ``active`` set while mutating float
+  state;
+* ``FloorplanSimulator`` built ``neighbor_ledgers`` dicts and
+  ``default_neighbors`` lists straight from ``Cell.neighbors`` (a set), so
+  downstream reservation spreading saw hash-ordered containers, and
+  ``CellularResourceManager.update_pools`` walked neighbors unsorted.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+HASH_SEEDS = ("0", "1", "31337")
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_snippet(snippet: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def _assert_hashseed_invariant(snippet: str) -> None:
+    outputs = {_run_snippet(snippet, seed) for seed in HASH_SEEDS}
+    assert len(outputs) == 1, (
+        "output depends on PYTHONHASHSEED:\n" + "\n---\n".join(sorted(outputs))
+    )
+
+
+# Recorded rates spanning eleven orders of magnitude: summing them in
+# different orders rounds differently.  With the pre-fix code (sum over a
+# hash-ordered set) this scenario provably returned three distinct
+# advertised rates across PYTHONHASHSEED in {0, 1, 7, 99, 31337}.
+_RESTRICTED_RATES = [
+    1.1910670915023905e-08, 1.547440911328424e-08, 1.6183689966753317e-08,
+    1.7197046864039542e-08, 1.8988382879679937e-08, 0.008475399302126417,
+    0.009264654264014635, 0.009407120000849237, 0.009705790790018088,
+    0.009941398178342898, 0.011372975279455922, 0.011441643263533656,
+    0.011500549571783, 0.01191367182004937, 0.013844099648771724,
+    0.014646677818384787, 0.014753157498748013, 0.015267448165489928,
+    0.10987633446591479, 0.11397457849666788, 0.11838687225385854,
+    0.1243910876887132, 0.1444989026275516, 0.15756510141648886,
+    0.15833820394550313, 0.17036425461655202, 0.18750872873361457,
+    0.19677999949201716, 0.19872592010330128, 128.45403939268607,
+    134.7171567960644, 136.91984542727036, 162.49237973613785,
+    211.14104666858955, 217.030018769398, 417893.4279975286,
+    510591.887658775, 600989.6394741648, 150468685.58173904,
+    180317946.927987,
+]
+_CAPACITY = 582317100.0512879
+
+
+def test_advertised_rate_bit_identical_across_hash_seeds():
+    _assert_hashseed_invariant(
+        f"""
+from repro.core.adaptation import compute_advertised_rate
+small = {_RESTRICTED_RATES!r}
+recorded = {{f"conn-{{i}}": v for i, v in enumerate(small)}}
+recorded["big"] = 1e12
+print(repr(compute_advertised_rate({_CAPACITY!r}, recorded, mu_prev=5e8)))
+"""
+    )
+
+
+def test_maxmin_allocation_bit_identical_across_hash_seeds():
+    _assert_hashseed_invariant(
+        """
+from repro.core.maxmin import MaxMinProblem, maxmin_allocation
+problem = MaxMinProblem()
+for i in range(6):
+    problem.add_link(f"link-{i}", capacity=10.0 + 0.1 * i)
+for i in range(40):
+    problem.add_connection(
+        f"conn-{i}",
+        demand=0.9 + 0.037 * i,
+        path=[f"link-{i % 6}", f"link-{(i + 1) % 6}"],
+    )
+allocation = maxmin_allocation(problem)
+print(sorted((k, repr(v)) for k, v in allocation.items()))
+"""
+    )
+
+
+def test_floorplan_simulation_bit_identical_across_hash_seeds():
+    _assert_hashseed_invariant(
+        """
+from repro.core import audio_request
+from repro.mobility import campus_floorplan
+from repro.sim import FloorplanSimulator
+
+sim = FloorplanSimulator(campus_floorplan(), capacity=1600.0, seed=7)
+sim.add_portable("u1", "cor-4")
+sim.add_portable("u2", "cor-4")
+sim.request_connection("u1", audio_request())
+sim.request_connection("u2", audio_request())
+sim.run(until=500.0)
+sim.move("u1", "lounge")
+sim.move("u2", "lounge")
+sim.run(until=1000.0)
+sim.move("u2", "cor-4")
+sim.run(until=1500.0)
+import dataclasses
+ledgers = {
+    str(cid): list(map(str, proc.neighbor_ledgers))
+    for cid, proc in sorted(sim.lounge_processes.items(), key=repr)
+}
+reserved = {
+    str(cid): (repr(cell.reservations.pool), repr(cell.reservations.total))
+    for cid, cell in sorted(sim.cells.items(), key=repr)
+}
+stats = dataclasses.asdict(sim.stats)
+stats["extra"] = sorted(stats["extra"].items())
+print((sorted(stats.items()), ledgers, reserved))
+"""
+    )
