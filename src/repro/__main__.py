@@ -7,6 +7,8 @@ Usage::
     python -m repro figure5
     python -m repro --jobs 4 figure6     # parallel sweep execution
     python -m repro all                  # run everything (slow)
+    python -m repro cache stats          # inspect the result cache
+    python -m repro cache prune --max-size 500M
 
 Sweep-style experiments dispatch through
 :class:`repro.runtime.ExperimentRunner`; ``--jobs N`` (or the
@@ -14,15 +16,21 @@ Sweep-style experiments dispatch through
 pool, and ``--cache`` persists per-config results under
 ``benchmarks/.cache/`` so re-runs only simulate new points.  Results are
 bit-identical regardless of the worker count.
+
+Fault tolerance: ``--max-retries N`` re-attempts failing replications
+with exponential backoff, ``--timeout S`` cancels and reschedules
+replications exceeding a wall-clock budget, and ``--partial`` lets a
+sweep survive exhausted points (they are dropped from the merged output
+with a warning instead of aborting the run).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
-from .runtime import ExperimentRunner, ResultCache
+from .runtime import ExperimentRunner, ResultCache, parse_size
 
 
 def _table2(runner: ExperimentRunner) -> str:
@@ -140,10 +148,65 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentRunner], str]] = {
 }
 
 
-def main(argv=None) -> int:
+def _cache_main(argv: List[str]) -> int:
+    """``python -m repro cache stats|clear|prune`` — manage the result cache."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect and manage the on-disk sweep result cache.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    p_stats = sub.add_parser("stats", help="entry counts, bytes, hit/miss state")
+    p_clear = sub.add_parser("clear", help="drop every entry for the current version")
+    p_prune = sub.add_parser(
+        "prune", help="evict least-recently-used entries down to the given caps"
+    )
+    p_prune.add_argument(
+        "--max-size", default=None, metavar="SIZE",
+        help="byte cap, e.g. 2048, 500M, or 1.5G (binary suffixes)",
+    )
+    p_prune.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="entry-count cap",
+    )
+    for sp in (p_stats, p_clear, p_prune):
+        sp.add_argument(
+            "--dir", default=None, metavar="PATH",
+            help="cache root (default: benchmarks/.cache or $REPRO_CACHE_DIR)",
+        )
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(root=args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats.root} (v{stats.version})")
+        print(f"entries:    {stats.entries}")
+        print(f"bytes:      {stats.total_bytes}")
+        for namespace, count, size in stats.by_namespace:
+            print(f"  {namespace}: {count} entries, {size} bytes")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries")
+        return 0
+    # prune
+    if args.max_size is None and args.max_entries is None:
+        parser.error("prune requires --max-size and/or --max-entries")
+    max_bytes = parse_size(args.max_size) if args.max_size is not None else None
+    evicted, freed = cache.prune(max_bytes=max_bytes, max_entries=args.max_entries)
+    print(f"evicted {evicted} entries ({freed} bytes)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate results from Lu & Bharghavan (SIGCOMM 1996).",
+        epilog="Cache management lives under 'python -m repro cache "
+        "stats|clear|prune'.",
     )
     parser.add_argument(
         "experiment",
@@ -159,6 +222,21 @@ def main(argv=None) -> int:
         "--cache", action="store_true",
         help="reuse previously simulated sweep points from benchmarks/.cache/",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="re-attempt each failing replication up to N times with "
+        "exponential backoff (default 0: fail hard)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-replication wall-clock budget; hung workers are cancelled "
+        "and rescheduled",
+    )
+    parser.add_argument(
+        "--partial", action="store_true",
+        help="survive exhausted sweep points: they are dropped from merged "
+        "output with a warning instead of aborting the run",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -167,7 +245,12 @@ def main(argv=None) -> int:
         return 0
 
     runner = ExperimentRunner(
-        jobs=args.jobs, cache=ResultCache() if args.cache else None
+        jobs=args.jobs,
+        cache=ResultCache() if args.cache else None,
+        max_retries=args.max_retries,
+        timeout=args.timeout,
+        partial=args.partial,
+        retry_backoff=0.5 if args.max_retries else 0.0,
     )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -21,7 +21,7 @@ from ..network.routing import shortest_path
 from ..network.topology import line_topology
 from ..profiles.records import CellClass
 from ..profiles.server import ProfileServer
-from ..runtime import ExperimentRunner
+from ..runtime import ExperimentRunner, drop_failures
 from ..sim.config import figure6_config
 from ..sim.simulator import simulate_twocell_stats
 from ..stats.counters import TeletrafficStats
@@ -55,7 +55,11 @@ def _pooled(policy: str, seeds: Sequence[int], horizon: float,
         for seed in seeds
     ]
     pooled = TeletrafficStats()
-    for stats in runner.run_many(simulate_twocell_stats, configs):
+    survivors = drop_failures(
+        runner.run_many(simulate_twocell_stats, configs),
+        context=f"ablation pooled run ({policy})",
+    )
+    for stats in survivors:
         pooled = pooled.merge(stats)
     return pooled
 
@@ -89,8 +93,14 @@ def static_vs_predictive(
     stats_list = runner.run_many(simulate_twocell_stats, configs)
 
     def pooled(group: int) -> TeletrafficStats:
+        # Filter failures inside the per-group slice so knob alignment
+        # survives a partial sweep.
         merged = TeletrafficStats()
-        for stats in stats_list[group * len(seeds) : (group + 1) * len(seeds)]:
+        survivors = drop_failures(
+            stats_list[group * len(seeds) : (group + 1) * len(seeds)],
+            context=f"static-vs-predictive group {group}",
+        )
+        for stats in survivors:
             merged = merged.merge(stats)
         return merged
 
@@ -205,7 +215,9 @@ def mlist_overhead(conns: int = 6, switches: int = 6,
     """Message counts with and without the bottleneck-set refinement."""
     runner = runner if runner is not None else ExperimentRunner()
     jobs = [_MlistJob(conns, switches, seed) for seed in seeds]
-    return runner.run_many(_mlist_row, jobs)
+    return drop_failures(
+        runner.run_many(_mlist_row, jobs), context="mlist overhead"
+    )
 
 
 def render_mlist_overhead(rows) -> str:
@@ -280,7 +292,9 @@ def prediction_levels(
         _PredictionVariantJob(name, enabled, seed)
         for name, enabled in variants.items()
     ]
-    return runner.run_many(_prediction_variant, jobs)
+    return drop_failures(
+        runner.run_many(_prediction_variant, jobs), context="prediction levels"
+    )
 
 
 def render_prediction_levels(rows) -> str:
@@ -373,7 +387,9 @@ def pool_fraction_sweep(
         _PoolFractionJob(fraction, trials, capacity, seed)
         for fraction in fractions
     ]
-    return runner.run_many(_pool_fraction_point, jobs)
+    return drop_failures(
+        runner.run_many(_pool_fraction_point, jobs), context="pool fraction"
+    )
 
 
 def render_pool_fraction(rows) -> str:

@@ -26,7 +26,7 @@ from ..core.adaptation import AdaptationProtocol
 from ..core.qos import QoSBounds, QoSRequest
 from ..des import Environment
 from ..network.topology import Topology
-from ..runtime import ExperimentRunner
+from ..runtime import ExperimentRunner, drop_failures
 from ..traffic.connection import Connection
 from ..traffic.sources import AdaptiveVideoSource
 from ..wireless.channel import GilbertElliottChannel
@@ -170,7 +170,10 @@ def run_adaptation_value(
                               mean_good, mean_bad)
         for adaptive in (False, True)
     ]
-    return runner.run_many(simulate_adaptation_policy, configs)
+    return drop_failures(
+        runner.run_many(simulate_adaptation_policy, configs),
+        context="adaptation value",
+    )
 
 
 def render_adaptation_value(results: List[AdaptationValueResult]) -> str:

@@ -26,7 +26,7 @@ from ..mobility.floorplan import figure4_floorplan
 from ..mobility.traces import OFFICE_WEEK_TARGETS, MoveTrace, office_week_trace
 from ..profiles.records import CellClass
 from ..profiles.server import ProfileServer
-from ..runtime import ExperimentRunner
+from ..runtime import ExperimentRunner, drop_failures
 from .common import format_table
 
 __all__ = ["Figure4Result", "run_figure4", "run_figure4_sweep", "render_figure4"]
@@ -171,7 +171,9 @@ def run_figure4_sweep(
     directly; results come back in seed order.
     """
     runner = runner if runner is not None else ExperimentRunner()
-    return runner.run_many(run_figure4, list(seeds))
+    return drop_failures(
+        runner.run_many(run_figure4, list(seeds)), context="figure4"
+    )
 
 
 def render_figure4(result: Figure4Result) -> str:

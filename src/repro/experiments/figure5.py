@@ -26,7 +26,7 @@ from ..core.meeting import MeetingRoomReservation
 from ..core.qos import QoSBounds, QoSRequest
 from ..des import Environment
 from ..mobility.traces import MoveTrace, class_session_trace
-from ..runtime import ExperimentRunner
+from ..runtime import ExperimentRunner, FailedResult, drop_failures
 from ..profiles.records import BookingCalendar, CellClass, Meeting
 from ..profiles.server import ProfileServer
 from ..stats.timeseries import BinnedSeries
@@ -430,9 +430,13 @@ def run_figure5_comparison(
         for policy in POLICIES
     ]
     results = runner.run_many(_figure5_job, jobs)
+    # Warn about (and skip) exhausted points from a partial sweep; zipping
+    # against the unfiltered list keeps job/result alignment intact.
+    drop_failures(results, context="figure5")
     return {
         (job.config.students, job.policy): result
         for job, result in zip(jobs, results)
+        if not isinstance(result, FailedResult)
     }
 
 

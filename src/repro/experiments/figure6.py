@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..runtime import ExperimentRunner
+from ..runtime import ExperimentRunner, drop_failures
 from ..sim.config import figure6_config
 from ..sim.simulator import simulate_twocell_stats
 from ..stats.counters import TeletrafficStats
@@ -62,7 +62,12 @@ def _pooled_run(window: float, p_qos: float, seeds: Sequence[int],
         )
         for seed in seeds
     ]
-    return _merge_pooled(runner.run_many(simulate_twocell_stats, configs))
+    return _merge_pooled(
+        drop_failures(
+            runner.run_many(simulate_twocell_stats, configs),
+            context=f"figure6 pooled run ({policy})",
+        )
+    )
 
 
 def run_figure6(
@@ -95,8 +100,13 @@ def run_figure6(
 
     points: List[Figure6Point] = []
     for index, (window, p_qos) in enumerate(grid):
+        # Filter failures inside the per-point slice so grid alignment
+        # survives a partial sweep; the point pools whichever seeds ran.
         stats = _merge_pooled(
-            stats_list[index * len(seeds) : (index + 1) * len(seeds)]
+            drop_failures(
+                stats_list[index * len(seeds) : (index + 1) * len(seeds)],
+                context=f"figure6 point (T={window}, p_qos={p_qos})",
+            )
         )
         points.append(
             Figure6Point(

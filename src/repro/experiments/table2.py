@@ -16,7 +16,7 @@ from ..core.admission import AdmissionController, AdmissionResult
 from ..core.qos import audio_request, video_request
 from ..network.scheduling import Discipline, cumulative_jitter, per_hop_delay
 from ..network.topology import Topology
-from ..runtime import ExperimentRunner
+from ..runtime import ExperimentRunner, drop_failures
 from ..traffic.connection import Connection
 from .common import format_table
 
@@ -107,7 +107,7 @@ def run_table2(runner: Optional[ExperimentRunner] = None) -> List[Table2Case]:
         Table2Spec("audio (tight delay)", Discipline.WFQ, True, "audio",
                    delay_bound=0.05)
     )
-    return runner.run_many(_admit_case, specs)
+    return drop_failures(runner.run_many(_admit_case, specs), context="table2")
 
 
 def render_table2(cases: List[Table2Case]) -> str:

@@ -1,25 +1,80 @@
 """``ExperimentRunner``: dispatch independent simulation configs.
 
-The runner owns *how* a sweep executes (serial loop or a
-``ProcessPoolExecutor``), never *what* it computes: workers receive a
-module-level function plus one picklable config and return one picklable
-result.  Submission order is preserved, worker exceptions surface as
-:class:`WorkerError` with the failing config attached, and an optional
+The runner owns *how* a sweep executes (serial loop or a process pool),
+never *what* it computes: workers receive a module-level function plus one
+picklable config and return one picklable result.  Submission order is
+preserved, worker exceptions surface as :class:`WorkerError` with the
+failing config attached, and an optional
 :class:`~repro.runtime.cache.ResultCache` short-circuits configs that were
 already simulated.
+
+Fault tolerance (opt-in, mirroring the paper's graceful-degradation theme:
+connections adapt inside ``[b_min, b_max]`` instead of failing hard, and so
+should the harness that sweeps them):
+
+* ``max_retries`` / ``retry_backoff`` — each failing config is re-attempted
+  with exponential backoff (``retry_backoff * 2**(attempt-1)`` seconds
+  between attempts) before it is declared exhausted;
+* ``timeout`` — a per-replication wall-clock budget.  On the supervised
+  process backend a hung worker is *cancelled* (its process terminated) and
+  the config rescheduled; on the serial backend a ``SIGALRM`` timer
+  interrupts the attempt in place;
+* ``partial=True`` — exhausted configs come back as a typed
+  :class:`FailedResult` sentinel in their submission slot instead of
+  aborting the whole sweep with :class:`WorkerError`.
+
+When any fault-tolerance option is active the process backend switches
+from the chunked ``pool.map`` fast path to a supervised
+process-per-attempt scheme: each attempt runs in its own child with a
+private pipe, so crashes are attributed to the exact config, hangs are
+cancelled at the deadline, and retries reschedule without poisoning a
+shared pool.  Successful results remain bit-identical to a fault-free
+serial run — workers are pure functions of their config.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import multiprocessing.process
 import os
+import signal
+import threading
+import time
 import traceback
+import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from multiprocessing.connection import Connection, wait as _connection_wait
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:
     from .cache import ResultCache
 
-__all__ = ["JOBS_ENV", "ExperimentRunner", "WorkerError", "resolve_jobs"]
+__all__ = [
+    "JOBS_ENV",
+    "ExperimentRunner",
+    "FailedResult",
+    "ReplicationTimeout",
+    "WorkerCrash",
+    "WorkerError",
+    "drop_failures",
+    "failed",
+    "resolve_jobs",
+    "succeeded",
+]
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV = "REPRO_JOBS"
@@ -56,14 +111,72 @@ class WorkerError(RuntimeError):
     """A sweep point failed; carries the config that provoked it."""
 
     def __init__(self, config: Any, index: int, cause: BaseException,
-                 worker_traceback: str = ""):
+                 worker_traceback: str = "", attempts: int = 1):
+        plural = "s" if attempts != 1 else ""
         super().__init__(
-            f"sweep config #{index} ({config!r}) failed: {cause!r}"
+            f"sweep config #{index} ({config!r}) failed after {attempts} "
+            f"attempt{plural}: {cause!r}"
         )
         self.config = config
         self.index = index
         self.cause = cause
         self.worker_traceback = worker_traceback
+        self.attempts = attempts
+
+
+class ReplicationTimeout(RuntimeError):
+    """One replication attempt exceeded the per-attempt wall-clock budget."""
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died without reporting a result (hard crash)."""
+
+
+@dataclass(frozen=True)
+class FailedResult:
+    """Typed sentinel for an exhausted sweep point under ``partial=True``.
+
+    Occupies the failing config's submission slot in ``run_many``'s result
+    list so positional merges can detect and skip it.  ``error`` is the
+    ``repr`` of the last exception; ``traceback`` the worker-side traceback
+    text of the last attempt (empty for cancellations and crashes, which
+    have no Python frame to report).
+    """
+
+    config: Any
+    index: int
+    attempts: int
+    error: str
+    traceback: str = ""
+
+
+def failed(results: Sequence[Any]) -> List[FailedResult]:
+    """The :class:`FailedResult` entries of a ``partial=True`` sweep."""
+    return [r for r in results if isinstance(r, FailedResult)]
+
+
+def succeeded(results: Sequence[Any]) -> List[Any]:
+    """A sweep's results with any :class:`FailedResult` entries removed."""
+    return [r for r in results if not isinstance(r, FailedResult)]
+
+
+def drop_failures(results: Sequence[Any], context: str = "sweep") -> List[Any]:
+    """Filter :class:`FailedResult` entries, warning when any are dropped.
+
+    Experiment drivers route their ``run_many`` output through this so a
+    ``partial=True`` sweep degrades to "merge what survived" with an
+    explicit, visible warning instead of crashing on the sentinel.
+    """
+    bad = failed(results)
+    if bad:
+        indices = [f.index for f in bad]
+        warnings.warn(
+            f"{context}: dropping {len(bad)} failed sweep point(s) at "
+            f"indices {indices}; last error: {bad[-1].error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return succeeded(results)
 
 
 def _call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]:
@@ -74,6 +187,49 @@ def _call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]:
         return True, fn(config)
     except Exception as exc:  # noqa: BLE001 - re-raised with context
         return False, (exc, traceback.format_exc())
+
+
+def _supervised_child(
+    conn: Connection, fn: Callable[[Any], Any], config: Any
+) -> None:
+    """Entry point of a supervised worker process: one attempt, one config."""
+    try:
+        message: Tuple[bool, Any] = (True, fn(config))
+    except BaseException as exc:  # noqa: BLE001 - serialized to coordinator
+        message = (False, (exc, traceback.format_exc()))
+    try:
+        conn.send(message)
+    except Exception:
+        # Unpicklable result or exception: degrade to a picklable failure so
+        # the coordinator records an error instead of inferring a crash.
+        detail = "result" if message[0] else "exception"
+        tb = "" if message[0] else message[1][1]
+        try:
+            conn.send(
+                (False, (RuntimeError(f"unpicklable {detail} from worker"), tb))
+            )
+        except Exception:
+            pass  # pipe gone; the coordinator will classify this as a crash
+    finally:
+        conn.close()
+
+
+def _alarm_available() -> bool:
+    """SIGALRM-based timeouts need a main-thread POSIX coordinator."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _reap(proc: multiprocessing.process.BaseProcess) -> None:
+    """Terminate (then kill) a worker process and collect it."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(1.0)
+        if proc.is_alive():
+            proc.kill()
+    proc.join()
 
 
 class ExperimentRunner:
@@ -88,10 +244,27 @@ class ExperimentRunner:
         ``jobs > 1``.
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache`; hits skip
-        simulation entirely.
+        simulation entirely.  Failed sweep points are never cached.
     chunk_size:
-        Configs per pool task; default splits the batch into about four
-        chunks per worker to amortize pickling without starving the pool.
+        Configs per pool task on the fast (fault-intolerant) pool path;
+        default splits the batch into about four chunks per worker.
+    max_retries:
+        Failed attempts allowed per config beyond the first (default 0:
+        one attempt, fail hard — the pre-fault-tolerance behavior).
+    retry_backoff:
+        Base backoff in seconds; attempt ``k`` (1-based) waits
+        ``retry_backoff * 2**(k-1)`` seconds before retrying.
+    timeout:
+        Per-attempt wall-clock budget in seconds.  Supervised process
+        workers are terminated and rescheduled at the deadline; serial
+        attempts are interrupted via ``SIGALRM`` where available.
+    partial:
+        When True, a config that exhausts its attempts yields a
+        :class:`FailedResult` in its result slot instead of raising
+        :class:`WorkerError`, so one bad point cannot abort a sweep.
+    sleep, clock:
+        Injectable time sources (tests replace them to assert backoff
+        schedules without real sleeping).
     """
 
     def __init__(
@@ -100,21 +273,47 @@ class ExperimentRunner:
         backend: Optional[str] = None,
         cache: Optional["ResultCache"] = None,
         chunk_size: Optional[int] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.0,
+        timeout: Optional[float] = None,
+        partial: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.jobs = resolve_jobs(jobs)
         if backend is None:
             backend = "process" if self.jobs > 1 else "serial"
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
+        if int(max_retries) != max_retries or max_retries < 0:
+            raise ValueError(f"max_retries must be an int >= 0, got {max_retries!r}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff!r}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout!r}")
         self.backend = backend
         self.cache = cache
         self.chunk_size = chunk_size
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.timeout = timeout
+        self.partial = bool(partial)
+        self._sleep = sleep
+        self._clock = clock
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """True when any retry/timeout/partial option routes execution
+        through the supervised paths."""
+        return self.max_retries > 0 or self.timeout is not None or self.partial
 
     def run_many(self, fn: Callable[[Any], Any], configs: Sequence[Any]) -> List[Any]:
         """Run ``fn(config)`` for every config, results in submission order.
 
         ``fn`` must be a module-level callable and each config picklable
-        when the process backend is active.
+        when the process backend is active.  Under ``partial=True`` the
+        returned list may contain :class:`FailedResult` sentinels at the
+        submission indices of exhausted configs.
         """
         configs = list(configs)
         results: List[Any] = [None] * len(configs)
@@ -131,24 +330,32 @@ class ExperimentRunner:
             pending = missing
 
         if pending:
-            computed = self._execute(fn, [configs[i] for i in pending])
+            computed = self._execute(fn, [configs[i] for i in pending], pending)
             for i, value in zip(pending, computed):
                 results[i] = value
-                if self.cache is not None:
+                if self.cache is not None and not isinstance(value, FailedResult):
                     self.cache.put(fn, configs[i], value)
         return results
 
     # -- backends ---------------------------------------------------------
 
-    def _execute(self, fn: Callable[[Any], Any], configs: List[Any]) -> List[Any]:
+    def _execute(
+        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
+    ) -> List[Any]:
+        if self.fault_tolerant:
+            if self.backend == "process":
+                return self._run_supervised(fn, configs, indices)
+            return self._run_serial_ft(fn, configs, indices)
         if self.backend == "serial" or self.jobs == 1 or len(configs) <= 1:
-            return self._run_serial(fn, configs)
-        return self._run_pool(fn, configs)
+            return self._run_serial(fn, configs, indices)
+        return self._run_pool(fn, configs, indices)
 
     @staticmethod
-    def _run_serial(fn: Callable[[Any], Any], configs: List[Any]) -> List[Any]:
+    def _run_serial(
+        fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
+    ) -> List[Any]:
         out: List[Any] = []
-        for index, config in enumerate(configs):
+        for config, index in zip(configs, indices):
             try:
                 out.append(fn(config))
             except Exception as exc:
@@ -157,17 +364,200 @@ class ExperimentRunner:
                 ) from exc
         return out
 
-    def _run_pool(self, fn: Callable[[Any], Any], configs: List[Any]) -> List[Any]:
+    def _run_pool(
+        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
+    ) -> List[Any]:
         workers = min(self.jobs, len(configs))
         chunk = self.chunk_size or max(1, len(configs) // (workers * 4))
         out: List[Any] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = [(fn, config) for config in configs]
-            for index, (ok, value) in enumerate(
+            for pos, (ok, value) in enumerate(
                 pool.map(_call, payloads, chunksize=chunk)
             ):
                 if not ok:
                     exc, tb = value
-                    raise WorkerError(configs[index], index, exc, tb) from exc
+                    raise WorkerError(configs[pos], indices[pos], exc, tb) from exc
                 out.append(value)
         return out
+
+    # -- fault-tolerant paths ---------------------------------------------
+
+    def _backoff_delay(self, failed_attempts: int) -> float:
+        """Seconds to wait after the ``failed_attempts``-th failure."""
+        return self.retry_backoff * (2.0 ** (failed_attempts - 1))
+
+    def _call_with_alarm(self, fn: Callable[[Any], Any], config: Any) -> Any:
+        """One serial attempt, interrupted by SIGALRM at ``timeout``."""
+        limit = self.timeout
+        if limit is None or not _alarm_available():
+            return fn(config)
+
+        def _on_alarm(signum: int, frame: Any) -> None:
+            raise ReplicationTimeout(
+                f"replication exceeded {limit}s wall-clock timeout"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            return fn(config)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    def _run_serial_ft(
+        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
+    ) -> List[Any]:
+        """Serial execution with retries, backoff, timeout, and partial."""
+        out: List[Any] = []
+        for config, index in zip(configs, indices):
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    out.append(self._call_with_alarm(fn, config))
+                    break
+                except Exception as exc:
+                    tb = traceback.format_exc()
+                    if attempts <= self.max_retries:
+                        delay = self._backoff_delay(attempts)
+                        if delay > 0:
+                            self._sleep(delay)
+                        continue
+                    if self.partial:
+                        out.append(
+                            FailedResult(config, index, attempts, repr(exc), tb)
+                        )
+                        break
+                    raise WorkerError(
+                        config, index, exc, tb, attempts=attempts
+                    ) from exc
+        return out
+
+    def _run_supervised(
+        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
+    ) -> List[Any]:
+        """Process-per-attempt execution with cancellation and retries.
+
+        Each attempt gets its own child process and pipe: a crash closes the
+        pipe (attributed to exactly that config), a hang is terminated at
+        its deadline, and retried configs relaunch after their backoff
+        delay.  Up to ``jobs`` attempts run concurrently.
+        """
+        ctx = multiprocessing.get_context()
+        n = len(configs)
+        slots = min(self.jobs, n)
+        results: List[Any] = [None] * n
+        attempts = [0] * n
+        runnable: Deque[int] = deque(range(n))
+        delayed: List[Tuple[float, int]] = []  # (eligible_at, position) heap
+        # pipe -> (process, position, deadline)
+        inflight: Dict[Connection, Tuple[Any, int, Optional[float]]] = {}
+        done = 0
+
+        def launch(pos: int) -> None:
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_supervised_child,
+                args=(send_end, fn, configs[pos]),
+                daemon=True,
+            )
+            proc.start()
+            send_end.close()  # coordinator's copy; child death now EOFs recv
+            deadline = (
+                self._clock() + self.timeout if self.timeout is not None else None
+            )
+            inflight[recv_end] = (proc, pos, deadline)
+
+        def settle_failure(pos: int, cause: BaseException, tb: str) -> None:
+            nonlocal done
+            if attempts[pos] <= self.max_retries:
+                delay = self._backoff_delay(attempts[pos])
+                if delay > 0:
+                    heappush(delayed, (self._clock() + delay, pos))
+                else:
+                    runnable.append(pos)
+                return
+            if self.partial:
+                results[pos] = FailedResult(
+                    configs[pos], indices[pos], attempts[pos], repr(cause), tb
+                )
+                done += 1
+                return
+            raise WorkerError(
+                configs[pos], indices[pos], cause, tb, attempts=attempts[pos]
+            )
+
+        try:
+            while done < n:
+                now = self._clock()
+                while delayed and delayed[0][0] <= now:
+                    runnable.append(heappop(delayed)[1])
+                while runnable and len(inflight) < slots:
+                    launch(runnable.popleft())
+                if not inflight:
+                    if delayed:
+                        self._sleep(max(0.0, delayed[0][0] - self._clock()))
+                    continue
+
+                waits = [
+                    deadline - now
+                    for (_proc, _pos, deadline) in inflight.values()
+                    if deadline is not None
+                ]
+                if delayed:
+                    waits.append(delayed[0][0] - now)
+                poll = max(0.0, min(waits)) if waits else None
+
+                for conn in _connection_wait(list(inflight), timeout=poll):
+                    proc, pos, _deadline = inflight.pop(conn)  # type: ignore[arg-type]
+                    attempts[pos] += 1
+                    try:
+                        ok, payload = conn.recv()  # type: ignore[union-attr]
+                    except (EOFError, OSError):
+                        proc.join()
+                        settle_failure(
+                            pos,
+                            WorkerCrash(
+                                "worker process died with exit code "
+                                f"{proc.exitcode}"
+                            ),
+                            "",
+                        )
+                    else:
+                        proc.join()
+                        if ok:
+                            results[pos] = payload
+                            done += 1
+                        else:
+                            cause, tb = payload
+                            settle_failure(pos, cause, tb)
+                    finally:
+                        conn.close()  # type: ignore[union-attr]
+
+                now = self._clock()
+                expired = [
+                    conn
+                    for conn, (_proc, _pos, deadline) in inflight.items()
+                    if deadline is not None and deadline <= now
+                ]
+                for conn in expired:
+                    proc, pos, _deadline = inflight.pop(conn)
+                    _reap(proc)
+                    conn.close()
+                    attempts[pos] += 1
+                    settle_failure(
+                        pos,
+                        ReplicationTimeout(
+                            f"replication exceeded {self.timeout}s wall-clock "
+                            "timeout; worker cancelled"
+                        ),
+                        "",
+                    )
+        finally:
+            for conn, (proc, _pos, _deadline) in inflight.items():
+                _reap(proc)
+                conn.close()
+            inflight.clear()
+        return results

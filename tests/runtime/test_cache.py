@@ -1,6 +1,8 @@
-"""Tests for the on-disk result cache: keying, hit/miss, invalidation."""
+"""Tests for the on-disk result cache: keying, hit/miss, invalidation,
+corruption recovery, and LRU size management."""
 
 import dataclasses
+import os
 
 import pytest
 
@@ -9,6 +11,7 @@ from repro.runtime import (
     ResultCache,
     config_key,
     default_cache_dir,
+    parse_size,
 )
 from repro.runtime.cache import CACHE_DIR_ENV
 from repro.sim import figure6_config
@@ -148,15 +151,16 @@ def test_cache_namespaced_per_worker_function(tmp_path):
     assert not hit
 
 
-def test_cache_clear(tmp_path):
+def test_cache_clear_reports_count(tmp_path):
     cache = ResultCache(root=tmp_path)
     cache.put(_double, 1, 2)
     cache.put(_double, 2, 4)
     assert len(cache) == 2
-    cache.clear()
+    assert cache.clear() == 2
     assert len(cache) == 0
     hit, _ = cache.get(_double, 1)
     assert not hit
+    assert cache.clear() == 0
 
 
 @pytest.mark.parametrize(
@@ -173,6 +177,40 @@ def test_corrupt_entry_counts_as_miss(tmp_path, junk):
     path.write_bytes(junk)
     hit, _ = cache.get(_double, 5)
     assert not hit
+    # The dead entry is unlinked on detection so the store never
+    # accumulates unreadable files.
+    assert not path.exists()
+
+
+@pytest.mark.parametrize(
+    "junk",
+    [
+        b"not a pickle",
+        b"garbage\n",
+        b"",
+    ],
+)
+def test_corrupt_entry_is_resimulated_and_overwritten(tmp_path, junk):
+    """Regression: a truncated/garbage entry must not poison the sweep —
+    the runner treats it as a miss, recomputes, and overwrites it."""
+    worker, counter = _counting_worker_factory(tmp_path)
+    cache = ResultCache(root=tmp_path / "cache")
+    runner = ExperimentRunner(jobs=1, cache=cache)
+
+    assert runner.run_many(worker, [7]) == [14]
+    assert counter.read_text().count("x") == 1
+    path = cache.path_for(worker, 7)
+    path.write_bytes(junk)
+
+    # Corrupt entry: re-simulated (one more real call), result correct.
+    assert runner.run_many(worker, [7]) == [14]
+    assert counter.read_text().count("x") == 2
+
+    # The overwrite healed the store: next run is a pure hit.
+    assert runner.run_many(worker, [7]) == [14]
+    assert counter.read_text().count("x") == 2
+    hit, value = cache.get(worker, 7)
+    assert hit and value == 14
 
 
 def test_default_cache_dir_env_override(monkeypatch, tmp_path):
@@ -210,3 +248,132 @@ def test_runner_without_cache_always_computes(tmp_path):
     runner.run_many(worker, [1, 2])
     runner.run_many(worker, [1, 2])
     assert counter.read_text().count("x") == 4
+
+
+# -- size parsing -----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("2048", 2048),
+        ("500M", 500 * 1024**2),
+        ("500MB", 500 * 1024**2),
+        ("1.5G", int(1.5 * 1024**3)),
+        ("16k", 16 * 1024),
+        ("3T", 3 * 1024**4),
+        ("0", 0),
+        ("7B", 7),
+        (4096, 4096),
+    ],
+)
+def test_parse_size_accepts_human_sizes(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("text", ["", "lots", "-5", "1.5.5G", "12Q", -1])
+def test_parse_size_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        parse_size(text)
+
+
+# -- LRU eviction -----------------------------------------------------------
+
+
+def _put_with_age(cache, config, value, age_rank):
+    """Insert an entry and pin its recency: higher rank = more recent."""
+    path = cache.put(_double, config, value)
+    stamp = 1_000_000_000 + age_rank * 60
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_entries_sorted_least_recently_used_first(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    _put_with_age(cache, 3, 6, age_rank=2)
+    _put_with_age(cache, 1, 2, age_rank=0)
+    _put_with_age(cache, 2, 4, age_rank=1)
+    order = [entry.key for entry in cache.entries()]
+    expected = [config_key(c) for c in (1, 2, 3)]
+    assert order == expected
+    assert all(entry.size > 0 for entry in cache.entries())
+
+
+def test_prune_max_entries_evicts_lru_first(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    oldest = _put_with_age(cache, 1, 2, age_rank=0)
+    middle = _put_with_age(cache, 2, 4, age_rank=1)
+    newest = _put_with_age(cache, 3, 6, age_rank=2)
+
+    evicted, freed = cache.prune(max_entries=1)
+    assert evicted == 2 and freed > 0
+    assert not oldest.exists() and not middle.exists()
+    assert newest.exists()
+    hit, value = cache.get(_double, 3)
+    assert hit and value == 6
+
+
+def test_prune_max_bytes_evicts_until_under_cap(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    for rank, config in enumerate([1, 2, 3, 4]):
+        _put_with_age(cache, config, 2 * config, age_rank=rank)
+    entry_size = cache.entries()[0].size
+    evicted, freed = cache.prune(max_bytes=2 * entry_size)
+    assert evicted == 2 and freed == 2 * entry_size
+    assert cache.total_bytes() <= 2 * entry_size
+    survivors = [entry.key for entry in cache.entries()]
+    assert survivors == [config_key(3), config_key(4)]
+
+
+def test_prune_without_caps_is_noop(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    cache.put(_double, 1, 2)
+    assert cache.prune() == (0, 0)
+    assert len(cache) == 1
+
+
+def test_get_refreshes_recency_for_lru(tmp_path):
+    """A hit must touch the entry so hot results survive a prune."""
+    cache = ResultCache(root=tmp_path)
+    _put_with_age(cache, 1, 2, age_rank=0)
+    _put_with_age(cache, 2, 4, age_rank=1)
+    hit, _ = cache.get(_double, 1)  # now the most recently used
+    assert hit
+    cache.prune(max_entries=1)
+    assert [entry.key for entry in cache.entries()] == [config_key(1)]
+
+
+def test_put_enforces_caps_automatically(tmp_path):
+    cache = ResultCache(root=tmp_path, max_entries=2)
+    _put_with_age(cache, 1, 2, age_rank=0)
+    _put_with_age(cache, 2, 4, age_rank=1)
+    cache.put(_double, 3, 6)  # pushes the store over the cap
+    assert len(cache) == 2
+    hit, _ = cache.get(_double, 1)
+    assert not hit  # the oldest entry made room
+
+
+def test_cap_validation():
+    with pytest.raises(ValueError):
+        ResultCache(max_bytes=-1)
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=-1)
+
+
+def test_stats_snapshot(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    cache.put(_double, 1, 2)
+    cache.put(_double, 2, 4)
+    cache.put("other.worker", 1, 99)
+    cache.get(_double, 1)
+    cache.get(_double, 77)
+    stats = cache.stats()
+    assert stats.root == str(tmp_path)
+    assert stats.entries == 3
+    assert stats.total_bytes == cache.total_bytes() > 0
+    assert stats.hits == 1 and stats.misses == 1
+    by_name = dict(
+        (name, (count, size)) for name, count, size in stats.by_namespace
+    )
+    assert by_name["other.worker"][0] == 1
+    assert sum(count for count, _size in by_name.values()) == 3

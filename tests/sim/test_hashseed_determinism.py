@@ -104,6 +104,127 @@ print(sorted((k, repr(v)) for k, v in allocation.items()))
     )
 
 
+def test_cell_reservations_bit_identical_across_hash_seeds():
+    """``CellReservations`` sums targeted/aggregate dicts and syncs the
+    result into the link ledger; replaying a scripted operation mix with
+    string keys must round identically under every hash seed."""
+    _assert_hashseed_invariant(
+        """
+from repro.core import CellReservations
+from repro.network import Link
+
+link = Link("bs", "air", capacity=1600.0)
+resv = CellReservations(link, min_pool_fraction=0.05, max_pool_fraction=0.20)
+portables = [f"portable-{i}" for i in range(9)]
+tags = ["lounge", "cafeteria", "meeting-room", "lecture-hall"]
+for i, pid in enumerate(portables):
+    resv.reserve_for_portable(pid, 16.0 + 0.37 * i)
+for j, tag in enumerate(tags):
+    resv.reserve_aggregate(tag, 48.0 + 1.13 * j)
+resv.claim_portable("portable-3")
+resv.release_portable("portable-5")
+resv.draw_aggregate("lounge", 17.3)
+resv.draw_aggregate("cafeteria", 200.0)
+resv.set_pool(120.0)
+resv.draw_pool(33.3)
+resv.adapt_pool_for_static_neighbors(max_static_rate=64.0)
+print(repr((
+    resv.pool,
+    resv.targeted_total,
+    resv.aggregate_total,
+    resv.total,
+    link.reserved,
+    link.excess_available,
+)))
+"""
+    )
+
+
+def test_prediction_cascade_bit_identical_across_hash_seeds():
+    """The three-level predictor walks neighbor *sets* and per-cell history
+    dicts; predictions for a scripted movement history must not depend on
+    hash-randomized iteration order."""
+    _assert_hashseed_invariant(
+        """
+from repro.core.prediction import ProfileAwarePredictor
+from repro.profiles.records import CellClass
+from repro.profiles.server import ProfileServer
+
+server = ProfileServer(zone_id="wing")
+cells = {
+    "corridor": (CellClass.CORRIDOR, {"office_a", "office_b", "lounge", "lab"}),
+    "office_a": (CellClass.OFFICE, {"corridor"}),
+    "office_b": (CellClass.OFFICE, {"corridor"}),
+    "lounge": (CellClass.MEETING_ROOM, {"corridor", "lab"}),
+    "lab": (CellClass.DEFAULT, {"corridor", "lounge"}),
+}
+for cell_id, (cls, neighbors) in cells.items():
+    profile = server.register_cell(cell_id, cls, neighbors=neighbors)
+    if cls is CellClass.OFFICE:
+        profile.occupants |= {f"owner_{cell_id}"}
+
+moves = [
+    ("owner_office_a", "lounge", "corridor"),
+    ("owner_office_a", "corridor", "office_a"),
+    ("visitor-1", "lab", "corridor"),
+    ("visitor-1", "corridor", "lounge"),
+    ("visitor-2", "lab", "corridor"),
+    ("visitor-2", "corridor", "lounge"),
+    ("visitor-3", "office_b", "corridor"),
+    ("visitor-3", "corridor", "lab"),
+] * 3
+for portable, from_cell, to_cell in moves:
+    server.report_handoff(portable, from_cell, to_cell)
+
+predictor = ProfileAwarePredictor(server)
+out = []
+for portable in ("owner_office_a", "owner_office_b", "visitor-1", "stranger"):
+    for previous in (None, "lab", "lounge"):
+        p = predictor.predict_for(portable, "corridor", previous)
+        out.append((portable, str(previous), str(p.cell), p.level.name))
+print(out)
+"""
+    )
+
+
+def test_cache_eviction_metadata_stable_across_hash_seeds():
+    """LRU eviction metadata (content keys, sizes, eviction order) must be
+    identical across hash seeds: configs containing sets are canonicalized
+    before hashing and recency comes from explicit file timestamps, so a
+    prune in one process evicts the same entries any process would."""
+    _assert_hashseed_invariant(
+        """
+import os
+import tempfile
+
+from repro.runtime import ResultCache, config_key
+
+root = tempfile.mkdtemp()
+cache = ResultCache(root=root)
+configs = [
+    {"seed": 1, "cells": frozenset({"office_a", "lounge", "lab"})},
+    {"seed": 2, "cells": frozenset({"cafeteria", "corridor"})},
+    {"seed": 3, "cells": frozenset({"office_b"})},
+    {"seed": 4, "cells": frozenset({"office_a", "office_b"})},
+]
+for rank, config in enumerate(configs):
+    path = cache.put("worker.ns", config, sorted(config["cells"]))
+    stamp = 1_000_000_000 + 60 * rank
+    os.utime(path, (stamp, stamp))
+
+before = [(e.namespace, e.key, e.size) for e in cache.entries()]
+evicted, freed = cache.prune(max_entries=2)
+after = [(e.namespace, e.key, e.size) for e in cache.entries()]
+print((
+    [config_key(c) for c in configs],
+    before,
+    (evicted, freed),
+    after,
+))
+"""
+    )
+
+
 def test_floorplan_simulation_bit_identical_across_hash_seeds():
     _assert_hashseed_invariant(
         """

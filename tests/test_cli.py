@@ -51,3 +51,85 @@ def test_cache_flag_reuses_results(tmp_path, capsys, monkeypatch):
     assert main(["--cache", "table2"]) == 0
     assert capsys.readouterr().out == first
     assert any(tmp_path.rglob("*.pkl"))
+
+
+def test_fault_tolerance_flags_accepted(capsys):
+    assert main(
+        ["--max-retries", "2", "--timeout", "60", "--partial", "table2"]
+    ) == 0
+    assert "admission round-trip outcomes" in capsys.readouterr().out
+
+
+def test_negative_max_retries_rejected():
+    with pytest.raises(ValueError):
+        main(["--max-retries", "-1", "table2"])
+
+
+# -- cache subcommand -------------------------------------------------------
+
+
+def _seed_cache(root, configs=(1, 2, 3)):
+    import os
+
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(root=root)
+    paths = []
+    for rank, config in enumerate(configs):
+        path = cache.put("cli.worker", config, config * 10)
+        stamp = 1_000_000_000 + rank * 60  # distinct mtimes: LRU order known
+        os.utime(path, (stamp, stamp))
+        paths.append(path)
+    return cache, paths
+
+
+def test_cache_stats_subcommand(tmp_path, capsys):
+    _seed_cache(tmp_path)
+    assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out
+    assert "entries:    3" in out
+    assert "cli.worker" in out
+
+
+def test_cache_clear_subcommand(tmp_path, capsys):
+    _seed_cache(tmp_path)
+    assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+    assert "cleared 3 entries" in capsys.readouterr().out
+    assert not any(tmp_path.rglob("*.pkl"))
+
+
+def test_cache_prune_max_size_evicts_lru_order(tmp_path, capsys):
+    cache, paths = _seed_cache(tmp_path)
+    entry_size = cache.entries()[0].size
+    cap = 2 * entry_size
+    assert main(
+        ["cache", "prune", "--max-size", str(cap), "--dir", str(tmp_path)]
+    ) == 0
+    assert "evicted 1 entries" in capsys.readouterr().out
+    # The least recently used entry went first; the newer two survive.
+    assert not paths[0].exists()
+    assert paths[1].exists() and paths[2].exists()
+    assert cache.total_bytes() <= cap
+
+
+def test_cache_prune_max_entries_subcommand(tmp_path, capsys):
+    _, paths = _seed_cache(tmp_path)
+    assert main(
+        ["cache", "prune", "--max-entries", "1", "--dir", str(tmp_path)]
+    ) == 0
+    assert "evicted 2 entries" in capsys.readouterr().out
+    assert not paths[0].exists() and not paths[1].exists()
+    assert paths[2].exists()
+
+
+def test_cache_prune_requires_a_cap(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--dir", str(tmp_path)])
+
+
+def test_cache_subcommand_honors_env_dir(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    _seed_cache(tmp_path)
+    assert main(["cache", "stats"]) == 0
+    assert "entries:    3" in capsys.readouterr().out
