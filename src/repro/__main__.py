@@ -9,6 +9,10 @@ Usage::
     python -m repro all                  # run everything (slow)
     python -m repro cache stats          # inspect the result cache
     python -m repro cache prune --max-size 500M
+    python -m repro --trace trace.jsonl table2   # record a DES/domain trace
+    python -m repro trace summarize trace.jsonl  # aggregate a recorded trace
+    python -m repro --metrics-json m.json table2 # export the metrics registry
+    python -m repro --stats figure5              # print run telemetry
 
 Sweep-style experiments dispatch through
 :class:`repro.runtime.ExperimentRunner`; ``--jobs N`` (or the
@@ -22,11 +26,19 @@ with exponential backoff, ``--timeout S`` cancels and reschedules
 replications exceeding a wall-clock budget, and ``--partial`` lets a
 sweep survive exhausted points (they are dropped from the merged output
 with a warning instead of aborting the run).
+
+Observability (``repro.obs``): ``--trace [PATH]`` records DES and domain
+trace points (JSONL when a path is given, an in-memory summary
+otherwise), ``--metrics-json PATH`` exports the metrics registry, and
+``--stats`` / ``--stats-json PATH`` report runner telemetry.  Traces and
+metrics are process-local, so recording them forces serial execution;
+telemetry aggregates across pool workers either way.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -197,10 +209,32 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _trace_main(argv: List[str]) -> int:
+    """``python -m repro trace summarize PATH`` — aggregate a JSONL trace."""
+    from .obs import read_jsonl, summarize_records
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Analyze traces recorded with --trace PATH.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="per-kind counts/time spans and domain aggregates"
+    )
+    p_sum.add_argument("path", help="JSONL trace file written by --trace PATH")
+    args = parser.parse_args(argv)
+
+    records = read_jsonl(args.path)
+    print(json.dumps(summarize_records(records), indent=2))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -237,6 +271,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="survive exhausted sweep points: they are dropped from merged "
         "output with a warning instead of aborting the run",
     )
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="PATH",
+        help="record DES + domain trace points: to a JSONL file when PATH "
+        "is given, else to memory with a printed summary (forces --jobs 1; "
+        "traced output stays bit-identical to an untraced run)",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="collect the metrics registry during the run and write its "
+        "JSON snapshot to PATH (forces --jobs 1)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print run telemetry (replication wall times, faults, cache "
+        "hit rate) after the experiments",
+    )
+    parser.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write run telemetry as JSON to PATH (implies --stats output)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -244,19 +298,69 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
+    observing = args.trace is not None or args.metrics_json is not None
     runner = ExperimentRunner(
-        jobs=args.jobs,
+        # Traces and metrics are process-local: pool workers would collect
+        # them in throwaway interpreters, so observed runs execute serially.
+        jobs=1 if observing else args.jobs,
         cache=ResultCache() if args.cache else None,
         max_retries=args.max_retries,
         timeout=args.timeout,
         partial=args.partial,
         retry_backoff=0.5 if args.max_retries else 0.0,
     )
+
+    from .obs import (
+        JsonlSink,
+        MetricsRegistry,
+        RingBufferSink,
+        Tracer,
+        set_registry,
+        set_tracer,
+        summarize_records,
+    )
+
+    tracer: Optional[Tracer] = None
+    if args.trace is not None:
+        sink = JsonlSink(args.trace) if args.trace else RingBufferSink()
+        tracer = Tracer(sink)
+        set_tracer(tracer)
+    if args.metrics_json is not None:
+        set_registry(MetricsRegistry())
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"=== {name} ===")
-        print(EXPERIMENTS[name](runner))
-        print()
+    try:
+        for name in names:
+            print(f"=== {name} ===")
+            print(EXPERIMENTS[name](runner))
+            print()
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+            tracer.close()
+        if args.metrics_json is not None:
+            registry = set_registry(None)
+            with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                fh.write(registry.to_json(indent=2) + "\n")
+            print(f"metrics written to {args.metrics_json}")
+
+    if tracer is not None:
+        if isinstance(tracer.sink, RingBufferSink):
+            summary = summarize_records(tracer.sink.records())
+            if tracer.sink.dropped:
+                summary["dropped"] = tracer.sink.dropped
+            print("trace summary:")
+            print(json.dumps(summary, indent=2))
+        else:
+            print(
+                f"trace written to {args.trace} "
+                f"({tracer.sink.written} records)"
+            )
+    if args.stats_json is not None:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            fh.write(runner.telemetry.to_json(indent=2) + "\n")
+    if args.stats or args.stats_json is not None:
+        print(runner.telemetry.summary())
     return 0
 
 

@@ -31,6 +31,8 @@ from ..network.scheduling import (
     wfq_buffer,
 )
 from ..network.topology import Topology
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..traffic.connection import Connection
 
 __all__ = ["AdmissionResult", "AdmissionController", "RejectReason"]
@@ -114,6 +116,42 @@ class AdmissionController:
         (handoff) connection may consume there.  With ``commit=False`` the
         test runs without mutating any link state (a "what-if" probe).
         """
+        result = self._evaluate(
+            conn, route, is_handoff, static_portable, claimable, commit
+        )
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.emit(
+                "admission.decision",
+                conn=str(conn.conn_id),
+                accepted=result.accepted,
+                reason=result.reason,
+                failed_link=(
+                    [str(k) for k in result.failed_link]
+                    if result.failed_link is not None
+                    else None
+                ),
+                granted_rate=result.granted_rate,
+                handoff=is_handoff,
+                committed=commit and result.accepted,
+            )
+        get_registry().counter(
+            "admission_decisions_total",
+            accepted=result.accepted,
+            reason=result.reason or "none",
+        ).inc()
+        return result
+
+    def _evaluate(
+        self,
+        conn: Connection,
+        route: List[Hashable],
+        is_handoff: bool,
+        static_portable: bool,
+        claimable: Optional[Dict[Tuple[Hashable, Hashable], float]],
+        commit: bool,
+    ) -> AdmissionResult:
+        """The Table 2 round trip proper (``admit`` minus observability)."""
         links = self.topo.path_links(route)
         if not links:
             raise ValueError("route must contain at least one link")

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Sequence, Set
 
+from ..obs.trace import get_tracer
+
 __all__ = [
     "MaxMinProblem",
     "maxmin_allocation",
@@ -84,6 +86,8 @@ def maxmin_allocation(problem: MaxMinProblem) -> Dict[Hashable, float]:
     }
     # Zero-demand or pathless connections are frozen at zero immediately.
 
+    tracer = get_tracer()
+    round_index = 0
     while active:
         # One deterministic order per round: iterating the ``active`` set
         # directly would visit connections in hash-randomized order, and
@@ -120,6 +124,15 @@ def maxmin_allocation(problem: MaxMinProblem) -> Dict[Hashable, float]:
                 remaining[link_id] <= _EPS for link_id in problem.paths[conn]
             ):
                 frozen.add(conn)
+        round_index += 1
+        if tracer is not None:
+            tracer.emit(
+                "maxmin.round",
+                round=round_index,
+                increment=increment,
+                active=len(ordered),
+                frozen=[str(c) for c in sorted(frozen, key=repr)],
+            )
         if not frozen:
             # Numerical safety: cannot happen for well-posed inputs.
             break

@@ -6,6 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
 
+from ..obs.trace import Tracer, get_tracer
 from .errors import EmptySchedule, StopProcess
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
@@ -29,9 +30,15 @@ class Environment:
     and the queue are bound once per environment (locals beat global/attr
     lookups in CPython), and :meth:`run` pumps events with an inlined copy of
     :meth:`step` to drop a method call per event.
+
+    Tracing (``repro.obs``) is wired so the disabled path stays untouched:
+    enabling a tracer swaps ``self._push`` for a recording wrapper and
+    :meth:`run` selects a separate traced pump, so with tracing off the
+    kernel executes the exact pre-observability instruction sequence.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_push", "_pop")
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_push", "_pop",
+                 "_tracer")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -40,6 +47,10 @@ class Environment:
         self._active_proc: Optional[Process] = None
         self._push = heapq.heappush
         self._pop = heapq.heappop
+        self._tracer: Optional[Tracer] = None
+        tracer = get_tracer()
+        if tracer is not None:
+            self.set_tracer(tracer)
 
     # -- clock ------------------------------------------------------------
 
@@ -52,6 +63,39 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed (None between events)."""
         return self._active_proc
+
+    # -- observability ----------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The attached tracer (None when this environment is untraced)."""
+        return self._tracer
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach (or with None, detach) a tracer to this environment.
+
+        Attaching binds the tracer's sim clock to this environment (the
+        most recently attached environment wins) and swaps the schedule
+        path for a recording one; detaching restores the plain ``heapq``
+        push, so an untraced environment pays nothing.
+        """
+        self._tracer = tracer
+        if tracer is None:
+            self._push = heapq.heappush
+            return
+        tracer.clock = lambda: self._now
+
+        def _traced_push(queue, item, _push=heapq.heappush, _emit=tracer.emit):
+            _push(queue, item)
+            _emit(
+                "des.schedule",
+                t=self._now,
+                at=item[0],
+                prio=item[1],
+                event=type(item[3]).__name__,
+            )
+
+        self._push = _traced_push
 
     # -- event factories ----------------------------------------------------
 
@@ -98,8 +142,14 @@ class Environment:
         except IndexError:
             raise EmptySchedule("no scheduled events remain") from None
 
+        if self._tracer is not None:
+            self._tracer.emit(
+                "des.fire", t=self._now, event=type(event).__name__
+            )
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
+            if self._tracer is not None:
+                _trace_callback(self._tracer, self._now, callback)
             callback(event)
 
         if not event._ok and not event.defused:
@@ -131,20 +181,43 @@ class Environment:
 
         # Inlined event pump (equivalent to ``while True: self.step()``):
         # one tuple unpack, the callback fan-out, and the failure check per
-        # event, with the heap pop and queue bound to locals.
+        # event, with the heap pop and queue bound to locals.  The traced
+        # pump is a separate loop so the common untraced path stays
+        # instruction-identical to the pre-observability kernel.
         pop = self._pop
         queue = self._queue
+        tracer = self._tracer
         try:
-            while True:
-                try:
-                    self._now, _, _, event = pop(queue)
-                except IndexError:
-                    raise EmptySchedule("no scheduled events remain") from None
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event.defused:
-                    raise event._value
+            if tracer is None:
+                while True:
+                    try:
+                        self._now, _, _, event = pop(queue)
+                    except IndexError:
+                        raise EmptySchedule(
+                            "no scheduled events remain"
+                        ) from None
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
+            else:
+                while True:
+                    try:
+                        self._now, _, _, event = pop(queue)
+                    except IndexError:
+                        raise EmptySchedule(
+                            "no scheduled events remain"
+                        ) from None
+                    tracer.emit(
+                        "des.fire", t=self._now, event=type(event).__name__
+                    )
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        _trace_callback(tracer, self._now, callback)
+                        callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
         except _StopSimulation as stop:
             return stop.value
         except EmptySchedule:
@@ -153,6 +226,21 @@ class Environment:
                     "simulation ended before the awaited event fired"
                 ) from None
             return None
+
+
+def _trace_callback(tracer: Tracer, now: float, callback: Any) -> None:
+    """Emit a ``des.resume`` record when ``callback`` resumes a process.
+
+    Only used on the traced pump; the resume target and its generator name
+    are derived by introspection here so :mod:`repro.des.process` needs no
+    hooks of its own (and the untraced path no extra branches).
+    """
+    owner = getattr(callback, "__self__", None)
+    if isinstance(owner, Process):
+        generator = owner._generator
+        code = getattr(generator, "gi_code", None)
+        name = code.co_name if code is not None else type(generator).__name__
+        tracer.emit("des.resume", t=now, process=name)
 
 
 class _StopSimulation(Exception):

@@ -34,13 +34,20 @@ class TimeSeriesProbe:
         return self.samples[-1] if self.samples else None
 
     def time_average(self, until: Optional[float] = None) -> float:
-        """Time-weighted average assuming piecewise-constant values."""
+        """Time-weighted average assuming piecewise-constant values.
+
+        With ``until`` inside the sampled range, only the portion of each
+        interval up to ``until`` contributes (intervals past it are
+        clamped, not counted in full).
+        """
         if not self.samples:
             raise ValueError("no samples recorded")
         end = until if until is not None else self.samples[-1][0]
         total = 0.0
         for (t0, v), (t1, _) in zip(self.samples, self.samples[1:]):
-            total += v * (t1 - t0)
+            hi = min(t1, end)
+            if hi > t0:
+                total += v * (hi - t0)
         last_t, last_v = self.samples[-1]
         if end > last_t:
             total += last_v * (end - last_t)

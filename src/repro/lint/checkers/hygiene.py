@@ -16,7 +16,7 @@ from typing import Optional
 from ..registry import Rule, register
 from .base import Checker, dotted_parts
 
-__all__ = ["ClockComparisonChecker", "BareExceptChecker"]
+__all__ = ["ClockComparisonChecker", "BareExceptChecker", "LibraryPrintChecker"]
 
 REP301 = Rule(
     "REP301",
@@ -30,6 +30,15 @@ REP302 = Rule(
     "bare except: in engine/runtime code swallows control-flow exceptions; "
     "catch Exception (or something narrower)",
 )
+REP303 = Rule(
+    "REP303",
+    "no-print-in-library",
+    "bare print() in library code bypasses the observability layer; emit a "
+    "trace record or metric (repro.obs), or return the text to the caller",
+)
+
+#: Module basenames allowed to print: the CLI surface.
+_PRINT_EXEMPT_MODULES = frozenset({"cli", "__main__"})
 
 #: Name fragments identifying a sim-clock-valued expression.
 _CLOCK_NAMES = {"now", "_now", "clock", "sim_time", "t_now"}
@@ -98,5 +107,35 @@ class BareExceptChecker(Checker):
                 "REP302", node,
                 "bare except: swallows StopProcess/KeyboardInterrupt in "
                 "engine code; catch Exception or narrower",
+            )
+        self.generic_visit(node)
+
+
+@register(REP303)
+class LibraryPrintChecker(Checker):
+    """``print()`` is banned in ``repro`` library code.
+
+    CLI modules (``cli.py``, ``__main__.py``), entry-point functions, and
+    ``if __name__ == "__main__":`` blocks are exempt — those *are* the
+    user-facing output surface.  Everything else should route output
+    through the observability layer or return strings to its caller.
+    """
+
+    def _in_library(self) -> bool:
+        haystack = "/" + self.ctx.path.strip("/") + "/"
+        if "/repro/" not in haystack or "/tests/" in haystack:
+            return False
+        return self.ctx.module_name not in _PRINT_EXEMPT_MODULES
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._in_library()
+            and self.call_name(node) == "print"
+            and not self.in_entry_point(node)
+        ):
+            self.report(
+                "REP303", node,
+                "print() in library code; emit via repro.obs (trace/metric) "
+                "or return the text to the caller",
             )
         self.generic_visit(node)

@@ -60,6 +60,8 @@ from typing import (
     Union,
 )
 
+from ..obs.telemetry import RunTelemetry
+
 if TYPE_CHECKING:
     from .cache import ResultCache
 
@@ -179,24 +181,35 @@ def drop_failures(results: Sequence[Any], context: str = "sweep") -> List[Any]:
     return succeeded(results)
 
 
-def _call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]:
+def _call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any, float]:
     """Process-pool trampoline: never raises, so the config context is
-    attached on the coordinator side rather than lost in the pool."""
+    attached on the coordinator side rather than lost in the pool.  The
+    attempt's wall seconds are measured here — inside the worker — so
+    per-replication telemetry survives the process boundary."""
     fn, config = payload
+    started = time.perf_counter()
     try:
-        return True, fn(config)
+        result = fn(config)
     except Exception as exc:  # noqa: BLE001 - re-raised with context
-        return False, (exc, traceback.format_exc())
+        return False, (exc, traceback.format_exc()), time.perf_counter() - started
+    return True, result, time.perf_counter() - started
 
 
 def _supervised_child(
     conn: Connection, fn: Callable[[Any], Any], config: Any
 ) -> None:
     """Entry point of a supervised worker process: one attempt, one config."""
+    started = time.perf_counter()
     try:
-        message: Tuple[bool, Any] = (True, fn(config))
+        message: Tuple[bool, Any, float] = (
+            True, fn(config), time.perf_counter() - started
+        )
     except BaseException as exc:  # noqa: BLE001 - serialized to coordinator
-        message = (False, (exc, traceback.format_exc()))
+        message = (
+            False,
+            (exc, traceback.format_exc()),
+            time.perf_counter() - started,
+        )
     try:
         conn.send(message)
     except Exception:
@@ -205,9 +218,11 @@ def _supervised_child(
         detail = "result" if message[0] else "exception"
         tb = "" if message[0] else message[1][1]
         try:
-            conn.send(
-                (False, (RuntimeError(f"unpicklable {detail} from worker"), tb))
-            )
+            conn.send((
+                False,
+                (RuntimeError(f"unpicklable {detail} from worker"), tb),
+                message[2],
+            ))
         except Exception:
             pass  # pipe gone; the coordinator will classify this as a crash
     finally:
@@ -300,6 +315,9 @@ class ExperimentRunner:
         self.partial = bool(partial)
         self._sleep = sleep
         self._clock = clock
+        #: Aggregated accounting across this runner's ``run_many`` batches
+        #: (``--stats`` / ``--stats-json`` read this).
+        self.telemetry = RunTelemetry()
 
     @property
     def fault_tolerant(self) -> bool:
@@ -318,6 +336,8 @@ class ExperimentRunner:
         configs = list(configs)
         results: List[Any] = [None] * len(configs)
         pending = list(range(len(configs)))
+        started = time.perf_counter()
+        self.telemetry.batches += 1
 
         if self.cache is not None:
             missing: List[int] = []
@@ -325,16 +345,23 @@ class ExperimentRunner:
                 hit, value = self.cache.get(fn, configs[i])
                 if hit:
                     results[i] = value
+                    self.telemetry.cache_hits += 1
                 else:
                     missing.append(i)
+                    self.telemetry.cache_misses += 1
             pending = missing
 
-        if pending:
-            computed = self._execute(fn, [configs[i] for i in pending], pending)
-            for i, value in zip(pending, computed):
-                results[i] = value
-                if self.cache is not None and not isinstance(value, FailedResult):
-                    self.cache.put(fn, configs[i], value)
+        try:
+            if pending:
+                computed = self._execute(
+                    fn, [configs[i] for i in pending], pending
+                )
+                for i, value in zip(pending, computed):
+                    results[i] = value
+                    if self.cache is not None and not isinstance(value, FailedResult):
+                        self.cache.put(fn, configs[i], value)
+        finally:
+            self.telemetry.elapsed += time.perf_counter() - started
         return results
 
     # -- backends ---------------------------------------------------------
@@ -350,18 +377,20 @@ class ExperimentRunner:
             return self._run_serial(fn, configs, indices)
         return self._run_pool(fn, configs, indices)
 
-    @staticmethod
     def _run_serial(
-        fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
+        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
     ) -> List[Any]:
         out: List[Any] = []
         for config, index in zip(configs, indices):
+            started = time.perf_counter()
             try:
                 out.append(fn(config))
             except Exception as exc:
+                self.telemetry.failures += 1
                 raise WorkerError(
                     config, index, exc, traceback.format_exc()
                 ) from exc
+            self.telemetry.record_replication(time.perf_counter() - started)
         return out
 
     def _run_pool(
@@ -372,13 +401,15 @@ class ExperimentRunner:
         out: List[Any] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = [(fn, config) for config in configs]
-            for pos, (ok, value) in enumerate(
+            for pos, (ok, value, elapsed) in enumerate(
                 pool.map(_call, payloads, chunksize=chunk)
             ):
                 if not ok:
                     exc, tb = value
+                    self.telemetry.failures += 1
                     raise WorkerError(configs[pos], indices[pos], exc, tb) from exc
                 out.append(value)
+                self.telemetry.record_replication(elapsed)
         return out
 
     # -- fault-tolerant paths ---------------------------------------------
@@ -415,16 +446,20 @@ class ExperimentRunner:
             attempts = 0
             while True:
                 attempts += 1
+                started = time.perf_counter()
                 try:
-                    out.append(self._call_with_alarm(fn, config))
-                    break
+                    result = self._call_with_alarm(fn, config)
                 except Exception as exc:
                     tb = traceback.format_exc()
+                    if isinstance(exc, ReplicationTimeout):
+                        self.telemetry.timeouts += 1
                     if attempts <= self.max_retries:
+                        self.telemetry.retries += 1
                         delay = self._backoff_delay(attempts)
                         if delay > 0:
                             self._sleep(delay)
                         continue
+                    self.telemetry.failures += 1
                     if self.partial:
                         out.append(
                             FailedResult(config, index, attempts, repr(exc), tb)
@@ -433,6 +468,11 @@ class ExperimentRunner:
                     raise WorkerError(
                         config, index, exc, tb, attempts=attempts
                     ) from exc
+                out.append(result)
+                self.telemetry.record_replication(
+                    time.perf_counter() - started
+                )
+                break
         return out
 
     def _run_supervised(
@@ -472,13 +512,19 @@ class ExperimentRunner:
 
         def settle_failure(pos: int, cause: BaseException, tb: str) -> None:
             nonlocal done
+            if isinstance(cause, ReplicationTimeout):
+                self.telemetry.timeouts += 1
+            elif isinstance(cause, WorkerCrash):
+                self.telemetry.crashes += 1
             if attempts[pos] <= self.max_retries:
+                self.telemetry.retries += 1
                 delay = self._backoff_delay(attempts[pos])
                 if delay > 0:
                     heappush(delayed, (self._clock() + delay, pos))
                 else:
                     runnable.append(pos)
                 return
+            self.telemetry.failures += 1
             if self.partial:
                 results[pos] = FailedResult(
                     configs[pos], indices[pos], attempts[pos], repr(cause), tb
@@ -514,7 +560,7 @@ class ExperimentRunner:
                     proc, pos, _deadline = inflight.pop(conn)  # type: ignore[arg-type]
                     attempts[pos] += 1
                     try:
-                        ok, payload = conn.recv()  # type: ignore[union-attr]
+                        ok, payload, elapsed = conn.recv()  # type: ignore[union-attr]
                     except (EOFError, OSError):
                         proc.join()
                         settle_failure(
@@ -530,6 +576,7 @@ class ExperimentRunner:
                         if ok:
                             results[pos] = payload
                             done += 1
+                            self.telemetry.record_replication(elapsed)
                         else:
                             cause, tb = payload
                             settle_failure(pos, cause, tb)

@@ -34,6 +34,33 @@ def test_probe_single_sample_average_is_value():
     assert probe.time_average(until=3) == 7.0
 
 
+def test_probe_time_average_clamps_until_inside_range():
+    # Regression: ``until`` inside the sampled range used to count every
+    # interval in full, over-weighting samples past the cutoff.
+    probe = TimeSeriesProbe()
+    probe.record(0, 10.0)
+    probe.record(5, 20.0)
+    probe.record(10, 30.0)
+    # Up to t=5 only the first segment (value 10) applies.
+    assert probe.time_average(until=5) == pytest.approx(10.0)
+    # Up to t=7.5: 10 for 5 units, 20 for 2.5 units -> 12.5/7.5 weighted.
+    expected = (10.0 * 5 + 20.0 * 2.5) / 7.5
+    assert probe.time_average(until=7.5) == pytest.approx(expected)
+    # Full range unchanged: 10*5 + 20*5 over 10 units.
+    assert probe.time_average(until=10) == pytest.approx(15.0)
+    # Extrapolation past the last sample still holds the last value.
+    assert probe.time_average(until=20) == pytest.approx(
+        (10.0 * 5 + 20.0 * 5 + 30.0 * 10) / 20.0
+    )
+
+
+def test_probe_time_average_until_before_first_sample_is_first_value():
+    probe = TimeSeriesProbe()
+    probe.record(5, 4.0)
+    probe.record(10, 8.0)
+    assert probe.time_average(until=5) == 4.0
+
+
 def test_periodic_sampler_runs_on_schedule():
     env = Environment()
     probe = TimeSeriesProbe()
@@ -46,3 +73,34 @@ def test_periodic_sampler_runs_on_schedule():
     env.process(periodic_sampler(env, probe, fn, period=2))
     env.run(until=7)
     assert probe.samples == [(0.0, 1), (2.0, 2), (4.0, 3), (6.0, 4)]
+
+
+def test_periodic_sampler_samples_live_state_not_snapshots():
+    # The sampler must call ``fn`` at sample time (values observed lazily),
+    # and its probe timestamps must come from the sim clock.
+    env = Environment()
+    probe = TimeSeriesProbe()
+    state = {"load": 0.0}
+
+    def bump():
+        while True:
+            yield env.timeout(1.0)
+            state["load"] += 2.0
+
+    env.process(bump())
+    env.process(periodic_sampler(env, probe, lambda: state["load"], period=2))
+    env.run(until=5)
+    assert probe.samples == [(0.0, 0.0), (2.0, 2.0), (4.0, 6.0)]
+    assert probe.time_average(until=4) == pytest.approx(
+        (0.0 * 2 + 2.0 * 2) / 4.0
+    )
+
+
+def test_periodic_sampler_stops_at_run_horizon():
+    # The URGENT stop event at the horizon fires before the sampler's
+    # NORMAL timeout scheduled for the same instant: no sample at t=2.0.
+    env = Environment()
+    probe = TimeSeriesProbe()
+    env.process(periodic_sampler(env, probe, lambda: 1.0, period=0.5))
+    env.run(until=2)
+    assert probe.times == [0.0, 0.5, 1.0, 1.5]

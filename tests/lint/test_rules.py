@@ -469,6 +469,66 @@ def test_rep302_negative_outside_engine_packages():
     """, path=TOOL_PATH)
 
 
+# -- REP303: no print() in library code --------------------------------------
+
+
+def test_rep303_positive_print_in_library_module():
+    assert_triggers("REP303", """
+        def report(stats):
+            print(f"admitted {stats.admitted}")
+    """, path=PLAIN_PATH, line=3)
+
+
+def test_rep303_positive_print_in_sim_package():
+    assert_triggers("REP303", """
+        def on_handoff(outcome, now):
+            print("handoff", outcome.portable_id, now)
+    """, path=SIM_PATH, line=3)
+
+
+def test_rep303_negative_cli_module_exempt():
+    assert_clean("REP303", """
+        def report(stats):
+            print(f"admitted {stats.admitted}")
+    """, path="src/repro/lint/cli.py")
+
+
+def test_rep303_negative_main_module_exempt():
+    assert_clean("REP303", """
+        def report(stats):
+            print(f"admitted {stats.admitted}")
+    """, path="src/repro/__main__.py")
+
+
+def test_rep303_negative_entry_point_function_exempt():
+    assert_clean("REP303", """
+        def main():
+            print("hello from the CLI")
+    """, path=PLAIN_PATH)
+
+
+def test_rep303_negative_name_main_block_exempt():
+    assert_clean("REP303", """
+        if __name__ == "__main__":
+            print("ad-hoc driver output")
+    """, path=PLAIN_PATH)
+
+
+def test_rep303_negative_outside_repro_package():
+    assert_clean("REP303", """
+        def report():
+            print("tool output")
+    """, path=TOOL_PATH)
+
+
+def test_rep303_negative_shadowed_print_is_still_flagged_only_for_builtin():
+    # A local helper named differently does not trip the rule.
+    assert_clean("REP303", """
+        def report(emit):
+            emit("admitted")
+    """, path=PLAIN_PATH)
+
+
 # -- cross-cutting ----------------------------------------------------------
 
 
@@ -476,7 +536,7 @@ ALL_RULE_IDS = [
     "REP001", "REP002", "REP003", "REP004",
     "REP101", "REP102", "REP103",
     "REP201", "REP202",
-    "REP301", "REP302",
+    "REP301", "REP302", "REP303",
 ]
 
 

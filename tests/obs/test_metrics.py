@@ -1,0 +1,147 @@
+"""Metrics registry: instrument semantics, determinism, no-op default."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+# -- instruments ------------------------------------------------------------
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("admissions_total", cell="q")
+    c.inc()
+    c.inc(2.5)
+    assert reg.counter("admissions_total", cell="q") is c
+    assert c.value == 3.5
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("x").inc(-1.0)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("occupancy")
+    g.set(4.0)
+    g.inc()
+    g.dec(2.0)
+    assert g.value == 3.0
+
+
+def test_histogram_buckets_and_mean():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency", buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 3
+    assert snap["sum"] == pytest.approx(55.5)
+    assert snap["buckets"] == [
+        {"le": 1.0, "count": 1},
+        {"le": 10.0, "count": 1},
+        {"le": "inf", "count": 1},
+    ]
+    assert h.mean == pytest.approx(55.5 / 3)
+
+
+def test_histogram_default_buckets_sorted():
+    reg = MetricsRegistry()
+    h = reg.histogram("t")
+    assert h.bounds == tuple(sorted(DEFAULT_BUCKETS))
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x", a=1)
+    with pytest.raises(ValueError):
+        reg.gauge("x", a=1)
+    with pytest.raises(ValueError):
+        reg.histogram("x", a=1)
+    # Different labels are a different instrument: no conflict.
+    assert reg.gauge("x", a=2) is not None
+
+
+def test_labels_distinguish_instruments():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", cell="q")
+    b = reg.counter("hits", cell="s")
+    assert a is not b
+    assert len(reg) == 2
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.counter("x", cell="q", kind="audio")
+    b = reg.counter("x", kind="audio", cell="q")
+    assert a is b
+
+
+def test_export_sorted_regardless_of_creation_order():
+    reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+    reg1.counter("b").inc()
+    reg1.counter("a", z="1", a="2").inc(2)
+    reg2.counter("a", a="2", z="1").inc(2)
+    reg2.counter("b").inc()
+    assert reg1.to_json() == reg2.to_json()
+    names = [m["name"] for m in reg1.to_dict()["metrics"]]
+    assert names == sorted(names)
+
+
+def test_to_json_round_trips():
+    reg = MetricsRegistry()
+    reg.counter("c", x="1").inc(3)
+    reg.gauge("g").set(7)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    data = json.loads(reg.to_json(indent=2))
+    kinds = {m["name"]: m["type"] for m in data["metrics"]}
+    assert kinds == {"c": "counter", "g": "gauge", "h": "histogram"}
+
+
+# -- the no-op default ------------------------------------------------------
+
+
+def test_default_registry_is_null_and_absorbs_everything():
+    assert get_registry() is NULL_REGISTRY
+    reg = get_registry()
+    reg.counter("anything", a="b").inc(5)
+    reg.gauge("g").set(2)
+    reg.histogram("h").observe(1.0)
+    assert reg.to_dict() == {"metrics": []}
+    # Shared singletons: no per-call allocation.
+    assert reg.counter("x") is reg.counter("y", l="1")
+
+
+def test_set_registry_installs_and_restores():
+    real = MetricsRegistry()
+    previous = set_registry(real)
+    try:
+        assert get_registry() is real
+        get_registry().counter("seen").inc()
+        assert real.counter("seen").value == 1
+    finally:
+        set_registry(previous)
+    assert isinstance(get_registry(), NullRegistry)
+
+
+def test_use_registry_scopes():
+    real = MetricsRegistry()
+    with use_registry(real) as reg:
+        assert get_registry() is reg is real
+    assert get_registry() is NULL_REGISTRY

@@ -1,0 +1,215 @@
+"""Tracer, sinks, JSONL validation, and the summarize aggregation."""
+
+import io
+import json
+
+import pytest
+
+from repro.des import Environment
+from repro.obs import (
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    summarize_records,
+    use_tracer,
+)
+
+
+# -- sinks ------------------------------------------------------------------
+
+
+def test_ring_buffer_keeps_most_recent_and_counts_drops():
+    sink = RingBufferSink(capacity=3)
+    for i in range(5):
+        sink.emit({"t": float(i), "kind": "k"})
+    records = sink.records()
+    assert [r["t"] for r in records] == [2.0, 3.0, 4.0]
+    assert sink.dropped == 2
+
+
+def test_ring_buffer_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_jsonl_sink_writes_one_object_per_line(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    sink.emit({"t": 1.0, "kind": "a", "x": 1})
+    sink.emit({"t": None, "kind": "b"})
+    sink.close()
+    assert sink.written == 2
+    records = read_jsonl(path)
+    assert records == [{"t": 1.0, "kind": "a", "x": 1}, {"t": None, "kind": "b"}]
+
+
+def test_jsonl_sink_degrades_unserializable_fields_to_repr():
+    buf = io.StringIO()
+    sink = JsonlSink(buf)
+    sink.emit({"t": 0.0, "kind": "k", "obj": object()})
+    record = json.loads(buf.getvalue())
+    assert record["obj"].startswith("<object object")
+
+
+# -- tracer -----------------------------------------------------------------
+
+
+def test_tracer_stamps_clock_and_sorts_fields():
+    sink = RingBufferSink()
+    tracer = Tracer(sink, clock=lambda: 42.0)
+    tracer.emit("k", zebra=1, alpha=2)
+    (record,) = sink.records()
+    assert record["t"] == 42.0
+    assert list(record) == ["t", "kind", "alpha", "zebra"]
+
+
+def test_tracer_explicit_t_beats_clock():
+    sink = RingBufferSink()
+    tracer = Tracer(sink, clock=lambda: 42.0)
+    tracer.emit("k", t=7.0)
+    assert sink.records()[0]["t"] == 7.0
+
+
+def test_tracer_kind_filter_and_counts():
+    sink = RingBufferSink()
+    tracer = Tracer(sink, kinds={"keep"})
+    tracer.emit("keep")
+    tracer.emit("drop")
+    tracer.emit("keep")
+    assert len(sink.records()) == 2
+    assert tracer.counts == {"keep": 2}
+
+
+def test_global_tracer_install_and_scoping():
+    assert get_tracer() is None
+    tracer = Tracer(RingBufferSink())
+    with use_tracer(tracer) as t:
+        assert get_tracer() is t is tracer
+    assert get_tracer() is None
+    previous = set_tracer(tracer)
+    assert previous is None
+    assert set_tracer(None) is tracer
+    assert get_tracer() is None
+
+
+# -- engine integration -----------------------------------------------------
+
+
+def _two_step_sim(env):
+    yield env.timeout(1.0)
+    yield env.timeout(2.0)
+
+
+def test_environment_picks_up_global_tracer_and_binds_clock():
+    sink = RingBufferSink()
+    with use_tracer(Tracer(sink)):
+        env = Environment()
+        assert env.tracer is not None
+        env.process(_two_step_sim(env))
+        env.run()
+    kinds = [r["kind"] for r in sink.records()]
+    assert "des.schedule" in kinds
+    assert "des.fire" in kinds
+    assert "des.resume" in kinds
+    resumes = [r for r in sink.records() if r["kind"] == "des.resume"]
+    assert {r["process"] for r in resumes} == {"_two_step_sim"}
+    fires = [r for r in sink.records() if r["kind"] == "des.fire"]
+    assert [r["t"] for r in fires] == sorted(r["t"] for r in fires)
+
+
+def test_untraced_environment_has_no_tracer():
+    env = Environment()
+    assert env.tracer is None
+
+
+def test_set_tracer_attach_detach_mid_flight():
+    env = Environment()
+    sink = RingBufferSink()
+    env.set_tracer(Tracer(sink))
+    env.process(_two_step_sim(env))
+    env.run(until=1.5)
+    seen = len(sink.records())
+    assert seen > 0
+    env.set_tracer(None)
+    env.run(until=4.0)
+    assert len(sink.records()) == seen  # detached: nothing new recorded
+    assert env.tracer is None
+
+
+def test_step_emits_fire_records_when_traced():
+    env = Environment()
+    sink = RingBufferSink()
+    env.set_tracer(Tracer(sink))
+    env.timeout(1.0)
+    env.step()
+    kinds = [r["kind"] for r in sink.records()]
+    assert kinds[-1] == "des.fire"
+
+
+# -- JSONL validation -------------------------------------------------------
+
+
+def test_read_jsonl_rejects_bad_lines(tmp_path):
+    cases = [
+        ("not json", "not valid JSON"),
+        ('["a", "b"]', "not an object"),
+        ('{"t": 1.0}', "missing string 'kind'"),
+        ('{"kind": "k"}', "'t' must be a number or null"),
+        ('{"kind": "k", "t": "soon"}', "'t' must be a number or null"),
+    ]
+    for i, (line, fragment) in enumerate(cases):
+        path = tmp_path / f"bad{i}.jsonl"
+        path.write_text(line + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=fragment):
+            read_jsonl(str(path))
+
+
+def test_read_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"kind": "k", "t": 1}\n\n{"kind": "k", "t": 2}\n')
+    assert len(read_jsonl(str(path))) == 2
+
+
+# -- summarize --------------------------------------------------------------
+
+
+def test_summarize_counts_kinds_and_time_spans():
+    records = [
+        {"t": 1.0, "kind": "des.fire"},
+        {"t": 3.0, "kind": "des.fire"},
+        {"t": None, "kind": "admission.decision", "accepted": True},
+        {
+            "t": None,
+            "kind": "admission.decision",
+            "accepted": False,
+            "reason": "bandwidth",
+        },
+        {"t": 2.0, "kind": "handoff.executed", "moved": 2, "dropped": 1},
+        {"t": 5.0, "kind": "adaptation.round.commit", "trips": 4},
+    ]
+    summary = summarize_records(records)
+    assert summary["records"] == 6
+    assert summary["kinds"]["des.fire"] == {
+        "count": 2,
+        "t_first": 1.0,
+        "t_last": 3.0,
+    }
+    assert summary["admission"] == {
+        "decisions": 2,
+        "accepted": 1,
+        "rejected_by_reason": {"bandwidth": 1},
+    }
+    assert summary["handoff"] == {
+        "executed": 1,
+        "connections_moved": 2,
+        "connections_dropped": 1,
+    }
+    assert summary["adaptation"]["rounds_committed"] == 1
+    assert summary["adaptation"]["mean_trips"] == 4.0
+
+
+def test_summarize_empty_trace():
+    assert summarize_records([]) == {"records": 0, "kinds": {}}

@@ -257,3 +257,49 @@ stats["extra"] = sorted(stats["extra"].items())
 print((sorted(stats.items()), ledgers, reserved))
 """
     )
+
+
+def test_metrics_registry_export_bit_identical_across_hash_seeds():
+    """The metrics registry keys instruments by (name, sorted labels) and
+    exports in sorted order; the same operations performed in different
+    insertion orders must produce byte-identical JSON under any seed."""
+    _assert_hashseed_invariant(
+        """
+from repro.obs import MetricsRegistry
+
+reg = MetricsRegistry()
+names = [f"metric-{i % 7}" for i in range(21)]
+for i, name in enumerate(names):
+    reg.counter(name, cell=f"cell-{i % 3}", kind=f"k{i % 2}").inc(0.1 + i)
+for i in range(5):
+    reg.gauge("occupancy", cell=f"cell-{i}").set(3.3 * i)
+for i in range(9):
+    reg.histogram("latency", buckets=(0.1, 1.0, 10.0), hop=f"h{i % 4}").observe(0.07 * i)
+print(reg.to_json(indent=2))
+"""
+    )
+
+
+def test_traced_simulation_output_bit_identical_across_hash_seeds():
+    """A traced run's *simulation output* (and the trace's domain records)
+    must not vary with the hash seed: trace fields are built from sorted
+    containers, never raw set/dict iteration."""
+    _assert_hashseed_invariant(
+        """
+import dataclasses, json
+from repro.obs import RingBufferSink, Tracer, use_tracer
+from repro.sim import TwoCellSimulator, figure6_config
+
+sink = RingBufferSink()
+with use_tracer(Tracer(sink)):
+    result = TwoCellSimulator(
+        figure6_config(policy="probabilistic", horizon=60.0, seed=11)
+    ).run()
+domain = [
+    json.dumps(r, default=repr)
+    for r in sink.records()
+    if not r["kind"].startswith("des.")
+]
+print((dataclasses.astuple(result.stats), len(sink.records()), domain[:50]))
+"""
+    )
