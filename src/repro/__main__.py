@@ -29,10 +29,12 @@ with a warning instead of aborting the run).
 
 Observability (``repro.obs``): ``--trace [PATH]`` records DES and domain
 trace points (JSONL when a path is given, an in-memory summary
-otherwise), ``--metrics-json PATH`` exports the metrics registry, and
-``--stats`` / ``--stats-json PATH`` report runner telemetry.  Traces and
-metrics are process-local, so recording them forces serial execution;
-telemetry aggregates across pool workers either way.
+otherwise), ``--metrics-json PATH`` exports the metrics registry (``-``
+writes to stdout), and ``--stats`` / ``--stats-json PATH`` report runner
+telemetry.  All of them compose with ``--jobs N``: pool workers capture
+their replication's records and metrics locally and the coordinator
+merges the snapshots deterministically, so observed output is identical
+at any worker count.
 """
 
 from __future__ import annotations
@@ -274,13 +276,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--trace", nargs="?", const="", default=None, metavar="PATH",
         help="record DES + domain trace points: to a JSONL file when PATH "
-        "is given, else to memory with a printed summary (forces --jobs 1; "
-        "traced output stays bit-identical to an untraced run)",
+        "is given, else to memory with a printed summary (works at any "
+        "--jobs N; traced output stays bit-identical to an untraced run)",
     )
     parser.add_argument(
         "--metrics-json", default=None, metavar="PATH",
         help="collect the metrics registry during the run and write its "
-        "JSON snapshot to PATH (forces --jobs 1)",
+        "JSON snapshot to PATH ('-' for stdout; works at any --jobs N)",
     )
     parser.add_argument(
         "--stats", action="store_true",
@@ -298,11 +300,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
-    observing = args.trace is not None or args.metrics_json is not None
     runner = ExperimentRunner(
-        # Traces and metrics are process-local: pool workers would collect
-        # them in throwaway interpreters, so observed runs execute serially.
-        jobs=1 if observing else args.jobs,
+        jobs=args.jobs,
         cache=ResultCache() if args.cache else None,
         max_retries=args.max_retries,
         timeout=args.timeout,
@@ -340,9 +339,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             tracer.close()
         if args.metrics_json is not None:
             registry = set_registry(None)
-            with open(args.metrics_json, "w", encoding="utf-8") as fh:
-                fh.write(registry.to_json(indent=2) + "\n")
-            print(f"metrics written to {args.metrics_json}")
+            if args.metrics_json == "-":
+                sys.stdout.write(registry.to_json(indent=2) + "\n")
+            else:
+                with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                    fh.write(registry.to_json(indent=2) + "\n")
+                print(f"metrics written to {args.metrics_json}")
 
     if tracer is not None:
         if isinstance(tracer.sink, RingBufferSink):

@@ -20,7 +20,14 @@ Example
 [('fast', 0.0), ('fast', 1.0), ('fast', 2.0)]
 """
 
-from .engine import Environment, NORMAL, URGENT
+from .engine import (
+    Environment,
+    RecyclingEnvironment,
+    make_environment,
+    NORMAL,
+    RECYCLE_ENV,
+    URGENT,
+)
 from .errors import EmptySchedule, Interrupt, SimulationError, StopProcess
 from .events import AllOf, AnyOf, Condition, Event, Timeout
 from .monitor import TimeSeriesProbe, periodic_sampler
@@ -31,7 +38,10 @@ from .store import FilterStore, Store
 
 __all__ = [
     "Environment",
+    "RecyclingEnvironment",
+    "make_environment",
     "NORMAL",
+    "RECYCLE_ENV",
     "URGENT",
     "EmptySchedule",
     "Interrupt",

@@ -14,9 +14,12 @@ Design goals, in priority order:
    RNG state, the event queue, or simulation values — recording a metric
    cannot perturb a run (the serial/parallel bit-identity contract).
 
-The registry is process-local: pool workers spawned by the experiment
-runtime start with the null default, so per-simulation metrics are only
-collected on in-process (serial) runs.  Cross-worker aggregates live in
+The registry itself is process-local, but per-simulation metrics survive
+the pool: the experiment runtime runs each replication under a private
+worker-side registry and folds the snapshots back into the coordinator's
+registry via :meth:`MetricsRegistry.merge_snapshot`, in replication order,
+so exports are byte-identical at any worker count.  Harness-level
+aggregates (wall times, retries, cache hits) live in
 :class:`~repro.obs.telemetry.RunTelemetry` instead.
 """
 
@@ -219,6 +222,45 @@ class MetricsRegistry:
         import json
 
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    # -- cross-process folding ---------------------------------------------
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Fold a :meth:`to_dict` snapshot from another registry into this one.
+
+        This is how per-replication registries collected *inside* pool
+        workers aggregate on the coordinator: counters and histogram
+        buckets add, gauges adopt the snapshot's value (so folding
+        snapshots in replication-index order reproduces the final value a
+        single registry shared across a serial run would hold).  Folding
+        the same snapshots in the same order is deterministic by
+        construction — instruments are keyed by name + sorted labels and
+        exports are sorted — so merged ``--metrics-json`` output is
+        byte-identical at any worker count.  Returns ``self``.
+        """
+        for entry in snapshot.get("metrics", []):
+            name, labels = entry["name"], entry["labels"]
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(entry["value"])
+            elif kind == "histogram":
+                bounds = [b["le"] for b in entry["buckets"] if b["le"] != "inf"]
+                hist = self.histogram(name, buckets=bounds, **labels)
+                if len(bounds) != len(hist.bounds):
+                    raise ValueError(
+                        f"histogram {name!r} bucket layout mismatch while "
+                        f"merging ({len(bounds)} vs {len(hist.bounds)} bounds)"
+                    )
+                counts = [b["count"] for b in entry["buckets"]]
+                for i, n in enumerate(counts):
+                    hist.bucket_counts[i] += n
+                hist.total += entry["sum"]
+                hist.count += entry["count"]
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r} in snapshot")
+        return self
 
 
 class _NullCounter(Counter):

@@ -40,6 +40,14 @@ class RunTelemetry:
     batches: int = 0
     #: Coordinator wall-clock seconds across those batches.
     elapsed: float = 0.0
+    #: Results whose bulk payload rode a shared-memory segment.
+    shm_results: int = 0
+    #: Raw bytes moved through shared memory instead of the result pipe.
+    shm_bytes: int = 0
+    #: Trace records captured inside workers and merged by the coordinator.
+    trace_records: int = 0
+    #: Worker-side trace records lost to ring-buffer overflow.
+    trace_dropped: int = 0
     #: Per-replication wall seconds (successful attempts only).
     wall_times: List[float] = field(default_factory=list)
 
@@ -88,6 +96,10 @@ class RunTelemetry:
         self.cache_misses += other.cache_misses
         self.batches += other.batches
         self.elapsed += other.elapsed
+        self.shm_results += other.shm_results
+        self.shm_bytes += other.shm_bytes
+        self.trace_records += other.trace_records
+        self.trace_dropped += other.trace_dropped
         self.wall_times.extend(other.wall_times)
         return self
 
@@ -103,6 +115,14 @@ class RunTelemetry:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "hit_rate": self.cache_hit_rate,
+            },
+            "shm": {
+                "results": self.shm_results,
+                "bytes": self.shm_bytes,
+            },
+            "trace": {
+                "records": self.trace_records,
+                "dropped": self.trace_dropped,
             },
             "wall_time": {
                 "elapsed": self.elapsed,
@@ -133,6 +153,16 @@ class RunTelemetry:
                 f"  cache:         {self.cache_hits} hits / "
                 f"{self.cache_misses} misses "
                 f"({self.cache_hit_rate * 100.0:.1f}% hit rate)"
+            )
+        if self.shm_results:
+            lines.append(
+                f"  shm transport: {self.shm_results} results, "
+                f"{self.shm_bytes} bytes zero-copied"
+            )
+        if self.trace_records or self.trace_dropped:
+            lines.append(
+                f"  worker traces: {self.trace_records} records merged"
+                + (f", {self.trace_dropped} dropped" if self.trace_dropped else "")
             )
         lines.append(
             f"  wall time:     {self.elapsed:.3f}s elapsed, "

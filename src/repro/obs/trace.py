@@ -45,6 +45,7 @@ __all__ = [
     "set_tracer",
     "use_tracer",
     "read_jsonl",
+    "replay_records",
     "summarize_records",
 ]
 
@@ -178,6 +179,38 @@ def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
         yield tracer
     finally:
         set_tracer(previous)
+
+
+def replay_records(
+    tracer: Tracer,
+    records: List[TraceRecord],
+    replication: Optional[int] = None,
+) -> int:
+    """Re-emit already-built records into ``tracer``'s sink verbatim.
+
+    This is the coordinator half of in-worker tracing: each pool worker
+    captures its replication's records in a private ring buffer, the
+    snapshot rides back with the result, and the coordinator replays the
+    snapshots in replication-index order.  ``replication`` (the config's
+    submission index) is stamped onto every record right after ``kind``,
+    so interleaved provenance survives; the remaining fields keep the
+    sorted order the worker-side :meth:`Tracer.emit` gave them.  The
+    tracer's per-kind counts are updated as if it had emitted the records
+    itself.  Returns the number of records replayed.
+    """
+    counts = tracer.counts
+    emit = tracer.sink.emit
+    for record in records:
+        kind = record["kind"]
+        out: TraceRecord = {"t": record["t"], "kind": kind}
+        if replication is not None:
+            out["replication"] = replication
+        for key, value in record.items():
+            if key != "t" and key != "kind":
+                out[key] = value
+        counts[kind] = counts.get(kind, 0) + 1
+        emit(out)
+    return len(records)
 
 
 # -- offline analysis -------------------------------------------------------

@@ -15,7 +15,10 @@ loops into a single dispatch surface:
   optional size/entry caps (``python -m repro cache`` manages it);
 * :class:`~repro.runtime.faults.FaultInjector` — deterministic scripted
   crashes/hangs/exceptions for testing the fault tolerance without flaky
-  sleeps.
+  sleeps;
+* :class:`~repro.runtime.shm.SharedResultTransport` — zero-copy transport
+  that ships large numeric result payloads through shared-memory segments
+  instead of the pickle pipe, with crash-safe orphan sweeping.
 
 Determinism contract: each replication owns its seed inside its config,
 workers never share RNG state, and merging stays on the coordinator in
@@ -37,6 +40,8 @@ from .runner import (
     JOBS_ENV,
     ExperimentRunner,
     FailedResult,
+    ObsRequest,
+    ObsSnapshot,
     ReplicationTimeout,
     WorkerCrash,
     WorkerError,
@@ -44,6 +49,14 @@ from .runner import (
     failed,
     resolve_jobs,
     succeeded,
+)
+from .shm import (
+    DEFAULT_MIN_ELEMENTS,
+    SharedResultTransport,
+    ShmChunk,
+    ShmEncoded,
+    active_segments,
+    shm_available,
 )
 
 __all__ = [
@@ -60,6 +73,8 @@ __all__ = [
     "JOBS_ENV",
     "ExperimentRunner",
     "FailedResult",
+    "ObsRequest",
+    "ObsSnapshot",
     "ReplicationTimeout",
     "WorkerCrash",
     "WorkerError",
@@ -67,4 +82,10 @@ __all__ = [
     "failed",
     "resolve_jobs",
     "succeeded",
+    "DEFAULT_MIN_ELEMENTS",
+    "SharedResultTransport",
+    "ShmChunk",
+    "ShmEncoded",
+    "active_segments",
+    "shm_available",
 ]

@@ -30,6 +30,21 @@ private pipe, so crashes are attributed to the exact config, hangs are
 cancelled at the deadline, and retries reschedule without poisoning a
 shared pool.  Successful results remain bit-identical to a fault-free
 serial run — workers are pure functions of their config.
+
+Two transport/observability layers ride on top of the backends:
+
+* **Zero-copy result transport** — when the process paths are active and
+  shared memory is available, a per-runner
+  :class:`~repro.runtime.shm.SharedResultTransport` lifts large numeric
+  time series out of worker results into shared-memory segments; only
+  descriptors cross the pipe, and the coordinator reconstructs
+  bit-identical values (``shm=False`` forces the plain pickle path).
+* **In-worker observability** — when a tracer or a real metrics registry
+  is installed on the coordinator, each replication runs under a private
+  worker-side registry + ring-buffer tracer; the compact snapshots ride
+  back with the results and are merged deterministically in
+  replication-index order, so ``--trace`` / ``--metrics-json`` produce
+  identical output at any ``--jobs N``.
 """
 
 from __future__ import annotations
@@ -60,7 +75,10 @@ from typing import (
     Union,
 )
 
+from ..obs.metrics import MetricsRegistry, NullRegistry, get_registry, set_registry
 from ..obs.telemetry import RunTelemetry
+from ..obs.trace import RingBufferSink, Tracer, get_tracer, replay_records, set_tracer
+from .shm import DEFAULT_MIN_ELEMENTS, SharedResultTransport, shm_available
 
 if TYPE_CHECKING:
     from .cache import ResultCache
@@ -69,7 +87,10 @@ __all__ = [
     "JOBS_ENV",
     "ExperimentRunner",
     "FailedResult",
+    "ObsRequest",
+    "ObsSnapshot",
     "ReplicationTimeout",
+    "register_replication_reset",
     "WorkerCrash",
     "WorkerError",
     "drop_failures",
@@ -181,34 +202,157 @@ def drop_failures(results: Sequence[Any], context: str = "sweep") -> List[Any]:
     return succeeded(results)
 
 
-def _call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any, float]:
+#: Default worker ring-buffer capacity (records per replication).  Sized so
+#: a full paper-scale replication fits; overflow is still counted and
+#: surfaced through ``telemetry.trace_dropped`` rather than lost silently.
+DEFAULT_TRACE_CAPACITY = 1 << 20
+
+
+@dataclass(frozen=True)
+class ObsRequest:
+    """Picklable instruction telling a worker what to observe.
+
+    The coordinator builds one per batch from its *installed* collectors
+    (:func:`~repro.obs.trace.get_tracer` /
+    :func:`~repro.obs.metrics.get_registry`) and ships it inside every
+    task payload; workers honor it by running the replication under
+    private collectors and returning an :class:`ObsSnapshot`.
+    """
+
+    metrics: bool = False
+    trace: bool = False
+    trace_kinds: Optional[frozenset] = None
+    ring_capacity: int = DEFAULT_TRACE_CAPACITY
+
+
+@dataclass
+class ObsSnapshot:
+    """What one replication observed — compact, picklable, mergeable.
+
+    ``metrics`` is a :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`
+    snapshot; ``records`` the replication's trace records in emission
+    order; ``dropped`` counts ring-buffer overflow.
+    """
+
+    metrics: Optional[Dict[str, Any]] = None
+    records: Optional[List[Dict[str, Any]]] = None
+    dropped: int = 0
+
+
+#: Callables invoked before every replication attempt.  Modules that keep
+#: process-global counters (auto-assigned ids and the like) register a
+#: reset here, so a replication's auto-ids are a function of the
+#: replication alone — never of what the hosting process happened to run
+#: first.  Without this, serial and pooled runs of the same sweep emit
+#: different ids into traces (a worker that ran 3 prior replications has
+#: advanced its counters; a fresh one has not).
+_REPLICATION_RESETS: List[Callable[[], None]] = []
+
+
+def register_replication_reset(reset: Callable[[], None]) -> Callable[[], None]:
+    """Register ``reset`` to run at the start of every replication attempt.
+
+    Idempotent per callable; usable as a decorator.  Returns ``reset``.
+    """
+    if reset not in _REPLICATION_RESETS:
+        _REPLICATION_RESETS.append(reset)
+    return reset
+
+
+def _observed_call(
+    fn: Callable[[Any], Any], config: Any, obs: Optional[ObsRequest]
+) -> Tuple[Any, Optional[ObsSnapshot]]:
+    """Run ``fn(config)`` under per-replication observability collectors.
+
+    Installs a fresh registry and/or ring-buffer tracer for the duration
+    of the call and restores the previous collectors afterwards — the
+    serial backend uses this too, so a ``--jobs 1`` run takes the *same*
+    capture-then-merge path as a pool run (the byte-identity guarantee).
+    With ``obs=None`` this is a plain call (replication resets still run).
+    """
+    for reset in _REPLICATION_RESETS:
+        reset()
+    if obs is None:
+        return fn(config), None
+    registry = MetricsRegistry() if obs.metrics else None
+    sink = RingBufferSink(capacity=obs.ring_capacity) if obs.trace else None
+    prev_registry = set_registry(registry) if registry is not None else None
+    prev_tracer = (
+        set_tracer(Tracer(sink, kinds=obs.trace_kinds))
+        if sink is not None
+        else None
+    )
+    try:
+        result = fn(config)
+    finally:
+        if registry is not None:
+            set_registry(prev_registry)
+        if sink is not None:
+            set_tracer(prev_tracer)
+    return result, ObsSnapshot(
+        metrics=registry.to_dict() if registry is not None else None,
+        records=sink.records() if sink is not None else None,
+        dropped=sink.dropped if sink is not None else 0,
+    )
+
+
+#: (fn, config, obs request, shm transport) — one pool task.
+_Payload = Tuple[
+    Callable[[Any], Any],
+    Any,
+    Optional[ObsRequest],
+    Optional[SharedResultTransport],
+]
+
+#: (ok, value-or-(exc, tb), worker seconds, obs snapshot) — one attempt.
+_Message = Tuple[bool, Any, float, Optional[ObsSnapshot]]
+
+
+def _call(payload: _Payload) -> _Message:
     """Process-pool trampoline: never raises, so the config context is
     attached on the coordinator side rather than lost in the pool.  The
     attempt's wall seconds are measured here — inside the worker — so
-    per-replication telemetry survives the process boundary."""
-    fn, config = payload
+    per-replication telemetry survives the process boundary.  Large
+    numeric payloads are lifted into shared memory after the timed call;
+    the observability snapshot rides back alongside the result."""
+    fn, config, obs, transport = payload
     started = time.perf_counter()
     try:
-        result = fn(config)
+        result, snapshot = _observed_call(fn, config, obs)
+        elapsed = time.perf_counter() - started
+        if transport is not None:
+            result = transport.encode(result)
     except Exception as exc:  # noqa: BLE001 - re-raised with context
-        return False, (exc, traceback.format_exc()), time.perf_counter() - started
-    return True, result, time.perf_counter() - started
+        return (
+            False,
+            (exc, traceback.format_exc()),
+            time.perf_counter() - started,
+            None,
+        )
+    return True, result, elapsed, snapshot
 
 
 def _supervised_child(
-    conn: Connection, fn: Callable[[Any], Any], config: Any
+    conn: Connection,
+    fn: Callable[[Any], Any],
+    config: Any,
+    obs: Optional[ObsRequest] = None,
+    transport: Optional[SharedResultTransport] = None,
 ) -> None:
     """Entry point of a supervised worker process: one attempt, one config."""
     started = time.perf_counter()
     try:
-        message: Tuple[bool, Any, float] = (
-            True, fn(config), time.perf_counter() - started
-        )
+        result, snapshot = _observed_call(fn, config, obs)
+        elapsed = time.perf_counter() - started
+        if transport is not None:
+            result = transport.encode(result)
+        message: _Message = (True, result, elapsed, snapshot)
     except BaseException as exc:  # noqa: BLE001 - serialized to coordinator
         message = (
             False,
             (exc, traceback.format_exc()),
             time.perf_counter() - started,
+            None,
         )
     try:
         conn.send(message)
@@ -222,6 +366,7 @@ def _supervised_child(
                 False,
                 (RuntimeError(f"unpicklable {detail} from worker"), tb),
                 message[2],
+                None,
             ))
         except Exception:
             pass  # pipe gone; the coordinator will classify this as a crash
@@ -277,6 +422,25 @@ class ExperimentRunner:
         When True, a config that exhausts its attempts yields a
         :class:`FailedResult` in its result slot instead of raising
         :class:`WorkerError`, so one bad point cannot abort a sweep.
+    shm:
+        Zero-copy result transport.  ``None`` (default) enables it
+        whenever a process path is active and the platform supports
+        ``multiprocessing.shared_memory``; ``False`` forces the plain
+        pickle transport; ``True`` requests it explicitly but still falls
+        back to pickle where shared memory is unavailable.
+    shm_min_elements:
+        Minimum element count for a numeric sequence/array to be lifted
+        into shared memory (below it, pickling through the pipe is
+        cheaper than the descriptor bookkeeping).
+    worker_observability:
+        When True (default) and a tracer or a real metrics registry is
+        installed on the coordinator, every replication — serial or
+        pooled — runs under private per-replication collectors whose
+        snapshots are merged back deterministically in submission order.
+        False restores collector-blind workers (pre-merge behavior).
+    trace_capacity:
+        Worker-side trace ring-buffer capacity in records per
+        replication; overflow is counted in ``telemetry.trace_dropped``.
     sleep, clock:
         Injectable time sources (tests replace them to assert backoff
         schedules without real sleeping).
@@ -292,6 +456,10 @@ class ExperimentRunner:
         retry_backoff: float = 0.0,
         timeout: Optional[float] = None,
         partial: bool = False,
+        shm: Optional[bool] = None,
+        shm_min_elements: int = DEFAULT_MIN_ELEMENTS,
+        worker_observability: bool = True,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ):
@@ -313,6 +481,11 @@ class ExperimentRunner:
         self.retry_backoff = float(retry_backoff)
         self.timeout = timeout
         self.partial = bool(partial)
+        self.shm = shm
+        self.shm_min_elements = int(shm_min_elements)
+        self.worker_observability = bool(worker_observability)
+        self.trace_capacity = int(trace_capacity)
+        self._transport: Optional[SharedResultTransport] = None
         self._sleep = sleep
         self._clock = clock
         #: Aggregated accounting across this runner's ``run_many`` batches
@@ -353,38 +526,141 @@ class ExperimentRunner:
 
         try:
             if pending:
-                computed = self._execute(
-                    fn, [configs[i] for i in pending], pending
-                )
-                for i, value in zip(pending, computed):
+                obs = self._obs_request()
+                transport = self._transport_for(len(pending))
+                try:
+                    computed = self._execute(
+                        fn, [configs[i] for i in pending], pending, obs, transport
+                    )
+                finally:
+                    # Workers are done (or reaped) by now: any segment still
+                    # carrying this run id is an orphan from a crashed or
+                    # cancelled attempt — reclaim it.
+                    if transport is not None:
+                        transport.sweep()
+                for i, (value, _snapshot) in zip(pending, computed):
                     results[i] = value
                     if self.cache is not None and not isinstance(value, FailedResult):
                         self.cache.put(fn, configs[i], value)
+                if obs is not None:
+                    self._merge_observations(pending, computed)
         finally:
             self.telemetry.elapsed += time.perf_counter() - started
         return results
 
+    # -- observability / transport plumbing -------------------------------
+
+    def _obs_request(self) -> Optional[ObsRequest]:
+        """The per-batch observation request, or None when nothing is on.
+
+        Mirrors whatever the coordinator has installed *right now*: a
+        tracer means workers trace (honoring its kind filter), a non-null
+        registry means workers meter.
+        """
+        if not self.worker_observability:
+            return None
+        tracer = get_tracer()
+        registry = get_registry()
+        want_metrics = not isinstance(registry, NullRegistry)
+        want_trace = tracer is not None
+        if not (want_metrics or want_trace):
+            return None
+        kinds = (
+            frozenset(tracer.kinds)
+            if want_trace and tracer.kinds is not None
+            else None
+        )
+        return ObsRequest(
+            metrics=want_metrics,
+            trace=want_trace,
+            trace_kinds=kinds,
+            ring_capacity=self.trace_capacity,
+        )
+
+    def _transport_for(self, n: int) -> Optional[SharedResultTransport]:
+        """The shared transport when this batch will cross a process
+        boundary and shared memory works here; None → pickle path."""
+        if self.shm is False:
+            return None
+        uses_processes = self.backend == "process" and (
+            self.fault_tolerant or (self.jobs > 1 and n > 1)
+        )
+        if not uses_processes or not shm_available():
+            return None
+        if self._transport is None:
+            self._transport = SharedResultTransport(
+                min_elements=self.shm_min_elements
+            )
+            self._transport.register_atexit()
+        return self._transport
+
+    def _decode_result(
+        self, transport: Optional[SharedResultTransport], value: Any
+    ) -> Any:
+        if transport is None:
+            return value
+        value, nbytes = transport.decode(value)
+        if nbytes:
+            self.telemetry.shm_results += 1
+            self.telemetry.shm_bytes += nbytes
+        return value
+
+    def _merge_observations(
+        self,
+        indices: List[int],
+        computed: List[Tuple[Any, Optional[ObsSnapshot]]],
+    ) -> None:
+        """Fold per-replication snapshots into the installed collectors.
+
+        Deterministic by construction: ``indices`` ascend in submission
+        order, metrics merge commutes for counters/histograms and adopts
+        the last gauge write, and trace records replay in capture order
+        stamped with their replication index.
+        """
+        tracer = get_tracer()
+        registry = get_registry()
+        merge_metrics = not isinstance(registry, NullRegistry)
+        for index, (_value, snapshot) in zip(indices, computed):
+            if snapshot is None:
+                continue
+            if merge_metrics and snapshot.metrics is not None:
+                registry.merge_snapshot(snapshot.metrics)
+            if tracer is not None and snapshot.records is not None:
+                self.telemetry.trace_records += replay_records(
+                    tracer, snapshot.records, replication=index
+                )
+                self.telemetry.trace_dropped += snapshot.dropped
+
     # -- backends ---------------------------------------------------------
 
     def _execute(
-        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
-    ) -> List[Any]:
+        self,
+        fn: Callable[[Any], Any],
+        configs: List[Any],
+        indices: List[int],
+        obs: Optional[ObsRequest],
+        transport: Optional[SharedResultTransport],
+    ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
         if self.fault_tolerant:
             if self.backend == "process":
-                return self._run_supervised(fn, configs, indices)
-            return self._run_serial_ft(fn, configs, indices)
+                return self._run_supervised(fn, configs, indices, obs, transport)
+            return self._run_serial_ft(fn, configs, indices, obs)
         if self.backend == "serial" or self.jobs == 1 or len(configs) <= 1:
-            return self._run_serial(fn, configs, indices)
-        return self._run_pool(fn, configs, indices)
+            return self._run_serial(fn, configs, indices, obs)
+        return self._run_pool(fn, configs, indices, obs, transport)
 
     def _run_serial(
-        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
-    ) -> List[Any]:
-        out: List[Any] = []
+        self,
+        fn: Callable[[Any], Any],
+        configs: List[Any],
+        indices: List[int],
+        obs: Optional[ObsRequest],
+    ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
+        out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         for config, index in zip(configs, indices):
             started = time.perf_counter()
             try:
-                out.append(fn(config))
+                out.append(_observed_call(fn, config, obs))
             except Exception as exc:
                 self.telemetry.failures += 1
                 raise WorkerError(
@@ -394,21 +670,26 @@ class ExperimentRunner:
         return out
 
     def _run_pool(
-        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
-    ) -> List[Any]:
+        self,
+        fn: Callable[[Any], Any],
+        configs: List[Any],
+        indices: List[int],
+        obs: Optional[ObsRequest],
+        transport: Optional[SharedResultTransport],
+    ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
         workers = min(self.jobs, len(configs))
         chunk = self.chunk_size or max(1, len(configs) // (workers * 4))
-        out: List[Any] = []
+        out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            payloads = [(fn, config) for config in configs]
-            for pos, (ok, value, elapsed) in enumerate(
+            payloads = [(fn, config, obs, transport) for config in configs]
+            for pos, (ok, value, elapsed, snapshot) in enumerate(
                 pool.map(_call, payloads, chunksize=chunk)
             ):
                 if not ok:
                     exc, tb = value
                     self.telemetry.failures += 1
                     raise WorkerError(configs[pos], indices[pos], exc, tb) from exc
-                out.append(value)
+                out.append((self._decode_result(transport, value), snapshot))
                 self.telemetry.record_replication(elapsed)
         return out
 
@@ -438,17 +719,28 @@ class ExperimentRunner:
             signal.signal(signal.SIGALRM, previous)
 
     def _run_serial_ft(
-        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
-    ) -> List[Any]:
+        self,
+        fn: Callable[[Any], Any],
+        configs: List[Any],
+        indices: List[int],
+        obs: Optional[ObsRequest],
+    ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
         """Serial execution with retries, backoff, timeout, and partial."""
-        out: List[Any] = []
+
+        def attempt(config: Any) -> Tuple[Any, Optional[ObsSnapshot]]:
+            # Capture *inside* the alarm window so an interrupted attempt
+            # still restores the coordinator's collectors (and its partial
+            # snapshot is discarded with the exception).
+            return _observed_call(fn, config, obs)
+
+        out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         for config, index in zip(configs, indices):
             attempts = 0
             while True:
                 attempts += 1
                 started = time.perf_counter()
                 try:
-                    result = self._call_with_alarm(fn, config)
+                    result, snapshot = self._call_with_alarm(attempt, config)
                 except Exception as exc:
                     tb = traceback.format_exc()
                     if isinstance(exc, ReplicationTimeout):
@@ -461,14 +753,15 @@ class ExperimentRunner:
                         continue
                     self.telemetry.failures += 1
                     if self.partial:
-                        out.append(
-                            FailedResult(config, index, attempts, repr(exc), tb)
-                        )
+                        out.append((
+                            FailedResult(config, index, attempts, repr(exc), tb),
+                            None,
+                        ))
                         break
                     raise WorkerError(
                         config, index, exc, tb, attempts=attempts
                     ) from exc
-                out.append(result)
+                out.append((result, snapshot))
                 self.telemetry.record_replication(
                     time.perf_counter() - started
                 )
@@ -476,8 +769,13 @@ class ExperimentRunner:
         return out
 
     def _run_supervised(
-        self, fn: Callable[[Any], Any], configs: List[Any], indices: List[int]
-    ) -> List[Any]:
+        self,
+        fn: Callable[[Any], Any],
+        configs: List[Any],
+        indices: List[int],
+        obs: Optional[ObsRequest],
+        transport: Optional[SharedResultTransport],
+    ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
         """Process-per-attempt execution with cancellation and retries.
 
         Each attempt gets its own child process and pipe: a crash closes the
@@ -488,7 +786,7 @@ class ExperimentRunner:
         ctx = multiprocessing.get_context()
         n = len(configs)
         slots = min(self.jobs, n)
-        results: List[Any] = [None] * n
+        results: List[Tuple[Any, Optional[ObsSnapshot]]] = [(None, None)] * n
         attempts = [0] * n
         runnable: Deque[int] = deque(range(n))
         delayed: List[Tuple[float, int]] = []  # (eligible_at, position) heap
@@ -500,7 +798,7 @@ class ExperimentRunner:
             recv_end, send_end = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_supervised_child,
-                args=(send_end, fn, configs[pos]),
+                args=(send_end, fn, configs[pos], obs, transport),
                 daemon=True,
             )
             proc.start()
@@ -526,8 +824,11 @@ class ExperimentRunner:
                 return
             self.telemetry.failures += 1
             if self.partial:
-                results[pos] = FailedResult(
-                    configs[pos], indices[pos], attempts[pos], repr(cause), tb
+                results[pos] = (
+                    FailedResult(
+                        configs[pos], indices[pos], attempts[pos], repr(cause), tb
+                    ),
+                    None,
                 )
                 done += 1
                 return
@@ -560,7 +861,7 @@ class ExperimentRunner:
                     proc, pos, _deadline = inflight.pop(conn)  # type: ignore[arg-type]
                     attempts[pos] += 1
                     try:
-                        ok, payload, elapsed = conn.recv()  # type: ignore[union-attr]
+                        ok, payload, elapsed, snapshot = conn.recv()  # type: ignore[union-attr]
                     except (EOFError, OSError):
                         proc.join()
                         settle_failure(
@@ -574,7 +875,10 @@ class ExperimentRunner:
                     else:
                         proc.join()
                         if ok:
-                            results[pos] = payload
+                            results[pos] = (
+                                self._decode_result(transport, payload),
+                                snapshot,
+                            )
                             done += 1
                             self.telemetry.record_replication(elapsed)
                         else:

@@ -1,0 +1,422 @@
+"""Zero-copy result transport over ``multiprocessing.shared_memory``.
+
+The paper's replication sweeps return results dominated by large numeric
+time series (binned handoff counts, per-round rate trajectories, goodput
+samples).  The process backends previously round-tripped those through
+pickle and a pipe: the worker serializes megabytes, the kernel copies them
+through a socketpair, and the coordinator deserializes them again.
+
+:class:`SharedResultTransport` removes the bulk copy.  On the worker side,
+:meth:`encode` walks a result value, lifts every *large homogeneous numeric
+sequence* (float or int lists/tuples, ``array.array``, numpy ``ndarray``)
+into a single shared-memory segment, and substitutes a tiny
+:class:`ShmChunk` descriptor in its place; only the descriptor-bearing
+skeleton travels through the pipe.  On the coordinator side, :meth:`decode`
+reattaches the segment, reconstructs a bit-identical result (float64 and
+int64 round-trip exactly through ``array``), then closes **and unlinks**
+the segment.
+
+Fallbacks keep the transport invisible when it cannot help:
+
+* results containing no sequence of at least ``min_elements`` numeric
+  items are returned untouched (the plain pickle path);
+* platforms where shared memory cannot be created (no ``/dev/shm``,
+  sandboxed containers) disable the transport process-wide via
+  :func:`shm_available`, as does ``REPRO_SHM=0``.
+
+Cleanup is crash-safe by construction: segment names embed the
+coordinator's per-run id (``repro_shm_<run>_<pid>_<seq>``), the
+coordinator sweeps any segment still carrying its run prefix after every
+batch (a worker killed between creating a segment and reporting it leaves
+exactly such an orphan), and an ``atexit`` hook repeats the sweep when the
+coordinator itself dies.  Lint rule REP204 confines raw ``SharedMemory``
+use to this module so the cleanup contract cannot be bypassed silently.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+from array import array
+from functools import lru_cache
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_MIN_ELEMENTS",
+    "SEGMENT_PREFIX",
+    "ShmChunk",
+    "ShmEncoded",
+    "SharedResultTransport",
+    "active_segments",
+    "shm_available",
+]
+
+#: Sequences shorter than this stay on the pickle path (1024 float64s is
+#: 8 KiB — below that the descriptor bookkeeping costs more than it saves).
+DEFAULT_MIN_ELEMENTS = 1024
+
+#: Every segment name starts with this, so orphans are recognizable.
+SEGMENT_PREFIX = "repro_shm"
+
+#: Where POSIX shared memory appears as files (the orphan sweep scans it).
+_SHM_DIR = "/dev/shm"
+
+#: int64 bounds — Python ints outside this range stay on the pickle path.
+_I64_MIN, _I64_MAX = -(2 ** 63), 2 ** 63 - 1
+
+#: Per-process segment sequence; module-level so re-pickled transport
+#: copies inside one worker never reuse a name.
+_SEQ = itertools.count()
+
+
+def _shared_memory():
+    """The SharedMemory class, imported lazily (may be unavailable)."""
+    from multiprocessing.shared_memory import SharedMemory
+
+    return SharedMemory
+
+
+def _untrack(shm: Any) -> None:
+    """Detach ``shm`` from the resource tracker.
+
+    The tracker unlinks registered segments when *its* process exits —
+    exactly wrong for segments that outlive the worker on purpose.  The
+    transport owns the lifecycle instead (decode unlinks; sweeps catch
+    crashes).  Best-effort: tracker internals differ across versions.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _create_segment(name: str, size: int) -> Any:
+    SharedMemory = _shared_memory()
+    try:
+        shm = SharedMemory(name=name, create=True, size=size, track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        shm = SharedMemory(name=name, create=True, size=size)
+        _untrack(shm)
+    return shm
+
+
+def _attach_segment(name: str) -> Any:
+    SharedMemory = _shared_memory()
+    try:
+        shm = SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - version-dependent
+        shm = SharedMemory(name=name)
+        _untrack(shm)
+    return shm
+
+
+def _unlink_segment(shm: Any) -> None:
+    """Remove the backing object without resource-tracker bookkeeping.
+
+    ``SharedMemory.unlink`` also *unregisters* the name on CPythons that
+    registered it at creation — but the transport already detached these
+    segments from the tracker, so that second unregister makes the tracker
+    process print a KeyError at exit.  Going straight to ``shm_unlink``
+    sidesteps the bookkeeping entirely.
+    """
+    try:
+        from _posixshmem import shm_unlink
+    except ImportError:  # pragma: no cover - non-POSIX
+        shm.unlink()
+        return
+    try:
+        shm_unlink(shm._name)
+    except FileNotFoundError:
+        pass
+
+
+@lru_cache(maxsize=1)
+def _probe_shm() -> bool:
+    """Create-and-unlink a tiny segment once per process."""
+    probe = None
+    try:
+        probe = _create_segment(f"{SEGMENT_PREFIX}_probe_{os.getpid():x}", 8)
+        return True
+    except Exception:
+        return False
+    finally:
+        if probe is not None:
+            try:
+                probe.close()
+            finally:
+                _unlink_segment(probe)
+
+
+def shm_available() -> bool:
+    """True when shared-memory segments can actually be created here.
+
+    Probes once per process by creating and unlinking a tiny segment;
+    ``REPRO_SHM=0`` forces False (the pickle path) without probing.
+    """
+    if os.environ.get("REPRO_SHM", "").strip() == "0":
+        return False
+    return _probe_shm()
+
+
+def active_segments(run_id: Optional[str] = None) -> List[str]:
+    """Names of live transport segments (optionally for one run id).
+
+    Scans ``/dev/shm`` where available; the leak-detection tests and the
+    CI smoke step assert this is empty after a sweep completes.
+    """
+    prefix = SEGMENT_PREFIX + "_" + (run_id + "_" if run_id else "")
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+@dataclass(frozen=True)
+class ShmChunk:
+    """Descriptor standing in for one lifted numeric sequence.
+
+    ``typecode`` is an :mod:`array` typecode (``'d'``/``'q'``) or, for
+    numpy arrays, a dtype string; ``meta`` carries the ndarray shape.
+    """
+
+    offset: int
+    nbytes: int
+    count: int
+    typecode: str
+    container: str  # "list" | "tuple" | "array" | "ndarray"
+    meta: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShmEncoded:
+    """The pipe-side skeleton: substituted payload plus its segment name."""
+
+    payload: Any
+    segment: str
+    nbytes: int
+    chunks: int
+
+
+def _numeric_typecode(seq: Any) -> Optional[str]:
+    """``'d'``/``'q'`` when every element is a plain float / int64-range
+    int (bools excluded — they must survive as bools), else None."""
+    first = type(seq[0])
+    if first is float:
+        for item in seq:
+            if type(item) is not float:
+                return None
+        return "d"
+    if first is int:
+        for item in seq:
+            if type(item) is not int or not (_I64_MIN <= item <= _I64_MAX):
+                return None
+        return "q"
+    return None
+
+
+class SharedResultTransport:
+    """Encode/decode worker results through shared-memory segments.
+
+    Instances are small and picklable: the coordinator builds one per
+    runner (with a fresh ``run_id``) and ships copies to workers inside
+    the task payloads.  Worker copies only ever *create* segments; the
+    coordinator copy *consumes* (decode) and *sweeps* (orphan cleanup).
+    """
+
+    def __init__(
+        self,
+        run_id: Optional[str] = None,
+        min_elements: int = DEFAULT_MIN_ELEMENTS,
+    ):
+        if min_elements < 2:
+            raise ValueError(f"min_elements must be >= 2, got {min_elements}")
+        self.run_id = run_id if run_id else secrets.token_hex(4)
+        self.min_elements = min_elements
+
+    # -- worker side -------------------------------------------------------
+
+    def encode(self, result: Any) -> Any:
+        """Lift large numeric sequences out of ``result``.
+
+        Returns ``result`` unchanged when nothing qualifies; otherwise a
+        :class:`ShmEncoded` whose segment holds the raw numeric bytes.
+        """
+        buffers: List[Tuple[Any, ShmChunk]] = []
+        payload = self._pack(result, buffers)
+        if not buffers:
+            return result
+        total = sum(chunk.nbytes for _data, chunk in buffers)
+        name = f"{SEGMENT_PREFIX}_{self.run_id}_{os.getpid():x}_{next(_SEQ):x}"
+        shm = _create_segment(name, max(total, 1))
+        try:
+            view = shm.buf
+            for data, chunk in buffers:
+                view[chunk.offset : chunk.offset + chunk.nbytes] = data
+        finally:
+            shm.close()
+        return ShmEncoded(
+            payload=payload, segment=name, nbytes=total, chunks=len(buffers)
+        )
+
+    def _pack(self, obj: Any, buffers: List[Tuple[Any, ShmChunk]]) -> Any:
+        kind = type(obj)
+        if kind is list or kind is tuple:
+            if len(obj) >= self.min_elements:
+                typecode = _numeric_typecode(obj)
+                if typecode is not None:
+                    return self._chunk(
+                        memoryview(array(typecode, obj)).cast("B"),
+                        buffers,
+                        count=len(obj),
+                        typecode=typecode,
+                        container="list" if kind is list else "tuple",
+                    )
+            packed = [self._pack(item, buffers) for item in obj]
+            return packed if kind is list else tuple(packed)
+        if kind is dict:
+            return {key: self._pack(value, buffers) for key, value in obj.items()}
+        if kind is array and len(obj) >= self.min_elements:
+            return self._chunk(
+                memoryview(obj).cast("B"),
+                buffers,
+                count=len(obj),
+                typecode=obj.typecode,
+                container="array",
+            )
+        if (
+            kind.__module__ == "numpy"
+            and kind.__name__ == "ndarray"
+            and obj.size >= self.min_elements
+            and obj.dtype.kind in "fiu"
+        ):
+            contiguous = obj if obj.flags["C_CONTIGUOUS"] else obj.copy()
+            return self._chunk(
+                contiguous.reshape(-1).view("u1").data,
+                buffers,
+                count=obj.size,
+                typecode=obj.dtype.str,
+                container="ndarray",
+                meta=tuple(obj.shape),
+            )
+        if is_dataclass(obj) and not isinstance(obj, type):
+            mark = len(buffers)
+            changes: Dict[str, Any] = {}
+            for field in fields(obj):
+                before = getattr(obj, field.name)
+                after = self._pack(before, buffers)
+                if after is not before:
+                    changes[field.name] = after
+            if changes:
+                try:
+                    return replace(obj, **changes)
+                except Exception:
+                    # Non-init fields or custom __init__: ship this subtree
+                    # as-is and discard only the buffers it contributed.
+                    del buffers[mark:]
+                    return obj
+            return obj
+        return obj
+
+    @staticmethod
+    def _chunk(
+        data: Any,
+        buffers: List[Tuple[Any, ShmChunk]],
+        count: int,
+        typecode: str,
+        container: str,
+        meta: Tuple[int, ...] = (),
+    ) -> ShmChunk:
+        offset = sum(chunk.nbytes for _d, chunk in buffers)
+        chunk = ShmChunk(
+            offset=offset,
+            nbytes=data.nbytes,
+            count=count,
+            typecode=typecode,
+            container=container,
+            meta=meta,
+        )
+        buffers.append((data, chunk))
+        return chunk
+
+    # -- coordinator side --------------------------------------------------
+
+    def decode(self, value: Any) -> Tuple[Any, int]:
+        """Reconstruct a worker result; returns ``(result, shm_bytes)``.
+
+        Plain (non-encoded) values pass straight through with 0 bytes.
+        The segment is closed and unlinked before returning, success or
+        not — a decode error must not leak the segment.
+        """
+        if not isinstance(value, ShmEncoded):
+            return value, 0
+        shm = _attach_segment(value.segment)
+        try:
+            result = self._unpack(value.payload, shm.buf)
+        finally:
+            shm.close()
+            _unlink_segment(shm)
+        return result, value.nbytes
+
+    def _unpack(self, obj: Any, buf: Any) -> Any:
+        kind = type(obj)
+        if kind is ShmChunk:
+            raw = buf[obj.offset : obj.offset + obj.nbytes]
+            if obj.container == "ndarray":
+                import numpy
+
+                # .copy() detaches from the segment buffer so the caller's
+                # close()/unlink() in ``decode`` cannot hit a live export.
+                return numpy.frombuffer(raw, dtype=obj.typecode).reshape(
+                    obj.meta
+                ).copy()
+            data: Any = array(obj.typecode)
+            data.frombytes(raw)
+            if obj.container == "list":
+                return data.tolist()
+            if obj.container == "tuple":
+                return tuple(data.tolist())
+            return data
+        if kind is list:
+            return [self._unpack(item, buf) for item in obj]
+        if kind is tuple:
+            return tuple(self._unpack(item, buf) for item in obj)
+        if kind is dict:
+            return {key: self._unpack(value, buf) for key, value in obj.items()}
+        if is_dataclass(obj) and not isinstance(obj, type):
+            changes: Dict[str, Any] = {}
+            for field in fields(obj):
+                before = getattr(obj, field.name)
+                after = self._unpack(before, buf)
+                if after is not before:
+                    changes[field.name] = after
+            return replace(obj, **changes) if changes else obj
+        return obj
+
+    # -- cleanup -----------------------------------------------------------
+
+    def sweep(self) -> List[str]:
+        """Unlink every leftover segment carrying this transport's run id.
+
+        After a batch has decoded all its results, any such segment is an
+        orphan: its worker died (crash, timeout cancellation) between
+        creating it and the coordinator consuming it.  Best-effort and
+        idempotent; returns the names it removed.
+        """
+        removed: List[str] = []
+        for name in active_segments(self.run_id):
+            try:
+                os.unlink(os.path.join(_SHM_DIR, name))
+                removed.append(name)
+            except OSError:  # pragma: no cover - raced with another sweep
+                pass
+        return removed
+
+    def register_atexit(self) -> None:
+        """Sweep this run's segments when the coordinator process exits."""
+        atexit.register(self.sweep)

@@ -14,6 +14,7 @@ from ..mobility.office import OfficeWorker
 from ..mobility.randomwalk import RandomWalker
 from ..profiles.records import BookingCalendar, Meeting
 from ..stats.counters import TeletrafficStats
+from ..traffic.connection import reset_conn_ids
 from ..wireless.portable import Portable
 from .simulator import FloorplanSimulator
 
@@ -43,6 +44,10 @@ def run_campus_day(
     a lunch rush at the cafeteria, and random walkers in the lounge —
     exercising every cell class and the full Figure 1 pipeline.
     """
+    # Runs outside the experiment runtime, so reset auto-ids here the way
+    # the runner does per replication: output must not depend on whatever
+    # this process simulated first.
+    reset_conn_ids()
     rng = random.Random(seed)
     plan = campus_floorplan()
 
@@ -199,6 +204,7 @@ def run_office_week(
     from ..mobility.floorplan import figure4_floorplan
     from ..mobility.traces import office_week_trace
 
+    reset_conn_ids()
     plan = figure4_floorplan()
     sim = FloorplanSimulator(
         plan, capacity=capacity, static_threshold=static_threshold, seed=seed

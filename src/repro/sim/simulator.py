@@ -20,7 +20,7 @@ from ..core.lounge import CafeteriaReservation, DefaultLoungeReservation
 from ..core.manager import CellularResourceManager
 from ..core.meeting import MeetingRoomReservation
 from ..core.probabilistic import ProbabilisticAdmission
-from ..des import Environment
+from ..des import make_environment
 from ..mobility.floorplan import FloorPlan
 from ..profiles.records import BookingCalendar, CellClass
 from ..stats.counters import TeletrafficStats
@@ -76,7 +76,7 @@ class TwoCellSimulator:
 
     def __init__(self, config: TwoCellConfig):
         self.config = config
-        self.env = Environment()
+        self.env = make_environment()
         self.rng = random.Random(config.seed)
         self.stats = TeletrafficStats()
         self.counts: Dict[str, List[int]] = {
@@ -187,7 +187,7 @@ class FloorplanSimulator:
     ):
         plan.validate()
         self.plan = plan
-        self.env = Environment()
+        self.env = make_environment()
         self.rng = random.Random(seed)
         self.stats = TeletrafficStats()
 

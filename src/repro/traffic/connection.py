@@ -4,15 +4,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from itertools import count
 from typing import TYPE_CHECKING, Hashable, List, Optional
 
 if TYPE_CHECKING:  # imported for annotations only (avoids a package cycle)
     from ..core.qos import QoSRequest
 
-__all__ = ["ConnectionState", "Connection"]
+__all__ = ["ConnectionState", "Connection", "reset_conn_ids"]
 
-_conn_counter = count(1)
+#: Auto-id state, held in a mutable cell so resets mutate in place (the
+#: process-global-rebinding lint rule REP202 stays meaningful elsewhere).
+_conn_ids = {"next": 1}
+
+
+def _next_conn_id() -> str:
+    n = _conn_ids["next"]
+    _conn_ids["next"] = n + 1
+    return f"conn-{n}"
+
+
+def reset_conn_ids() -> None:
+    """Restart auto-assigned connection ids at ``conn-1``.
+
+    The experiment runtime calls this before every replication (via
+    :func:`~repro.runtime.runner.register_replication_reset`), so the ids
+    a replication emits into traces depend only on the replication itself
+    — not on how many simulations the hosting process ran first.  Direct
+    scenario entry points (``run_campus_day``) reset for the same reason.
+    """
+    _conn_ids["next"] = 1
 
 
 class ConnectionState(Enum):
@@ -64,7 +83,7 @@ class Connection:
 
     def __post_init__(self):
         if self.conn_id is None:
-            self.conn_id = f"conn-{next(_conn_counter)}"
+            self.conn_id = _next_conn_id()
 
     @property
     def is_adaptive(self) -> bool:
@@ -111,3 +130,10 @@ class Connection:
 
     def __hash__(self):
         return hash(self.conn_id)
+
+
+# Every replication dispatched by the experiment runtime starts from a
+# fresh id counter (see reset_conn_ids for why).
+from ..runtime.runner import register_replication_reset  # noqa: E402
+
+register_replication_reset(reset_conn_ids)

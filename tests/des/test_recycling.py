@@ -1,0 +1,166 @@
+"""The event free-list: bit-identical results, real reuse, safe opt-in.
+
+``RecyclingEnvironment`` may change which *object* carries an event,
+never the simulation's observable behavior.  These tests run identical
+workloads on both kernels and require equal outputs, then pin the safety
+properties: subclassed events are never pooled, payload values are not
+pinned by the pool, and the traced pump bypasses recycling entirely.
+"""
+
+import pytest
+
+from repro.des import (
+    Condition,
+    Environment,
+    Event,
+    RECYCLE_ENV,
+    RecyclingEnvironment,
+    Timeout,
+    make_environment,
+)
+
+
+def _pingpong(env, rounds):
+    """Timeout-heavy workload: two processes trading wakeups via events."""
+    log = []
+
+    def ping(env, signal):
+        for i in range(rounds):
+            yield env.timeout(1.0, value=i)
+            log.append(("ping", env.now))
+            signal.succeed(i)
+            signal = env.event()
+            ball["signal"] = signal
+
+    def pong(env):
+        while True:
+            got = yield ball["signal"]
+            log.append(("pong", env.now, got))
+
+    ball = {"signal": env.event()}
+    env.process(ping(env, ball["signal"]))
+    env.process(pong(env))
+    env.run(until=rounds + 1)
+    return log
+
+
+@pytest.mark.parametrize("rounds", [10, 200])
+def test_recycled_run_is_bit_identical(rounds):
+    plain = _pingpong(Environment(), rounds)
+    recycled_env = RecyclingEnvironment()
+    recycled = _pingpong(recycled_env, rounds)
+    assert recycled == plain
+    assert recycled_env.recycled > 0  # the pool actually got exercised
+
+
+def test_timeouts_are_actually_reused():
+    env = RecyclingEnvironment()
+
+    def burner(env):
+        for _ in range(1000):
+            yield env.timeout(0.5)
+
+    env.process(burner(env))
+    env.run(until=600.0)
+    # Each fired timeout returns to the pool before the next is created.
+    assert env.recycled >= 998
+
+
+def test_recycled_timeout_does_not_pin_payload():
+    env = RecyclingEnvironment()
+    seen = []
+
+    def consumer(env):
+        payload = ["heavy"] * 4
+        got = yield env.timeout(1.0, value=payload)
+        seen.append(got)
+        got = yield env.timeout(1.0)  # recycled object, no stale value
+        seen.append(got)
+
+    env.process(consumer(env))
+    env.run(until=3.0)
+    assert seen[0] == ["heavy"] * 4
+    assert seen[1] is None
+    assert all(tm._value is None for tm in env._timeout_pool)
+
+
+def test_condition_events_are_never_pooled():
+    env = RecyclingEnvironment()
+
+    def waiter(env):
+        yield env.all_of([env.timeout(1.0), env.timeout(2.0)])
+
+    env.process(waiter(env))
+    env.run(until=3.0)
+    assert not any(isinstance(ev, Condition) for ev in env._event_pool)
+    assert all(type(ev) is Event for ev in env._event_pool)
+    assert all(type(tm) is Timeout for tm in env._timeout_pool)
+
+
+def test_pool_capacity_bounds_the_freelist():
+    env = RecyclingEnvironment(pool_capacity=4)
+
+    def burner(env):
+        for _ in range(50):
+            yield env.timeout(1.0)
+
+    env.process(burner(env))
+    env.run(until=100.0)
+    assert len(env._timeout_pool) <= 4
+    assert len(env._event_pool) <= 4
+
+
+def test_negative_delay_still_rejected_from_pool():
+    env = RecyclingEnvironment()
+
+    def prime(env):
+        yield env.timeout(1.0)
+
+    env.process(prime(env))
+    env.run(until=2.0)
+    assert env._timeout_pool  # next timeout() comes from the pool
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_rejects_negative_capacity():
+    with pytest.raises(ValueError):
+        RecyclingEnvironment(pool_capacity=-1)
+
+
+def test_traced_run_matches_and_bypasses_recycling():
+    from repro.obs import RingBufferSink, Tracer, use_tracer
+
+    baseline = _pingpong(Environment(), 50)
+    with use_tracer(Tracer(RingBufferSink())):
+        env = RecyclingEnvironment()  # picks the tracer up from context
+        assert env.tracer is not None
+        traced = _pingpong(env, 50)
+    assert traced == baseline
+
+
+def test_make_environment_honors_env_var(monkeypatch):
+    monkeypatch.delenv(RECYCLE_ENV, raising=False)
+    assert type(make_environment()) is Environment
+    for value in ("1", "true", "ON", " 1 "):
+        monkeypatch.setenv(RECYCLE_ENV, value)
+        assert type(make_environment()) is RecyclingEnvironment
+    for value in ("0", "", "off"):
+        monkeypatch.setenv(RECYCLE_ENV, value)
+        assert type(make_environment()) is Environment
+
+
+def test_make_environment_passes_initial_time(monkeypatch):
+    monkeypatch.setenv(RECYCLE_ENV, "1")
+    env = make_environment(5.0)
+    assert env.now == 5.0
+
+
+def test_campus_day_identical_under_recycling(monkeypatch):
+    from repro.sim.scenarios import run_campus_day
+
+    monkeypatch.delenv(RECYCLE_ENV, raising=False)
+    plain = run_campus_day(day_length=600.0, seed=11)
+    monkeypatch.setenv(RECYCLE_ENV, "1")
+    recycled = run_campus_day(day_length=600.0, seed=11)
+    assert recycled == plain

@@ -122,3 +122,22 @@ def test_resolve_jobs_reads_environment(monkeypatch):
 def test_explicit_jobs_beats_environment(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "6")
     assert ExperimentRunner(jobs=2).jobs == 2
+
+
+def test_pool_worker_count_clamped_to_batch(monkeypatch):
+    """``--jobs auto`` on a big box must not fork more workers than
+    there are sweep points."""
+    import repro.runtime.runner as runner_module
+
+    captured = {}
+    real_executor = runner_module.ProcessPoolExecutor
+
+    class SpyExecutor(real_executor):
+        def __init__(self, max_workers=None, **kwargs):
+            captured["max_workers"] = max_workers
+            super().__init__(max_workers=max_workers, **kwargs)
+
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", SpyExecutor)
+    runner = ExperimentRunner(jobs=8)
+    assert runner.run_many(_square, [2, 3]) == [4, 9]
+    assert captured["max_workers"] == 2

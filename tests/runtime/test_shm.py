@@ -1,0 +1,252 @@
+"""Shared-memory result transport: bit-identity, fallbacks, cleanup.
+
+The transport's contract is invisibility: any result that round-trips
+through :meth:`SharedResultTransport.encode` / :meth:`decode` must come
+back *bit-identical* to what pickle would have delivered, and no segment
+may survive a completed batch.  These tests pin both halves, then drive
+the transport through the real process backends (pool and supervised).
+"""
+
+import math
+import struct
+from array import array
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.runtime import ExperimentRunner, FailedResult
+from repro.runtime.shm import (
+    DEFAULT_MIN_ELEMENTS,
+    SharedResultTransport,
+    ShmChunk,
+    ShmEncoded,
+    active_segments,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable in this sandbox"
+)
+
+N = 64  # enough to cross a small min_elements threshold cheaply
+
+
+def make_transport(**kwargs) -> SharedResultTransport:
+    kwargs.setdefault("min_elements", N)
+    return SharedResultTransport(**kwargs)
+
+
+def roundtrip(transport: SharedResultTransport, value: Any) -> Any:
+    encoded = transport.encode(value)
+    decoded, _nbytes = transport.decode(encoded)
+    return decoded
+
+
+@dataclass
+class SweepResult:
+    label: str
+    series: List[float]
+    counts: Tuple[int, ...]
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+# -- round-trip bit-identity ------------------------------------------------
+
+
+def test_float_list_roundtrips_bit_identical():
+    transport = make_transport()
+    # Values chosen to break on any lossy path: denormals, negative zero,
+    # infinities, and floats with no short decimal representation.
+    src = [math.pi * i for i in range(N)] + [-0.0, 5e-324, math.inf, -math.inf]
+    out = roundtrip(transport, src)
+    assert type(out) is list
+    assert struct.pack(f"{len(src)}d", *out) == struct.pack(f"{len(src)}d", *src)
+
+
+def test_nan_payload_survives():
+    transport = make_transport()
+    src = [float(i) for i in range(N)] + [math.nan]
+    out = roundtrip(transport, src)
+    assert math.isnan(out[-1]) and out[:-1] == src[:-1]
+
+
+def test_int_list_and_tuple_roundtrip():
+    transport = make_transport()
+    ints = [i * 31337 for i in range(N)] + [-(2 ** 63), 2 ** 63 - 1]
+    out_list = roundtrip(transport, ints)
+    out_tuple = roundtrip(transport, tuple(ints))
+    assert out_list == ints and type(out_list) is list
+    assert out_tuple == tuple(ints) and type(out_tuple) is tuple
+    assert all(type(x) is int for x in out_list)
+
+
+def test_array_roundtrips_with_typecode():
+    transport = make_transport()
+    src = array("d", (0.1 * i for i in range(N)))
+    out = roundtrip(transport, src)
+    assert type(out) is array
+    assert out.typecode == "d"
+    assert out.tobytes() == src.tobytes()
+
+
+def test_ndarray_roundtrips_shape_dtype_bytes():
+    numpy = pytest.importorskip("numpy")
+    transport = make_transport()
+    src = numpy.arange(N * 2, dtype=numpy.float64).reshape(8, -1) * math.e
+    out = roundtrip(transport, {"grid": src})
+    assert out["grid"].shape == src.shape
+    assert out["grid"].dtype == src.dtype
+    assert out["grid"].tobytes() == src.tobytes()
+    # The copy must be detached from the (now unlinked) segment.
+    out["grid"][0, 0] = 1.0
+
+
+def test_nested_structure_and_dataclass_roundtrip():
+    transport = make_transport()
+    src = SweepResult(
+        label="figure6",
+        series=[0.5 * i for i in range(N * 2)],
+        counts=tuple(range(N)),
+        extras={"raw": [[float(i) for i in range(N)], "keep-me", 7]},
+    )
+    out = roundtrip(transport, [src, {"k": (src.series,)}])
+    assert out[0] == src
+    assert out[1]["k"][0] == src.series
+    assert type(out[0]) is SweepResult
+
+
+# -- fallback paths ----------------------------------------------------------
+
+
+def test_small_payload_skips_shm_entirely():
+    transport = make_transport()
+    src = {"series": [1.0, 2.0, 3.0], "n": 3}
+    assert transport.encode(src) is src
+    assert active_segments(transport.run_id) == []
+
+
+@pytest.mark.parametrize("seq", [
+    [True] * N * 2,                      # bools must stay bools
+    [1.0] * N + ["x"],                   # heterogeneous
+    [1] * N + [2 ** 63],                 # beyond int64
+    [1.0] * N + [2],                     # mixed float/int
+])
+def test_non_liftable_sequences_stay_on_pickle_path(seq):
+    transport = make_transport()
+    encoded = transport.encode(seq)
+    assert not isinstance(encoded, ShmEncoded)
+    assert roundtrip(transport, seq) == seq
+
+
+def test_threshold_is_respected():
+    transport = SharedResultTransport(min_elements=DEFAULT_MIN_ELEMENTS)
+    below = [1.0] * (DEFAULT_MIN_ELEMENTS - 1)
+    at = [1.0] * DEFAULT_MIN_ELEMENTS
+    assert transport.encode(below) is below
+    encoded = transport.encode(at)
+    assert isinstance(encoded, ShmEncoded) and encoded.chunks == 1
+    result, nbytes = transport.decode(encoded)
+    assert result == at and nbytes == DEFAULT_MIN_ELEMENTS * 8
+
+
+def test_plain_value_decodes_as_passthrough():
+    transport = make_transport()
+    assert transport.decode({"a": 1}) == ({"a": 1}, 0)
+
+
+def test_rejects_degenerate_threshold():
+    with pytest.raises(ValueError):
+        SharedResultTransport(min_elements=1)
+
+
+# -- cleanup -----------------------------------------------------------------
+
+
+def test_decode_unlinks_the_segment():
+    transport = make_transport()
+    encoded = transport.encode([float(i) for i in range(N * 4)])
+    assert isinstance(encoded, ShmEncoded)
+    assert active_segments(transport.run_id) == [encoded.segment]
+    roundtrip_result, _ = transport.decode(encoded)
+    assert len(roundtrip_result) == N * 4
+    assert active_segments(transport.run_id) == []
+
+
+def test_sweep_collects_orphans():
+    transport = make_transport()
+    # A worker that dies after encode() leaves exactly this orphan.
+    orphan = transport.encode([float(i) for i in range(N)])
+    assert isinstance(orphan, ShmEncoded)
+    other = make_transport()  # a different run id must be untouched
+    keep = other.encode([float(i) for i in range(N)])
+    try:
+        removed = transport.sweep()
+        assert removed == [orphan.segment]
+        assert active_segments(transport.run_id) == []
+        assert active_segments(other.run_id) == [keep.segment]
+    finally:
+        other.sweep()
+
+
+# -- through the real process backends ---------------------------------------
+
+
+SERIES_LEN = DEFAULT_MIN_ELEMENTS * 4
+
+
+def _big_series(seed: int) -> Dict[str, Any]:
+    return {
+        "seed": seed,
+        "series": [math.sin(seed + 0.001 * i) for i in range(SERIES_LEN)],
+        "counts": list(range(seed, seed + SERIES_LEN)),
+    }
+
+
+def _maybe_crash(seed: int) -> Dict[str, Any]:
+    if seed == 2:
+        raise ValueError("injected fault")
+    return _big_series(seed)
+
+
+def test_pool_backend_matches_serial_and_leaks_nothing():
+    serial = ExperimentRunner(jobs=1).run_many(_big_series, range(4))
+    runner = ExperimentRunner(jobs=2)
+    parallel = runner.run_many(_big_series, range(4))
+    assert parallel == serial
+    assert runner.telemetry.shm_results == 4
+    assert runner.telemetry.shm_bytes >= 4 * SERIES_LEN * 8
+    assert runner._transport is not None
+    assert active_segments(runner._transport.run_id) == []
+
+
+def test_pool_backend_with_shm_disabled_matches(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM", "0")
+    runner = ExperimentRunner(jobs=2)
+    assert runner.run_many(_big_series, range(3)) == [
+        _big_series(i) for i in range(3)
+    ]
+    assert runner.telemetry.shm_results == 0
+
+
+def test_shm_flag_false_forces_pickle_path():
+    runner = ExperimentRunner(jobs=2, shm=False)
+    assert runner.run_many(_big_series, range(2)) == [
+        _big_series(i) for i in range(2)
+    ]
+    assert runner.telemetry.shm_results == 0
+
+
+def test_supervised_backend_transports_and_sweeps():
+    runner = ExperimentRunner(jobs=2, partial=True)
+    assert runner.fault_tolerant
+    results = runner.run_many(_maybe_crash, range(4))
+    expected = [_big_series(i) for i in range(4)]
+    for seed, (got, want) in enumerate(zip(results, expected)):
+        if seed == 2:
+            assert isinstance(got, FailedResult)
+        else:
+            assert got == want
+    assert runner.telemetry.shm_results == 3
+    assert runner._transport is not None
+    assert active_segments(runner._transport.run_id) == []
