@@ -2,9 +2,13 @@
 
 Every benchmark renders the table/figure it reproduces, prints it (visible
 with ``pytest -s``), and writes it under ``benchmarks/results/`` so the
-artifacts survive the run.
+artifacts survive the run.  Benchmarks that measure performance (rather
+than reproduce a paper figure) also drop a machine-readable
+``results/*.json`` via :func:`report_json`, seeding the perf-trajectory
+record that CI uploads as an artifact.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -23,6 +27,32 @@ def report():
         print(f"\n{text}\n[saved to {path}]")
 
     return _report
+
+
+@pytest.fixture
+def report_json():
+    """Callable ``report_json(name, metrics, config=...)`` persisting
+    machine-readable results.
+
+    ``metrics`` is a list of ``{"metric": ..., "value": ..., "units": ...}``
+    dicts (extra keys pass through); ``config`` records the parameters the
+    numbers were measured under.  Written as ``results/{name}.json`` with
+    sorted keys so diffs between runs stay readable.
+    """
+
+    def _report_json(name: str, metrics, config=None) -> pathlib.Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        payload = {
+            "benchmark": name,
+            "config": config or {},
+            "metrics": list(metrics),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[json saved to {path}]")
+        return path
+
+    return _report_json
 
 
 def once(benchmark, fn):

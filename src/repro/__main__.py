@@ -7,6 +7,7 @@ Usage::
     python -m repro figure5
     python -m repro --jobs 4 figure6     # parallel sweep execution
     python -m repro all                  # run everything (slow)
+    python -m repro campus --portables 100000   # campus-scale stress run
     python -m repro cache stats          # inspect the result cache
     python -m repro cache prune --max-size 500M
     python -m repro --trace trace.jsonl table2   # record a DES/domain trace
@@ -211,6 +212,117 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _campus_main(argv: List[str]) -> int:
+    """``python -m repro campus`` — run the campus-scale stress scenario.
+
+    Unlike the paper experiments this is a synthetic scaling workload: a
+    parametric multi-building campus with a large, mostly-idle population
+    and a small active minority crossing cells in batched diurnal waves.
+    Replications differ only in seed and dispatch through
+    :class:`repro.runtime.ExperimentRunner`, so ``--jobs N`` and the
+    telemetry flags compose the same way as for the experiments.
+    """
+    from .experiments.common import format_table
+    from .sim import simulate_campus_scale
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campus",
+        description="Campus-scale stress scenario: thousands of cells, "
+        "10^4-10^6 portables, batched diurnal handoff waves.",
+    )
+    parser.add_argument(
+        "--portables", type=int, default=100_000, metavar="N",
+        help="total attached population (default 100000)",
+    )
+    parser.add_argument(
+        "--active-fraction", type=float, default=0.01, metavar="F",
+        help="fraction of the population holding connections and moving "
+        "(default 0.01)",
+    )
+    parser.add_argument(
+        "--buildings", type=int, default=4, metavar="N",
+        help="buildings on the campus (default 4)",
+    )
+    parser.add_argument(
+        "--floors", type=int, default=3, metavar="N",
+        help="floors per building (default 3)",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=1800.0, metavar="SECONDS",
+        help="simulated time (default 1800)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, metavar="N",
+        help="base seed; replication i runs with seed+i (default 7)",
+    )
+    parser.add_argument(
+        "--replications", type=int, default=1, metavar="N",
+        help="independent runs at consecutive seeds (default 1)",
+    )
+    parser.add_argument(
+        "--full-scan", action="store_true",
+        help="disable the incremental per-cell maintenance path (slow; "
+        "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", default=None, metavar="N",
+        help="worker processes for replications (0 or 'auto' = all cores; "
+        "default: $REPRO_JOBS, else 1)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print run telemetry (wall times, in-worker DES events/sec)",
+    )
+    parser.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write run telemetry as JSON to PATH (implies --stats output)",
+    )
+    args = parser.parse_args(argv)
+
+    runner = ExperimentRunner(jobs=args.jobs)
+    configs = [
+        {
+            "seed": args.seed + i,
+            "portables": args.portables,
+            "active_fraction": args.active_fraction,
+            "buildings": args.buildings,
+            "floors": args.floors,
+            "horizon": args.horizon,
+            "incremental": not args.full_scan,
+        }
+        for i in range(args.replications)
+    ]
+    results = runner.run_many(simulate_campus_scale, configs)
+    for config, result in zip(configs, results):
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ("cells", result.cells),
+                    ("portables", result.portables),
+                    ("active", result.active),
+                    ("handoffs", result.handoffs),
+                    ("drops", result.drops),
+                    ("blocked", result.blocked),
+                    ("admitted", result.admitted),
+                    ("P_b", result.stats.blocking_probability),
+                    ("P_d", result.stats.dropping_probability),
+                    ("total rate (bps)", result.total_rate),
+                    ("pool total (bps)", result.pool_total),
+                    ("reserved total (bps)", result.reserved_total),
+                ],
+                title=f"Campus scale (seed {config['seed']})",
+            )
+        )
+        print()
+    if args.stats_json is not None:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            fh.write(runner.telemetry.to_json(indent=2) + "\n")
+    if args.stats or args.stats_json is not None:
+        print(runner.telemetry.summary())
+    return 0
+
+
 def _trace_main(argv: List[str]) -> int:
     """``python -m repro trace summarize PATH`` — aggregate a JSONL trace."""
     from .obs import read_jsonl, summarize_records
@@ -235,6 +347,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "campus":
+        return _campus_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
 

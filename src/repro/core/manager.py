@@ -14,7 +14,21 @@ admission is available separately via
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional
+import math
+from functools import partial
+from heapq import heappop, heappush
+from itertools import count
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..profiles.server import ProfileServer
 from ..traffic.connection import Connection, ConnectionState
@@ -45,6 +59,16 @@ class CellularResourceManager:
         ``T_th`` of the static/mobile test.
     on_handoff:
         Optional extra observer for handoff outcomes.
+    incremental:
+        When True (default) the periodic maintenance pass
+        (:meth:`refresh_static_states`) touches only cells dirtied since
+        the previous pass — cells whose links, ledgers, or populations
+        changed, plus cells where a portable's static timer expired —
+        instead of scanning every portable and rebalancing every cell.
+        The two modes are bit-identical (rebalancing an untouched cell is
+        the identity, and a pool recomputed from unchanged inputs lands on
+        the same float); ``incremental=False`` keeps the full-scan
+        reference path for equivalence testing.
     """
 
     def __init__(
@@ -54,6 +78,7 @@ class CellularResourceManager:
         server: Optional[ProfileServer] = None,
         static_threshold: float = 300.0,
         on_handoff: Optional[Callable[[HandoffOutcome, float], None]] = None,
+        incremental: bool = True,
     ):
         from ..wireless.basestation import BaseStation
         from ..wireless.handoff import HandoffEngine
@@ -80,6 +105,30 @@ class CellularResourceManager:
         self.blocked = 0
         self.admitted = 0
         self.dropped = 0
+        self._incremental = bool(incremental)
+        #: Per-cell index of portables carrying at least one connection.
+        #: The maintenance hot paths (static withdrawal, pool sizing) only
+        #: ever need these: a connectionless portable has nothing to
+        #: withdraw, zero rebalance demand, and zero pool contribution, so
+        #: per-cell maintenance cost tracks the *connected* occupancy, not
+        #: the population.
+        self._connected: Dict[Hashable, Dict[Hashable, None]] = {
+            cell_id: {} for cell_id in self.cells
+        }
+        #: Cells touched since the last maintenance pass (insertion-ordered
+        #: so the incremental refresh processes them deterministically).
+        self._dirty: Dict[Hashable, None] = {}
+        #: Static-flip timers: ``(deadline, seq, pid, cell_id, since)``.
+        #: Armed when a portable with connections (re)settles in a cell, so
+        #: the refresh pass learns about flips in otherwise-quiet cells
+        #: without scanning the population.
+        self._pending_static: List[Tuple[float, int, Hashable, Hashable, float]] = []
+        self._pending_seq = count()
+        #: The ``(cell, since)`` residence each armed timer refers to —
+        #: dedups re-arming and invalidates superseded heap entries.
+        self._armed_since: Dict[Hashable, Tuple[Hashable, float]] = {}
+        for cell_id, cell in self.cells.items():
+            cell.reservations.on_change = partial(self._mark_dirty, cell_id)
 
     # -- lookups --------------------------------------------------------------
 
@@ -88,6 +137,16 @@ class CellularResourceManager:
 
     def base_station(self, cell_id: Hashable) -> BaseStation:
         return self.base_stations[cell_id]
+
+    @property
+    def portables(self) -> Dict[Hashable, "Portable"]:
+        """Attached portables by id (treat as read-only).
+
+        Library code should not iterate this population on hot paths —
+        per-cell work belongs on ``cell.present`` so cost tracks cell
+        occupancy, not total population (lint rule REP005 enforces this).
+        """
+        return self._portables
 
     # -- portables --------------------------------------------------------------
 
@@ -98,6 +157,10 @@ class CellularResourceManager:
         self.cells[cell_id].enter(portable.portable_id, self.env.now)
         self.server.seed_presence(portable.portable_id, cell_id)
         self.statmob.observe(portable.portable_id, cell_id, self.env.now)
+        self._mark_dirty(cell_id)
+        self._index_portable(portable, cell_id)
+        if portable.connections:
+            self._arm_static_timer(portable)
 
     # -- connection lifecycle -------------------------------------------------------
 
@@ -126,6 +189,7 @@ class CellularResourceManager:
             conn.activate([conn.src, conn.dst], 0.0, now)
             portable.attach(conn)
             self.connections[conn.conn_id] = conn
+            self._index_portable(portable, cell.cell_id)
             return conn
 
         if qos.b_min > cell.link.excess_available + 1e-9:
@@ -138,6 +202,9 @@ class CellularResourceManager:
         portable.attach(conn)
         self.connections[conn.conn_id] = conn
         self.admitted += 1
+        self._mark_dirty(cell.cell_id)
+        self._index_portable(portable, cell.cell_id)
+        self._arm_static_timer(portable)
         self.rebalance(cell.cell_id)
         return conn
 
@@ -153,6 +220,9 @@ class CellularResourceManager:
         if portable is not None and conn in portable.connections:
             portable.detach(conn)
         if cell_id is not None:
+            if portable is not None:
+                self._index_portable(portable, cell_id)
+            self._mark_dirty(cell_id)
             self.rebalance(cell_id)
 
     def renegotiate(self, conn: Connection, new_qos: QoSRequest) -> bool:
@@ -183,6 +253,7 @@ class CellularResourceManager:
         link.admit(conn.conn_id, new_qos.b_min)
         conn.qos = new_qos
         conn.rate = new_qos.b_min
+        self._mark_dirty(cell.cell_id)
         self.rebalance(cell.cell_id)
         return True
 
@@ -190,26 +261,71 @@ class CellularResourceManager:
 
     def move_portable(self, portable, to_cell: Hashable) -> HandoffOutcome:
         """Hand a portable off to ``to_cell`` (must be a neighbor)."""
+        return self.move_portables([(portable, to_cell)])[0]
+
+    def move_portables(
+        self, moves: Sequence[Tuple["Portable", Hashable]]
+    ) -> List[HandoffOutcome]:
+        """Hand off a wave of portables, rebalancing each cell once.
+
+        Moves are applied in order with the exact per-move semantics of
+        :meth:`move_portable` — withdraw the old base station's advance
+        reservation, record the handoff, execute it (claiming reservations
+        and cascading admission), reset the static clock, plan the next
+        advance reservation — but max-min rebalancing is deferred to one
+        pass per *affected* cell (in first-touch order) instead of running
+        twice per portable.  This is bit-identical to sequential moves:
+        rebalancing only rewrites excess shares and rates, never the
+        floors, reservations, or static states that admission and planning
+        read, and the final rebalance of a cell recomputes those shares
+        from scratch.
+
+        Raises on the first invalid move; earlier moves in the wave stand
+        (their cells are still rebalanced before the exception propagates).
+        """
         now = self.env.now
-        from_cell = portable.current_cell
-        if to_cell not in self.cells[from_cell].neighbors:
-            raise ValueError(f"{to_cell!r} is not a neighbor of {from_cell!r}")
+        outcomes: List[HandoffOutcome] = []
+        affected: Dict[Hashable, None] = {}
+        try:
+            for portable, to_cell in moves:
+                from_cell = portable.current_cell
+                if to_cell not in self.cells[from_cell].neighbors:
+                    raise ValueError(
+                        f"{to_cell!r} is not a neighbor of {from_cell!r}"
+                    )
 
-        # Withdraw any reservation the old base station placed elsewhere.
-        self.base_stations[from_cell].withdraw_reservation(portable.portable_id)
-        self.server.report_handoff(portable.portable_id, from_cell, to_cell)
+                # Withdraw any reservation the old base station placed
+                # elsewhere.
+                self.base_stations[from_cell].withdraw_reservation(
+                    portable.portable_id
+                )
+                self.server.report_handoff(
+                    portable.portable_id, from_cell, to_cell
+                )
 
-        outcome = self.handoffs.execute(portable, to_cell, now)
-        self.dropped += len(outcome.dropped)
+                outcome = self.handoffs.execute(portable, to_cell, now)
+                self.dropped += len(outcome.dropped)
 
-        # Mobility resets the static clock and triggers the new cell's
-        # advance-reservation planning.
-        self.statmob.observe(portable.portable_id, to_cell, now)
-        self.base_stations[to_cell].plan_advance_reservation(portable, now)
+                # Mobility resets the static clock and triggers the new
+                # cell's advance-reservation planning.
+                self.statmob.observe(portable.portable_id, to_cell, now)
+                self.base_stations[to_cell].plan_advance_reservation(
+                    portable, now
+                )
+                self._connected[from_cell].pop(portable.portable_id, None)
+                self._index_portable(portable, to_cell)
+                if portable.connections:
+                    self._arm_static_timer(portable)
 
-        self.rebalance(from_cell)
-        self.rebalance(to_cell)
-        return outcome
+                affected.setdefault(from_cell, None)
+                affected.setdefault(to_cell, None)
+                self._mark_dirty(from_cell)
+                self._mark_dirty(to_cell)
+                outcomes.append(outcome)
+        finally:
+            for cell_id in affected:
+                self.rebalance(cell_id)
+        return outcomes
 
     # -- adaptation ---------------------------------------------------------------------
 
@@ -244,36 +360,86 @@ class CellularResourceManager:
         return shares
 
     def refresh_static_states(self) -> None:
-        """Re-run the static/mobile test everywhere and react to flips.
+        """Re-run the static/mobile test and react to flips.
 
         Newly static portables get their reservations withdrawn, their
         profiles refreshed from the server, and their cells rebalanced (the
         QoS-upgrade path of Section 3.4.2).
+
+        In incremental mode only *touched* cells are processed: cells
+        dirtied since the previous pass plus cells where an armed static
+        timer expired.  Untouched cells are provably fixpoints of the full
+        scan — their statics were withdrawn/refreshed at their flip tick
+        (both operations are idempotent), rebalancing them is the identity,
+        and their neighbors' pool inputs are unchanged — so both modes
+        produce bit-identical state.
         """
         now = self.env.now
-        for pid, portable in self._portables.items():
-            cell_id = portable.current_cell
-            if cell_id is None:
-                continue
-            if self.statmob.is_static(pid, now):
-                self.base_stations[cell_id].withdraw_reservation(pid)
-                self.base_stations[cell_id].cache.refresh_static(pid)
-        for cell_id in self.cells:
-            self.rebalance(cell_id)
-        self.update_pools()
+        if not self._incremental:
+            for pid, portable in self._portables.items():  # repro-lint: ignore[REP005]
+                cell_id = portable.current_cell
+                if cell_id is None:
+                    continue
+                if self.statmob.is_static(pid, now):
+                    self.base_stations[cell_id].withdraw_reservation(pid)
+                    self.base_stations[cell_id].cache.refresh_static(pid)
+            for cell_id in self.cells:
+                self.rebalance(cell_id)
+            self.update_pools()
+            return
 
-    def update_pools(self) -> None:
-        """Section 5.3's ``B_dyn`` policy for every cell.
+        touched, flipped = self._collect_touched(now)
+        for pid, cell_id in flipped:
+            # Every live targeted reservation stems from its portable's
+            # last move, and that move armed this timer — so processing
+            # flips covers every withdrawal the full scan would perform
+            # (its re-runs on continuing statics are no-ops).
+            station = self.base_stations[cell_id]
+            station.withdraw_reservation(pid)
+            station.cache.refresh_static(pid)
+        # Withdrawals release targeted reservations held in *other* cells'
+        # ledgers; their on_change dirt must rebalance this tick (the full
+        # scan would have), so fold it in before clearing.
+        for cell_id in self._dirty:
+            touched.setdefault(cell_id, None)
+        self._dirty.clear()
+        for cell_id in touched:
+            self.rebalance(cell_id)
+        self.update_pools(touched)
+
+    def update_pools(self, cell_ids: Optional[Iterable[Hashable]] = None) -> None:
+        """Section 5.3's ``B_dyn`` policy.
 
         Each cell sizes its pool to fit at least one maximum-rate connection
-        of a static portable residing in a neighboring cell.
+        of a static portable residing in a neighboring cell.  With
+        ``cell_ids`` given, only those cells *and their neighbors* are
+        re-sized — a cell's pool depends solely on rates of statics present
+        in neighboring cells, so cells not adjacent to a touched cell keep
+        their pool inputs (and hence their pools) unchanged.
         """
         now = self.env.now
-        for cell in self.cells.values():
+        if cell_ids is None:
+            targets = list(self.cells.values())
+        else:
+            expanded = dict.fromkeys(cell_ids)
+            for cell_id in list(expanded):
+                for neighbor_id in sorted(self.cells[cell_id].neighbors, key=repr):
+                    expanded.setdefault(neighbor_id, None)
+            targets = [self.cells[cell_id] for cell_id in expanded]
+        for cell in targets:
             peak = 0.0
             for neighbor_id in sorted(cell.neighbors, key=repr):
                 neighbor = self.cells[neighbor_id]
-                for pid in neighbor.present:
+                # Connectionless portables contribute a zero rate, so the
+                # connected index gives the same peak as the full roster
+                # (``max`` is order-independent); the reference mode keeps
+                # the original full-roster walk.
+                occupants = (
+                    self._connected[neighbor_id]
+                    if self._incremental
+                    else neighbor.present
+                )
+                for pid in occupants:
                     if not self.statmob.is_static(pid, now):
                         continue
                     portable = self._portables.get(pid)
@@ -282,6 +448,83 @@ class CellularResourceManager:
             cell.reservations.adapt_pool_for_static_neighbors(peak)
 
     # -- internals -----------------------------------------------------------------------
+
+    def _mark_dirty(self, cell_id: Hashable) -> None:
+        """Queue a cell for the next incremental maintenance pass."""
+        self._dirty[cell_id] = None
+
+    def _index_portable(self, portable, cell_id: Hashable) -> None:
+        """Sync a portable's membership in the per-cell connected index."""
+        bucket = self._connected[cell_id]
+        if portable.connections:
+            bucket[portable.portable_id] = None
+        else:
+            bucket.pop(portable.portable_id, None)
+
+    def _arm_static_timer(self, portable) -> None:
+        """Schedule a static-flip check for the portable's current residence.
+
+        Only portables with connections are armed: an unconnected portable's
+        flip is invisible to the refresh pass (nothing to withdraw, zero
+        rebalance demand, zero pool contribution), so the heap stays
+        proportional to the *connected* population.
+        """
+        pid = portable.portable_id
+        res = self.statmob.residence(pid)
+        if res is None:
+            return
+        token = res  # (cell, since)
+        if self._armed_since.get(pid) == token:
+            return
+        cell_id, since = res
+        deadline = since + self.statmob.threshold
+        self._armed_since[pid] = token
+        heappush(
+            self._pending_static,
+            (deadline, next(self._pending_seq), pid, cell_id, since),
+        )
+
+    def _collect_touched(
+        self, now: float
+    ) -> Tuple[Dict[Hashable, None], List[Tuple[Hashable, Hashable]]]:
+        """Drain dirty cells and expired static timers.
+
+        Returns the touched-cell set (insertion-ordered) and the list of
+        ``(portable_id, cell_id)`` static flips that fired, in fire order.
+        """
+        touched = dict.fromkeys(self._dirty)
+        self._dirty.clear()
+        flipped: List[Tuple[Hashable, Hashable]] = []
+        heap = self._pending_static
+        while heap and heap[0][0] <= now:
+            deadline, _seq, pid, cell_id, since = heappop(heap)
+            if self._armed_since.get(pid) != (cell_id, since):
+                continue  # superseded by a later move/arm
+            res = self.statmob.residence(pid)
+            if res != (cell_id, since):
+                del self._armed_since[pid]
+                continue  # residence changed without re-arming (no connections)
+            if now - since >= self.statmob.threshold:
+                del self._armed_since[pid]
+                if cell_id in self.cells:
+                    touched[cell_id] = None
+                    flipped.append((pid, cell_id))
+            else:
+                # Float disagreement between the precomputed deadline and
+                # the classifier's subtraction: nudge the timer one ulp.
+                heappush(
+                    heap,
+                    (
+                        math.nextafter(deadline, math.inf),
+                        next(self._pending_seq),
+                        pid,
+                        cell_id,
+                        since,
+                    ),
+                )
+        return touched, flipped
+
+    # -- observers ----------------------------------------------------------------------
 
     def _handoff_observed(self, outcome: HandoffOutcome, now: float) -> None:
         if self._extra_on_handoff is not None:

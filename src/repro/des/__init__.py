@@ -23,6 +23,7 @@ Example
 from .engine import (
     Environment,
     RecyclingEnvironment,
+    events_processed_total,
     make_environment,
     NORMAL,
     RECYCLE_ENV,
@@ -39,6 +40,7 @@ from .store import FilterStore, Store
 __all__ = [
     "Environment",
     "RecyclingEnvironment",
+    "events_processed_total",
     "make_environment",
     "NORMAL",
     "RECYCLE_ENV",

@@ -1,6 +1,6 @@
 """Built-in checkers; importing this package populates the registry."""
 
-from . import des, determinism, hygiene, pickle_safety  # noqa: F401
+from . import des, determinism, hygiene, pickle_safety, scale  # noqa: F401
 from .base import Checker, ModuleContext, annotate_parents
 
 __all__ = ["Checker", "ModuleContext", "annotate_parents"]

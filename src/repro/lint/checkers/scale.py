@@ -1,0 +1,118 @@
+"""REP005 — population-scan discipline.
+
+The campus-scale rework made the manager's maintenance cost track
+*activity* (dirty cells, connected occupants) instead of *population*.
+That property dies quietly: one innocent ``for p in manager.portables``
+in a periodic path and a 10^6-portable campus is back to O(population)
+per tick.  This rule flags iteration over the manager-wide portable and
+cell tables in library code; sanctioned cold paths (construction,
+teardown, the explicit full-scan fallback) carry a per-line
+``# repro-lint: ignore[REP005]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..registry import Rule, register
+from .base import Checker, dotted_parts
+
+__all__ = ["PopulationScanChecker"]
+
+REP005 = Rule(
+    "REP005",
+    "no-population-scans",
+    "iteration over a manager-wide portable/cell table in library code; "
+    "hot paths must read the per-cell indexes (connected occupancy, dirty "
+    "set) so per-tick cost tracks activity, not population",
+)
+
+#: Attribute leaves naming the global portable table.
+_POPULATION_ATTRS = frozenset({"portables", "_portables"})
+#: Attribute leaves naming the full cell table — only population-sized when
+#: hanging off a resource manager (floorplans legitimately enumerate cells).
+_CELL_TABLE_ATTRS = frozenset({"cells", "_cells"})
+_MANAGER_HINTS = ("manager", "mgr")
+#: Dict views whose iteration is iteration over the dict itself.
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+
+@register(REP005)
+class PopulationScanChecker(Checker):
+    """Flags ``for``/comprehension iteration over population-sized tables.
+
+    Detection: the iterable (optionally wrapped in ``.keys()`` /
+    ``.values()`` / ``.items()``) is an attribute chain ending in
+    ``portables``/``_portables``, or in ``cells``/``_cells`` when some
+    owner segment of the chain mentions a manager.  ``sorted()`` /
+    ``list()`` / ``tuple()`` wrappers are seen through — they fix
+    iteration *order*, not iteration *cost* — so cold paths must
+    suppress per line instead.
+    """
+
+    def _in_library(self) -> bool:
+        haystack = "/" + self.ctx.path.strip("/") + "/"
+        return "/repro/" in haystack and "/tests/" not in haystack
+
+    def _scan_source(self, node: ast.AST) -> Optional[str]:
+        """The population-sized table ``node`` iterates, or None."""
+        # sorted(X)/list(X)/tuple(X) still scan X before yielding it.
+        while (
+            isinstance(node, ast.Call)
+            and self.call_name(node) in ("sorted", "list", "tuple")
+            and node.args
+        ):
+            node = node.args[0]
+        suffix = ""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEWS
+            and not node.args
+            and not node.keywords
+        ):
+            suffix = f".{node.func.attr}()"
+            node = node.func.value
+        parts = dotted_parts(node)
+        if parts is None or len(parts) < 2:
+            return None
+        leaf = parts[-1]
+        owners = [p.lower() for p in parts[:-1]]
+        if leaf in _POPULATION_ATTRS:
+            return ".".join(parts) + suffix
+        if leaf in _CELL_TABLE_ATTRS and any(
+            hint in owner for owner in owners for hint in _MANAGER_HINTS
+        ):
+            return ".".join(parts) + suffix
+        return None
+
+    def _check_iter(self, iter_node: ast.AST, site: ast.AST) -> None:
+        if not self._in_library():
+            return
+        name = self._scan_source(iter_node)
+        if name is not None:
+            self.report(
+                "REP005", site,
+                f"iterating {name!r} scans the whole population; use the "
+                "per-cell indexes (connected occupancy, dirty set) or mark "
+                "a sanctioned cold path with repro-lint: ignore[REP005]",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._check_iter(gen.iter, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp

@@ -2,6 +2,7 @@
 
 from .base import MobilityModel, walk_path
 from .cafeteria import CafeteriaPatron, lunch_intensity, patron_spawner
+from .campus import campus_plan
 from .corridor import CorridorTransit
 from .floorplan import FloorPlan, campus_floorplan, figure4_floorplan
 from .meeting import MeetingAttendee
@@ -24,6 +25,7 @@ __all__ = [
     "CorridorTransit",
     "FloorPlan",
     "campus_floorplan",
+    "campus_plan",
     "figure4_floorplan",
     "MeetingAttendee",
     "OfficeWorker",

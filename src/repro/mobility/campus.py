@@ -1,0 +1,80 @@
+"""A parametric multi-building campus floorplan.
+
+The paper's measured environment (Figure 4) is a single wing; the ROADMAP
+north-star is campus scale — thousands of cells, 10^4–10^6 portables.
+:func:`campus_plan` generates that regime deterministically: a configurable
+number of buildings, each with several floors of corridor spines and
+offices, stairwells linking floors, ground-floor walkways linking
+buildings, and exactly one meeting room / cafeteria / lounge per building
+(so the class-specific reservation processes stay proportional to
+buildings, not cells).
+
+Cell ids are plain strings (``b2-f1-cor-3``, ``b2-f1-off-7``), generated in
+a fixed order, so every container built from the plan has
+hash-seed-independent insertion order.
+"""
+
+from __future__ import annotations
+
+from ..profiles.records import CellClass
+from .floorplan import FloorPlan
+
+__all__ = ["campus_plan"]
+
+
+def campus_plan(
+    buildings: int = 2,
+    floors: int = 2,
+    corridor_cells: int = 4,
+    offices_per_floor: int = 8,
+) -> FloorPlan:
+    """Generate a campus: ``buildings`` blocks of ``floors`` floors each.
+
+    Per floor: a chained corridor spine of ``corridor_cells`` cells with
+    ``offices_per_floor`` offices hung off it round-robin.  Floor spines
+    are joined by a stairwell at corridor cell 0; ground floors of
+    consecutive buildings are joined by a walkway corridor cell.  Each
+    building gets one meeting room, one cafeteria, and one default lounge
+    on its ground floor (off the far end of the spine).
+
+    Total cells: ``buildings * (floors * (corridor_cells +
+    offices_per_floor) + 3) + (buildings - 1)``.
+    """
+    if buildings < 1 or floors < 1 or corridor_cells < 1:
+        raise ValueError("buildings, floors, and corridor_cells must be >= 1")
+    if offices_per_floor < 0:
+        raise ValueError("offices_per_floor must be >= 0")
+
+    plan = FloorPlan(name=f"campus-{buildings}x{floors}")
+    for b in range(buildings):
+        for f in range(floors):
+            spine = [f"b{b}-f{f}-cor-{i}" for i in range(corridor_cells)]
+            for cell_id in spine:
+                plan.add_cell(cell_id, CellClass.CORRIDOR)
+            for left, right in zip(spine, spine[1:]):
+                plan.connect(left, right)
+            for i in range(offices_per_floor):
+                office = f"b{b}-f{f}-off-{i}"
+                plan.add_cell(office, CellClass.OFFICE)
+                plan.connect(office, spine[i % corridor_cells])
+            if f > 0:
+                # Stairwell: vertical link between the spines' first cells.
+                plan.connect(f"b{b}-f{f - 1}-cor-0", spine[0])
+        # Ground-floor common rooms, one of each class per building.
+        anchor = f"b{b}-f0-cor-{corridor_cells - 1}"
+        for suffix, cls in (
+            ("meeting", CellClass.MEETING_ROOM),
+            ("cafeteria", CellClass.CAFETERIA),
+            ("lounge", CellClass.DEFAULT),
+        ):
+            room = f"b{b}-{suffix}"
+            plan.add_cell(room, cls)
+            plan.connect(room, anchor)
+        if b > 0:
+            # Walkway joining this building to the previous one.
+            walk = f"walk-{b - 1}"
+            plan.add_cell(walk, CellClass.CORRIDOR)
+            plan.connect(f"b{b - 1}-f0-cor-0", walk)
+            plan.connect(walk, f"b{b}-f0-cor-0")
+    plan.validate()
+    return plan

@@ -10,7 +10,7 @@ algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 __all__ = ["Link", "LinkAllocation"]
 
@@ -75,8 +75,12 @@ class Link:
         #: Buffer pool at the link's transmitting switch.
         self.buffer_capacity = float(buffer_capacity)
         #: Advance-reserved bandwidth ``b_resv,l`` (handoff reservations +
-        #: the dynamically adjustable pool ``B_dyn``).
-        self.reserved: float = 0.0
+        #: the dynamically adjustable pool ``B_dyn``).  Plain links carry it
+        #: as a float; ledger-backed wireless links read it lazily from
+        #: their :class:`~repro.core.reservation.CellReservations` (see
+        #: :meth:`bind_reserved_source`).
+        self._reserved: float = 0.0
+        self._reserved_source: Optional[Callable[[], float]] = None
         #: Per-connection bandwidth allocations keyed by connection id.
         self.allocations: Dict[Hashable, LinkAllocation] = {}
         #: Per-connection buffer-space reservations keyed by connection id.
@@ -90,6 +94,34 @@ class Link:
         return (self.src, self.dst)
 
     # -- aggregate bandwidth state -------------------------------------------
+
+    @property
+    def reserved(self) -> float:
+        """Advance-reserved bandwidth ``b_resv,l``.
+
+        Reads pull from the bound reservation ledger when one is attached
+        (the ledger's totals are cached, so this stays O(1) between
+        mutations); plain links return the stored float.
+        """
+        source = self._reserved_source
+        if source is None:
+            return self._reserved
+        return source()
+
+    @reserved.setter
+    def reserved(self, value: float) -> None:
+        self._reserved_source = None
+        self._reserved = value
+
+    def bind_reserved_source(self, source: Callable[[], float]) -> None:
+        """Attach a lazy provider for ``b_resv,l``.
+
+        A :class:`~repro.core.reservation.CellReservations` ledger binds
+        itself here so reservation mutations never eagerly re-sum the
+        ledger; assigning ``link.reserved`` directly detaches the provider
+        again (the link reverts to plain-float bookkeeping).
+        """
+        self._reserved_source = source
 
     @property
     def min_committed(self) -> float:

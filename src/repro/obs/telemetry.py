@@ -50,14 +50,28 @@ class RunTelemetry:
     trace_dropped: int = 0
     #: Per-replication wall seconds (successful attempts only).
     wall_times: List[float] = field(default_factory=list)
+    #: DES events processed inside successful replications (summed across
+    #: workers; counted by the simulation kernel, shipped with the result).
+    des_events: int = 0
 
     # -- recording --------------------------------------------------------
 
-    def record_replication(self, seconds: float) -> None:
+    def record_replication(self, seconds: float, events: int = 0) -> None:
         self.replications += 1
         self.wall_times.append(seconds)
+        self.des_events += events
 
     # -- derived ----------------------------------------------------------
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate DES throughput: kernel events over in-worker seconds.
+
+        Wall time is already measured inside the workers, so this is the
+        simulation core's own pace, unaffected by pool scheduling gaps.
+        """
+        total = self.wall_time_total
+        return self.des_events / total if total > 0 else 0.0
 
     @property
     def wall_time_total(self) -> float:
@@ -101,6 +115,7 @@ class RunTelemetry:
         self.trace_records += other.trace_records
         self.trace_dropped += other.trace_dropped
         self.wall_times.extend(other.wall_times)
+        self.des_events += other.des_events
         return self
 
     def to_dict(self) -> Dict[str, Any]:
@@ -123,6 +138,10 @@ class RunTelemetry:
             "trace": {
                 "records": self.trace_records,
                 "dropped": self.trace_dropped,
+            },
+            "des": {
+                "events": self.des_events,
+                "events_per_second": self.events_per_second,
             },
             "wall_time": {
                 "elapsed": self.elapsed,
@@ -163,6 +182,11 @@ class RunTelemetry:
             lines.append(
                 f"  worker traces: {self.trace_records} records merged"
                 + (f", {self.trace_dropped} dropped" if self.trace_dropped else "")
+            )
+        if self.des_events:
+            lines.append(
+                f"  des events:    {self.des_events} processed "
+                f"({self.events_per_second:,.0f} events/s in-worker)"
             )
         lines.append(
             f"  wall time:     {self.elapsed:.3f}s elapsed, "

@@ -75,6 +75,7 @@ from typing import (
     Union,
 )
 
+from ..des.engine import events_processed_total
 from ..obs.metrics import MetricsRegistry, NullRegistry, get_registry, set_registry
 from ..obs.telemetry import RunTelemetry
 from ..obs.trace import RingBufferSink, Tracer, get_tracer, replay_records, set_tracer
@@ -304,22 +305,26 @@ _Payload = Tuple[
     Optional[SharedResultTransport],
 ]
 
-#: (ok, value-or-(exc, tb), worker seconds, obs snapshot) — one attempt.
-_Message = Tuple[bool, Any, float, Optional[ObsSnapshot]]
+#: (ok, value-or-(exc, tb), worker seconds, DES events, obs snapshot) —
+#: one attempt.
+_Message = Tuple[bool, Any, float, int, Optional[ObsSnapshot]]
 
 
 def _call(payload: _Payload) -> _Message:
     """Process-pool trampoline: never raises, so the config context is
     attached on the coordinator side rather than lost in the pool.  The
-    attempt's wall seconds are measured here — inside the worker — so
-    per-replication telemetry survives the process boundary.  Large
-    numeric payloads are lifted into shared memory after the timed call;
-    the observability snapshot rides back alongside the result."""
+    attempt's wall seconds and DES event count are measured here — inside
+    the worker — so per-replication telemetry survives the process
+    boundary.  Large numeric payloads are lifted into shared memory after
+    the timed call; the observability snapshot rides back alongside the
+    result."""
     fn, config, obs, transport = payload
     started = time.perf_counter()
+    events_before = events_processed_total()
     try:
         result, snapshot = _observed_call(fn, config, obs)
         elapsed = time.perf_counter() - started
+        events = events_processed_total() - events_before
         if transport is not None:
             result = transport.encode(result)
     except Exception as exc:  # noqa: BLE001 - re-raised with context
@@ -327,9 +332,10 @@ def _call(payload: _Payload) -> _Message:
             False,
             (exc, traceback.format_exc()),
             time.perf_counter() - started,
+            0,
             None,
         )
-    return True, result, elapsed, snapshot
+    return True, result, elapsed, events, snapshot
 
 
 def _supervised_child(
@@ -341,17 +347,20 @@ def _supervised_child(
 ) -> None:
     """Entry point of a supervised worker process: one attempt, one config."""
     started = time.perf_counter()
+    events_before = events_processed_total()
     try:
         result, snapshot = _observed_call(fn, config, obs)
         elapsed = time.perf_counter() - started
+        events = events_processed_total() - events_before
         if transport is not None:
             result = transport.encode(result)
-        message: _Message = (True, result, elapsed, snapshot)
+        message: _Message = (True, result, elapsed, events, snapshot)
     except BaseException as exc:  # noqa: BLE001 - serialized to coordinator
         message = (
             False,
             (exc, traceback.format_exc()),
             time.perf_counter() - started,
+            0,
             None,
         )
     try:
@@ -659,6 +668,7 @@ class ExperimentRunner:
         out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         for config, index in zip(configs, indices):
             started = time.perf_counter()
+            events_before = events_processed_total()
             try:
                 out.append(_observed_call(fn, config, obs))
             except Exception as exc:
@@ -666,7 +676,10 @@ class ExperimentRunner:
                 raise WorkerError(
                     config, index, exc, traceback.format_exc()
                 ) from exc
-            self.telemetry.record_replication(time.perf_counter() - started)
+            self.telemetry.record_replication(
+                time.perf_counter() - started,
+                events_processed_total() - events_before,
+            )
         return out
 
     def _run_pool(
@@ -682,7 +695,7 @@ class ExperimentRunner:
         out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = [(fn, config, obs, transport) for config in configs]
-            for pos, (ok, value, elapsed, snapshot) in enumerate(
+            for pos, (ok, value, elapsed, events, snapshot) in enumerate(
                 pool.map(_call, payloads, chunksize=chunk)
             ):
                 if not ok:
@@ -690,7 +703,7 @@ class ExperimentRunner:
                     self.telemetry.failures += 1
                     raise WorkerError(configs[pos], indices[pos], exc, tb) from exc
                 out.append((self._decode_result(transport, value), snapshot))
-                self.telemetry.record_replication(elapsed)
+                self.telemetry.record_replication(elapsed, events)
         return out
 
     # -- fault-tolerant paths ---------------------------------------------
@@ -739,6 +752,7 @@ class ExperimentRunner:
             while True:
                 attempts += 1
                 started = time.perf_counter()
+                events_before = events_processed_total()
                 try:
                     result, snapshot = self._call_with_alarm(attempt, config)
                 except Exception as exc:
@@ -763,7 +777,8 @@ class ExperimentRunner:
                     ) from exc
                 out.append((result, snapshot))
                 self.telemetry.record_replication(
-                    time.perf_counter() - started
+                    time.perf_counter() - started,
+                    events_processed_total() - events_before,
                 )
                 break
         return out
@@ -861,7 +876,7 @@ class ExperimentRunner:
                     proc, pos, _deadline = inflight.pop(conn)  # type: ignore[arg-type]
                     attempts[pos] += 1
                     try:
-                        ok, payload, elapsed, snapshot = conn.recv()  # type: ignore[union-attr]
+                        ok, payload, elapsed, events, snapshot = conn.recv()  # type: ignore[union-attr]
                     except (EOFError, OSError):
                         proc.join()
                         settle_failure(
@@ -880,7 +895,7 @@ class ExperimentRunner:
                                 snapshot,
                             )
                             done += 1
-                            self.telemetry.record_replication(elapsed)
+                            self.telemetry.record_replication(elapsed, events)
                         else:
                             cause, tb = payload
                             settle_failure(pos, cause, tb)

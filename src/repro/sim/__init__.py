@@ -3,9 +3,13 @@
 from .config import FIGURE6_TYPES, TwoCellConfig, figure6_config
 from .scenarios import (
     CampusDayResult,
+    CampusScaleConfig,
+    CampusScaleResult,
     OfficeWeekResult,
     run_campus_day,
+    run_campus_scale,
     run_office_week,
+    simulate_campus_scale,
 )
 from .simulator import (
     FloorplanSimulator,
@@ -19,9 +23,13 @@ __all__ = [
     "TwoCellConfig",
     "figure6_config",
     "CampusDayResult",
+    "CampusScaleConfig",
+    "CampusScaleResult",
     "OfficeWeekResult",
     "run_office_week",
     "run_campus_day",
+    "run_campus_scale",
+    "simulate_campus_scale",
     "FloorplanSimulator",
     "TwoCellResult",
     "TwoCellSimulator",

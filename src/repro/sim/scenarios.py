@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, List
 
 from ..core.qos import audio_request, video_request
+from ..mobility.campus import campus_plan
 from ..mobility.cafeteria import CafeteriaPatron, lunch_intensity, patron_spawner
 from ..mobility.floorplan import campus_floorplan
 from ..mobility.meeting import MeetingAttendee
@@ -18,7 +20,16 @@ from ..traffic.connection import reset_conn_ids
 from ..wireless.portable import Portable
 from .simulator import FloorplanSimulator
 
-__all__ = ["CampusDayResult", "run_campus_day", "OfficeWeekResult", "run_office_week"]
+__all__ = [
+    "CampusDayResult",
+    "run_campus_day",
+    "OfficeWeekResult",
+    "run_office_week",
+    "CampusScaleConfig",
+    "CampusScaleResult",
+    "run_campus_scale",
+    "simulate_campus_scale",
+]
 
 
 @dataclass
@@ -270,3 +281,151 @@ def run_office_week(
         reservation_misses=nonlocal_counts["misses"],
         drops=sim.stats.handoff_drops,
     )
+
+
+@dataclass(frozen=True)
+class CampusScaleConfig:
+    """Parameters of the campus-scale scenario (picklable, cache-keyable).
+
+    ``portables`` is the *total* population; only ``active_fraction`` of it
+    carries connections and moves.  The inactive rest is attached and then
+    merely resides — the regime whose per-tick cost the per-cell indexing
+    work drives to zero.
+    """
+
+    seed: int = 7
+    buildings: int = 2
+    floors: int = 2
+    corridor_cells: int = 4
+    offices_per_floor: int = 8
+    portables: int = 1000
+    active_fraction: float = 0.05
+    horizon: float = 1800.0
+    capacity: float = 1600.0
+    static_threshold: float = 600.0
+    maintenance_period: float = 300.0
+    #: Seconds between handoff waves (one batched ``move_portables`` each).
+    wave_period: float = 120.0
+    #: Diurnal cycle length driving the wave intensity envelope.
+    diurnal_period: float = 3600.0
+    #: Peak fraction of *active* portables crossing per wave.
+    wave_peak_fraction: float = 0.5
+    #: Incremental (dirty-cell) maintenance vs. the full-scan reference.
+    incremental: bool = True
+
+
+@dataclass
+class CampusScaleResult:
+    """Compact, population-size-independent summary of a campus-scale run.
+
+    Aggregates are accumulated in fixed container insertion order, so they
+    are bit-identical across hash seeds, serial/parallel, and the
+    incremental/full-scan maintenance paths.
+    """
+
+    stats: TeletrafficStats
+    cells: int
+    portables: int
+    active: int
+    handoffs: int
+    drops: int
+    blocked: int
+    admitted: int
+    #: Sum of final connection rates (manager insertion order).
+    total_rate: float
+    #: Sum of final ``B_dyn`` pools (cell insertion order).
+    pool_total: float
+    #: Sum of final advance-reservation ledger totals (cell insertion order).
+    reserved_total: float
+
+
+def run_campus_scale(config: CampusScaleConfig) -> CampusScaleResult:
+    """Simulate diurnal handoff waves over a multi-building campus.
+
+    The whole population attaches up front; the active minority opens audio
+    connections and crosses cells in batched waves whose size follows a
+    raised-cosine diurnal envelope.  Periodic maintenance re-runs the
+    static/mobile test — at scale, the incremental path touches only the
+    cells the waves actually dirtied.
+    """
+    reset_conn_ids()
+    rng = random.Random(config.seed)
+    plan = campus_plan(
+        buildings=config.buildings,
+        floors=config.floors,
+        corridor_cells=config.corridor_cells,
+        offices_per_floor=config.offices_per_floor,
+    )
+    sim = FloorplanSimulator(
+        plan,
+        capacity=config.capacity,
+        static_threshold=config.static_threshold,
+        seed=config.seed,
+        incremental=config.incremental,
+    )
+    env = sim.env
+    cells = plan.cells  # fixed generation order
+
+    active_count = min(config.portables, int(config.portables * config.active_fraction))
+    for i in range(config.portables):
+        sim.add_portable(f"u{i}", cells[i % len(cells)])
+    active_pids = [f"u{i}" for i in range(active_count)]
+    for pid in active_pids:
+        sim.request_connection(pid, audio_request())
+
+    wave_rng = random.Random(rng.randrange(2**31))
+
+    def waves():
+        while True:
+            yield env.timeout(config.wave_period)
+            intensity = 0.5 * (
+                1.0 - math.cos(2.0 * math.pi * env.now / config.diurnal_period)
+            )
+            movers = int(len(active_pids) * config.wave_peak_fraction * intensity)
+            if movers == 0:
+                continue
+            moves = []
+            for pid in wave_rng.sample(active_pids, movers):
+                current = sim.portables[pid].current_cell
+                neighbors = sorted(plan.neighbors(current), key=repr)
+                moves.append((pid, neighbors[wave_rng.randrange(len(neighbors))]))
+            sim.move_many(moves)
+
+    def maintenance():
+        while True:
+            yield env.timeout(config.maintenance_period)
+            sim.manager.refresh_static_states()
+
+    env.process(waves())
+    env.process(maintenance())
+    env.run(until=config.horizon)
+
+    manager = sim.manager
+    total_rate = sum(conn.rate for conn in manager.connections.values())
+    pool_total = sum(sim.cells[c].reservations.pool for c in cells)
+    reserved_total = sum(sim.cells[c].reservations.total for c in cells)
+    return CampusScaleResult(
+        stats=sim.stats,
+        cells=len(cells),
+        portables=config.portables,
+        active=active_count,
+        handoffs=sim.stats.handoff_attempts,
+        drops=sim.stats.handoff_drops,
+        blocked=manager.blocked,
+        admitted=manager.admitted,
+        total_rate=total_rate,
+        pool_total=pool_total,
+        reserved_total=reserved_total,
+    )
+
+
+def simulate_campus_scale(config) -> CampusScaleResult:
+    """Runner-friendly entry point: accepts a config object or a dict.
+
+    Module-level and picklable, so it can be dispatched through
+    :class:`~repro.runtime.ExperimentRunner` pools (``python -m repro
+    campus --jobs N``).
+    """
+    if isinstance(config, dict):
+        config = CampusScaleConfig(**config)
+    return run_campus_scale(config)

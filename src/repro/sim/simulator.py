@@ -184,6 +184,7 @@ class FloorplanSimulator:
         seed: int = 11,
         calendars: Optional[Dict[Hashable, BookingCalendar]] = None,
         probabilistic: Optional[ProbabilisticAdmission] = None,
+        incremental: bool = True,
     ):
         plan.validate()
         self.plan = plan
@@ -206,6 +207,7 @@ class FloorplanSimulator:
             self.cells,
             static_threshold=static_threshold,
             on_handoff=self._on_handoff,
+            incremental=incremental,
         )
         self.portables: Dict[Hashable, Portable] = {}
 
@@ -298,6 +300,16 @@ class FloorplanSimulator:
 
     def move(self, portable_id: Hashable, to_cell: Hashable):
         return self.manager.move_portable(self.portables[portable_id], to_cell)
+
+    def move_many(self, moves):
+        """Batch a wave of ``(portable_id, to_cell)`` crossings.
+
+        One rebalance per affected cell instead of two per portable; see
+        :meth:`CellularResourceManager.move_portables`.
+        """
+        return self.manager.move_portables(
+            [(self.portables[pid], to_cell) for pid, to_cell in moves]
+        )
 
     # -- hooks -----------------------------------------------------------------------
 

@@ -10,8 +10,9 @@ Figure 6 count.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional
+from typing import Callable, Deque, Hashable, List, Optional
 
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
@@ -57,6 +58,12 @@ class HandoffEngine:
         Callable giving the ordered aggregate-pool tags a handoff into a
         cell may draw from (e.g. the meeting tag of the target room).  The
         default checks the target cell's well-known tags.
+    outcome_history:
+        How many recent :class:`HandoffOutcome` records to retain on
+        ``self.outcomes``.  Retention used to be unbounded, which grows
+        linearly with total handoffs — a silent memory leak at campus
+        scale.  Consumers needing every outcome subscribe ``on_handoff``;
+        the retained window serves debugging and tests.
     """
 
     def __init__(
@@ -64,11 +71,12 @@ class HandoffEngine:
         get_cell: Callable[[Hashable], Cell],
         on_handoff: Optional[Callable[["HandoffOutcome", float], None]] = None,
         aggregate_tags: Optional[Callable[[Cell], List[Hashable]]] = None,
+        outcome_history: int = 1024,
     ):
         self.get_cell = get_cell
         self.on_handoff = on_handoff
         self.aggregate_tags = aggregate_tags or self._default_tags
-        self.outcomes: List[HandoffOutcome] = []
+        self.outcomes: Deque[HandoffOutcome] = deque(maxlen=outcome_history)
 
     @staticmethod
     def _default_tags(cell: Cell) -> List[Hashable]:

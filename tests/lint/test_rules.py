@@ -221,6 +221,91 @@ def test_rep004_negative_membership_and_mutation():
     """)
 
 
+# -- REP005: no population scans in library code -----------------------------
+
+
+def test_rep005_positive_manager_portables_loop():
+    assert_triggers("REP005", """
+        def audit(manager):
+            for pid, portable in manager.portables.items():
+                portable.refresh()
+    """, line=3)
+
+
+def test_rep005_positive_private_table_and_views():
+    assert_triggers("REP005", """
+        class Manager:
+            def sweep(self):
+                for portable in self._portables.values():
+                    portable.refresh()
+    """, line=4)
+    assert_triggers("REP005", """
+        def rates(mgr):
+            return [p.rate for p in mgr.portables]
+    """, line=3)
+
+
+def test_rep005_positive_manager_cells():
+    assert_triggers("REP005", """
+        def repool(sim):
+            for cell_id in sim.manager.cells:
+                sim.manager.update_pools([cell_id])
+    """, line=3)
+
+
+def test_rep005_positive_sorted_wrapper_still_scans():
+    # sorted() fixes iteration *order*, not iteration *cost*; the scan is
+    # the problem, so the wrapper earns no exemption.
+    assert_triggers("REP005", """
+        def audit(manager):
+            for pid in sorted(manager.portables, key=repr):
+                manager.touch(pid)
+    """, line=3)
+    assert_triggers("REP005", """
+        def audit(manager):
+            return list(manager.portables.values())[:5]
+    """, count=0)  # materialization without iteration syntax is out of reach
+
+
+def test_rep005_negative_floorplan_cells():
+    # Floorplans legitimately enumerate their cells (construction is a
+    # one-time cost); only manager-owned tables are population-sized.
+    assert_clean("REP005", """
+        def build(plan):
+            return [plan.cells[0] for _ in plan.cells]
+    """)
+
+
+def test_rep005_negative_subscript_and_membership():
+    assert_clean("REP005", """
+        def lookup(manager, pid):
+            if pid in manager.portables:
+                return manager.portables[pid]
+            return None
+    """)
+
+
+def test_rep005_negative_outside_library():
+    assert_clean("REP005", """
+        def audit(manager):
+            for pid in manager.portables:
+                manager.touch(pid)
+    """, path=TOOL_PATH)
+    assert_clean("REP005", """
+        def audit(manager):
+            for pid in manager.portables:
+                manager.touch(pid)
+    """, path="tests/sim/fixture_module.py")
+
+
+def test_rep005_negative_suppressed_cold_path():
+    assert_clean("REP005", """
+        def full_scan(manager):
+            for pid in manager.portables:  # repro-lint: ignore[REP005]
+                manager.touch(pid)
+    """)
+
+
 # -- REP101: env.process() takes a generator --------------------------------
 
 
@@ -609,7 +694,7 @@ def test_rep303_negative_shadowed_print_is_still_flagged_only_for_builtin():
 
 
 ALL_RULE_IDS = [
-    "REP001", "REP002", "REP003", "REP004",
+    "REP001", "REP002", "REP003", "REP004", "REP005",
     "REP101", "REP102", "REP103",
     "REP201", "REP202", "REP204",
     "REP301", "REP302", "REP303",

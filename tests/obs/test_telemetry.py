@@ -73,6 +73,51 @@ def test_summary_text_mentions_key_numbers():
     assert "1 hits" in text
 
 
+def test_des_events_accumulate_and_rate():
+    t = RunTelemetry()
+    t.record_replication(2.0, events=300)
+    t.record_replication(2.0, events=100)
+    assert t.des_events == 400
+    assert t.events_per_second == pytest.approx(100.0)
+    data = t.to_dict()
+    assert data["des"] == {"events": 400, "events_per_second": 100.0}
+    assert "des events:" in t.summary()
+    assert "400 processed" in t.summary()
+
+
+def test_des_events_default_zero_and_merge():
+    a, b = RunTelemetry(), RunTelemetry()
+    a.record_replication(1.0)  # events defaults to 0
+    assert a.des_events == 0
+    assert a.events_per_second == 0.0
+    assert "des events:" not in a.summary()  # suppressed when nothing counted
+    b.record_replication(1.0, events=50)
+    a.merge(b)
+    assert a.des_events == 50
+
+
+def _run_twocell(seed):
+    from repro.sim import TwoCellSimulator, figure6_config
+
+    return TwoCellSimulator(
+        figure6_config(policy="plain", horizon=30.0, seed=seed)
+    ).run().stats.new_requests
+
+
+def test_runner_counts_des_events_serial_and_pool():
+    """The events/sec metric is measured *in-worker* (DES kernel events per
+    replication, shipped back with the wall time), so the totals must agree
+    between serial and process-pool execution of the same workload."""
+    serial = ExperimentRunner(jobs=1)
+    serial.run_many(_run_twocell, [1, 2])
+    assert serial.telemetry.des_events > 0
+    assert serial.telemetry.events_per_second > 0
+
+    pool = ExperimentRunner(jobs=2, backend="process")
+    pool.run_many(_run_twocell, [1, 2])
+    assert pool.telemetry.des_events == serial.telemetry.des_events
+
+
 # -- runner integration -----------------------------------------------------
 
 

@@ -1,0 +1,217 @@
+"""Campus-scale scenario: generator shape, determinism, and the hot-path
+equivalence contracts behind the per-cell indexing rework.
+
+The incremental maintenance path (dirty-cell refresh + connected-occupant
+index + pending-static timers) and batched handoffs are *optimisations*,
+not policies: every externally visible number — stats counters, connection
+rates, per-cell pools, reservation ledgers, link state — must be
+bit-identical to the full-scan / one-at-a-time code they replace.  These
+tests pin that contract on a small campus where both paths are cheap to
+run, alongside PYTHONHASHSEED invariance of the generator itself.
+"""
+
+import dataclasses
+
+from repro.core import audio_request
+from repro.mobility import campus_plan
+from repro.sim import (
+    CampusScaleConfig,
+    FloorplanSimulator,
+    run_campus_scale,
+)
+from repro.traffic.connection import reset_conn_ids
+
+from tests.sim.test_hashseed_determinism import _assert_hashseed_invariant
+
+
+# -- generator shape ---------------------------------------------------------------
+
+
+def test_campus_plan_cell_count_formula():
+    for buildings, floors, corridor, offices in [
+        (1, 1, 2, 3),
+        (2, 2, 4, 8),
+        (3, 4, 5, 10),
+    ]:
+        plan = campus_plan(
+            buildings=buildings,
+            floors=floors,
+            corridor_cells=corridor,
+            offices_per_floor=offices,
+        )
+        expected = (
+            buildings * (floors * (corridor + offices) + 3) + (buildings - 1)
+        )
+        assert len(plan.cells) == expected
+        plan.validate()
+
+
+def test_campus_plan_is_connected():
+    """Stairwells join floors and walkways join buildings: every cell must
+    be reachable from every other (a partitioned campus would strand
+    portables and silently skew handoff statistics)."""
+    plan = campus_plan(buildings=3, floors=2, corridor_cells=3, offices_per_floor=4)
+    seen = {plan.cells[0]}
+    frontier = [plan.cells[0]]
+    while frontier:
+        cell = frontier.pop()
+        for neighbor in plan.neighbors(cell):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    assert seen == set(plan.cells)
+
+
+def test_campus_plan_rejects_degenerate_shapes():
+    import pytest
+
+    for kwargs in [
+        {"buildings": 0},
+        {"floors": 0},
+        {"corridor_cells": 0},
+        {"offices_per_floor": -1},
+    ]:
+        with pytest.raises(ValueError):
+            campus_plan(**kwargs)
+
+
+# -- determinism -------------------------------------------------------------------
+
+
+def test_campus_scale_bit_identical_across_hash_seeds():
+    """The generator threads string cell-ids through dicts and neighbor
+    sets; a small run's full result tuple must not move with the hash
+    seed (workers in a pool each have their own)."""
+    _assert_hashseed_invariant(
+        """
+import dataclasses
+from repro.sim import CampusScaleConfig, run_campus_scale
+
+result = run_campus_scale(CampusScaleConfig(
+    seed=13, buildings=2, floors=2, corridor_cells=3, offices_per_floor=4,
+    portables=400, active_fraction=0.1, horizon=900.0,
+))
+print(repr(dataclasses.astuple(result)))
+"""
+    )
+
+
+def test_campus_scale_reruns_identically_in_process():
+    config = CampusScaleConfig(portables=300, active_fraction=0.1, horizon=600.0)
+    first = run_campus_scale(config)
+    second = run_campus_scale(config)
+    assert dataclasses.astuple(first) == dataclasses.astuple(second)
+
+
+# -- incremental == full scan ------------------------------------------------------
+
+
+def test_campus_scale_incremental_matches_full_scan():
+    """The headline equivalence: the scenario's compact result (stats,
+    counters, float aggregates summed in fixed order) is bit-identical
+    with the incremental maintenance path on and off."""
+    base = dict(
+        seed=29,
+        buildings=2,
+        floors=2,
+        corridor_cells=3,
+        offices_per_floor=5,
+        portables=500,
+        active_fraction=0.1,
+        horizon=1200.0,
+        static_threshold=300.0,
+        maintenance_period=150.0,
+    )
+    fast = run_campus_scale(CampusScaleConfig(incremental=True, **base))
+    slow = run_campus_scale(CampusScaleConfig(incremental=False, **base))
+    assert dataclasses.astuple(fast) == dataclasses.astuple(slow)
+
+
+def _state_fingerprint(sim: FloorplanSimulator):
+    """Every externally visible float and counter, repr'd so the comparison
+    is bit-exact, in deterministic (sorted) order."""
+    cells = {}
+    for cell_id, cell in sorted(sim.cells.items(), key=lambda kv: repr(kv[0])):
+        cells[str(cell_id)] = (
+            repr(cell.reservations.pool),
+            repr(cell.reservations.targeted_total),
+            repr(cell.reservations.aggregate_total),
+            repr(cell.reservations.total),
+            repr(cell.link.reserved),
+            repr(cell.link.excess_available),
+        )
+    conns = {}
+    for pid, portable in sorted(sim.portables.items(), key=lambda kv: repr(kv[0])):
+        conns[str(pid)] = [
+            (conn.conn_id, repr(conn.rate), conn.state.name)
+            for conn in portable.connections
+        ]
+    stats = dataclasses.asdict(sim.stats)
+    stats["extra"] = sorted(stats["extra"].items())
+    counters = (sim.manager.blocked, sim.manager.admitted, sim.manager.dropped)
+    return (cells, conns, sorted(stats.items()), counters)
+
+
+def _drive(incremental: bool, batched: bool):
+    """A dense little workload: attaches, admissions, batched + sequential
+    waves, a termination mid-run, and maintenance ticks that cross the
+    static threshold."""
+    reset_conn_ids()
+    plan = campus_plan(buildings=2, floors=2, corridor_cells=3, offices_per_floor=4)
+    sim = FloorplanSimulator(
+        plan, capacity=1600.0, static_threshold=400.0, seed=5,
+        incremental=incremental,
+    )
+    cells = plan.cells
+    for i in range(60):
+        sim.add_portable(f"u{i}", cells[i % len(cells)])
+    for i in range(0, 60, 4):
+        sim.request_connection(f"u{i}", audio_request())
+
+    def wave(moves):
+        if batched:
+            sim.move_many(moves)
+        else:
+            for pid, to_cell in moves:
+                sim.move(pid, to_cell)
+
+    def neighbors_of(pid):
+        cell = sim.portables[pid].current_cell
+        return sorted(plan.neighbors(cell), key=repr)
+
+    sim.run(until=200.0)
+    wave([(f"u{i}", neighbors_of(f"u{i}")[0]) for i in range(0, 24, 4)])
+    sim.run(until=500.0)
+    sim.manager.refresh_static_states()
+    wave([(f"u{i}", neighbors_of(f"u{i}")[-1]) for i in range(24, 48, 4)])
+    conn = sim.portables["u8"].connections[0]
+    sim.manager.terminate_connection(conn)
+    sim.run(until=900.0)
+    sim.manager.refresh_static_states()
+    wave([(f"u{i}", neighbors_of(f"u{i}")[0]) for i in range(0, 60, 12)])
+    sim.run(until=1300.0)
+    sim.manager.refresh_static_states()
+    return _state_fingerprint(sim)
+
+
+def test_incremental_full_state_matches_full_scan():
+    """Beyond the compact aggregates: pools, ledgers, link state, and every
+    connection's rate must agree cell-by-cell between the two paths."""
+    assert _drive(incremental=True, batched=True) == _drive(
+        incremental=False, batched=True
+    )
+
+
+def test_batched_handoffs_match_sequential():
+    """``move_portables`` coalesces rebalances (one per affected cell per
+    wave) but must land on the exact state the one-at-a-time path does."""
+    assert _drive(incremental=True, batched=True) == _drive(
+        incremental=True, batched=False
+    )
+
+
+def test_batched_and_incremental_compose():
+    """Cross-check the remaining pairing so no combination drifts."""
+    assert _drive(incremental=True, batched=False) == _drive(
+        incremental=False, batched=False
+    )

@@ -158,3 +158,23 @@ def test_observer_callback_invoked():
     engine.execute(p, "dst", now=7.0)
     assert seen == [("dst", 7.0)]
     assert len(engine.outcomes) == 1
+
+
+def test_outcome_history_is_bounded():
+    # Retention used to be unbounded: at campus scale every crossing
+    # leaked a HandoffOutcome.  The window keeps the most recent records;
+    # full-history consumers subscribe on_handoff instead.
+    cells = {
+        "src": Cell("src", capacity=100.0),
+        "dst": Cell("dst", capacity=100.0),
+    }
+    engine = HandoffEngine(get_cell=cells.__getitem__, outcome_history=3)
+    p = Portable("p")
+    p.move_to("src", 0.0)
+    cells["src"].enter("p", 0.0)
+    here, there = "src", "dst"
+    for i in range(5):
+        engine.execute(p, there, now=float(i))
+        here, there = there, here
+    assert len(engine.outcomes) == 3
+    assert [o.to_cell for o in engine.outcomes] == ["dst", "src", "dst"]
