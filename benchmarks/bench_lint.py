@@ -1,0 +1,127 @@
+"""Lint-engine throughput: serial vs parallel vs incremental cache.
+
+The whole-program pass (index, call graph, dataflow fixpoint) is paid on
+every cold run; the per-file pass parallelizes with ``--jobs`` and both
+passes replay from the content-hash cache.  The contract measured here:
+
+* a warm cache beats a cold serial run outright (the project pass and
+  every per-file outcome replay as JSON reads);
+* every mode produces byte-identical findings.
+
+One caveat worth recording with the numbers: parallel speedup is bounded
+by the host — on a single-core container ``--jobs auto`` resolves to 1
+and the pool cannot beat the serial loop, so the cache is the only lever
+there.  The findings-identity assertion holds regardless.
+"""
+
+import json
+import os
+import pathlib
+import shutil
+import time
+
+from conftest import once
+
+from repro.lint.cache import LintCache
+from repro.lint.config import LintConfig
+from repro.lint.registry import all_rules
+from repro.lint.runner import lint_paths, resolve_jobs
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _timed(**kwargs):
+    config = LintConfig()
+    enabled = tuple(config.enabled_rules([r.id for r in all_rules()]))
+    start = time.perf_counter()
+    result = lint_paths(["src", "tests"], config=config, enabled=enabled,
+                        **kwargs)
+    elapsed = time.perf_counter() - start
+    rendered = [f.render() for f in result.sorted_findings()]
+    return elapsed, rendered, result
+
+
+def run_lint_modes():
+    cwd = os.getcwd()
+    cache_dir = REPO / ".lint-cache-bench"
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    os.chdir(REPO)
+    try:
+        stats = {}
+        cold_serial, findings, _ = _timed(jobs=1)
+        stats["cold_serial_s"] = cold_serial
+
+        jobs = resolve_jobs("auto")
+        parallel, par_findings, _ = _timed(jobs=jobs)
+        stats["parallel_s"] = parallel
+        stats["jobs"] = jobs
+
+        cached, cache_findings, cold_result = _timed(
+            jobs=jobs, cache=LintCache(cache_dir)
+        )
+        stats["cold_cached_s"] = cached
+        stats["cache_misses"] = cold_result.cache_misses
+
+        warm, warm_findings, warm_result = _timed(
+            jobs=jobs, cache=LintCache(cache_dir)
+        )
+        stats["warm_cached_s"] = warm
+        stats["cache_hits"] = warm_result.cache_hits
+
+        stats["files"] = warm_result.files_checked
+        stats["identical"] = (
+            findings == par_findings == cache_findings == warm_findings
+        )
+        return stats
+    finally:
+        os.chdir(cwd)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def test_lint_engine_modes(benchmark, report, report_json):
+    stats = once(benchmark, run_lint_modes)
+
+    # Every execution mode sees the exact same findings...
+    assert stats["identical"]
+    assert stats["cache_hits"] == stats["cache_misses"]
+    # ...and the warm cache replays faster than checking from scratch.
+    assert stats["warm_cached_s"] < stats["cold_serial_s"]
+
+    report_json(
+        "lint_engine",
+        [
+            {"metric": "cold_serial", "value": round(stats["cold_serial_s"], 3),
+             "units": "s"},
+            {"metric": "parallel", "value": round(stats["parallel_s"], 3),
+             "units": "s"},
+            {"metric": "cold_cached", "value": round(stats["cold_cached_s"], 3),
+             "units": "s"},
+            {"metric": "warm_cached", "value": round(stats["warm_cached_s"], 3),
+             "units": "s"},
+            {"metric": "speedup_warm_vs_cold_serial",
+             "value": round(stats["cold_serial_s"] / stats["warm_cached_s"], 2),
+             "units": "x"},
+        ],
+        config={"files": stats["files"], "jobs": stats["jobs"],
+                "cpus": os.cpu_count()},
+    )
+    report(
+        "lint_engine",
+        "\n".join([
+            "lint engine: full-repo run, all rule families",
+            f"  files checked     : {stats['files']}",
+            f"  cold serial       : {stats['cold_serial_s']:.2f} s",
+            f"  parallel (jobs={stats['jobs']})"
+            f" : {stats['parallel_s']:.2f} s",
+            f"  cold, cache on    : {stats['cold_cached_s']:.2f} s",
+            f"  warm cache        : {stats['warm_cached_s']:.2f} s"
+            f"  ({stats['cold_serial_s'] / stats['warm_cached_s']:.1f}x"
+            " vs cold serial)",
+            f"  findings identical: {stats['identical']}",
+        ]),
+    )
+
+
+if __name__ == "__main__":
+    stats = run_lint_modes()
+    print(json.dumps(stats, indent=2, sort_keys=True))

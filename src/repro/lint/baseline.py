@@ -3,9 +3,16 @@
 A baseline entry pins a finding by ``(rule, path, code)`` where ``code`` is
 the stripped source line — not the line *number*, so unrelated edits above a
 grandfathered site do not invalidate the entry, while any change to the
-flagged line itself (including a fix) retires it.  ``--write-baseline``
-regenerates the file from the current findings; stale entries (nothing
-matches them any more) are reported so the baseline only ever shrinks.
+flagged line itself (including a fix) retires it.
+
+Matching is **occurrence-counted**: the file stores one row per finding, so
+two identical flagged lines in one file contribute a budget of two to their
+shared ``(rule, path, code)`` key.  A run may then grandfather at most that
+many findings — fixing one of two identical lines leaves one baselined and
+reports the freed budget as stale, instead of silently grandfathering
+whatever new copy of the line appears next.  ``--write-baseline``
+regenerates the file from the current findings; stale entries are reported
+so the baseline only ever shrinks.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .findings import Finding
 
@@ -31,6 +38,7 @@ class _Entry:
     rule: str
     path: str
     code: str
+    count: int = 1
 
     def key(self) -> Tuple[str, str, str]:
         return (self.rule, self.path, self.code)
@@ -40,13 +48,16 @@ class Baseline:
     """An in-memory baseline, loadable from and writable to JSON."""
 
     def __init__(self, entries: Iterable[_Entry] = ()):
-        self._entries: Dict[Tuple[str, str, str], _Entry] = {
-            e.key(): e for e in entries
-        }
-        self._matched: Set[Tuple[str, str, str]] = set()
+        #: key -> how many findings this key may grandfather
+        self._budget: Dict[Tuple[str, str, str], int] = {}
+        #: key -> how many findings it grandfathered in the current run
+        self._used: Dict[Tuple[str, str, str], int] = {}
+        for entry in entries:
+            key = entry.key()
+            self._budget[key] = self._budget.get(key, 0) + entry.count
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(self._budget.values())
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -63,9 +74,12 @@ class Baseline:
         for raw in data.get("entries", []):
             try:
                 entries.append(
-                    _Entry(rule=raw["rule"], path=raw["path"], code=raw["code"])
+                    _Entry(
+                        rule=raw["rule"], path=raw["path"], code=raw["code"],
+                        count=int(raw.get("count", 1)),
+                    )
                 )
-            except (TypeError, KeyError):
+            except (TypeError, KeyError, ValueError):
                 raise BaselineError(
                     f"{path}: malformed entry {raw!r} "
                     "(need rule/path/code)"
@@ -73,19 +87,32 @@ class Baseline:
         return cls(entries)
 
     def matches(self, finding: Finding, code: str) -> bool:
-        """True (and mark the entry used) if ``finding`` is grandfathered."""
+        """True (consuming one unit of budget) if ``finding`` is
+        grandfathered; False once the key's budget is exhausted."""
         key = (finding.rule, finding.path, code.strip())
-        if key in self._entries:
-            self._matched.add(key)
+        budget = self._budget.get(key, 0)
+        used = self._used.get(key, 0)
+        if used < budget:
+            self._used[key] = used + 1
             return True
         return False
 
     def stale_entries(self) -> List[_Entry]:
-        """Entries that matched nothing in the run just performed."""
-        return [
-            self._entries[k]
-            for k in sorted(set(self._entries) - self._matched)
-        ]
+        """Unused budget after the run just performed, one entry per key.
+
+        ``count`` carries the *remaining* budget: a key whose two
+        occurrences both got fixed comes back with count 2; fixing only
+        one reports count 1.
+        """
+        stale = []
+        for key in sorted(self._budget):
+            remaining = self._budget[key] - self._used.get(key, 0)
+            if remaining > 0:
+                rule, path, code = key
+                stale.append(
+                    _Entry(rule=rule, path=path, code=code, count=remaining)
+                )
+        return stale
 
     @staticmethod
     def write(path: Path, findings: Sequence[Finding],
@@ -93,6 +120,8 @@ class Baseline:
         """Serialize ``findings`` as a fresh baseline.
 
         ``code_for`` maps ``(rule, path, line)`` to the stripped source line.
+        One row is written per finding — identical flagged lines yield
+        identical rows, and their multiplicity *is* the occurrence budget.
         Line and message are stored for human readers only; matching uses
         ``(rule, path, code)``.
         """

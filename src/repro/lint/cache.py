@@ -1,0 +1,140 @@
+"""Content-hash-keyed incremental cache for lint results.
+
+Same keying discipline as :mod:`repro.runtime.cache`: entries live under a
+versioned directory (``<root>/v<N>/``), keys are SHA-256 digests of a
+canonical-JSON structure, and corrupt entries are unlinked and treated as
+misses.  What goes *into* a key is what makes warm runs trustworthy:
+
+* the **engine digest** — a hash over every source file of the
+  ``repro.lint`` package itself, so editing any checker, the dataflow
+  engine, or this module invalidates the whole cache;
+* the **configuration** (canonical dataclass dump) and the enabled rules;
+* the **project-facts digest** — the facts *value*, not its inputs.
+  Editing one module re-lints that module, but modules whose facts view
+  did not change stay cached — that is the incremental part;
+* the **file content digest** for per-file entries, or the sorted
+  ``(path, content-digest)`` list of the whole index for the project-pass
+  entry.
+
+Cached values are findings *before* baseline filtering (suppression is a
+pure function of file content, so it is safely cached), which keeps the
+baseline's stateful occurrence counting in the coordinator and the warm
+output byte-identical to cold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["LINT_CACHE_VERSION", "LintCache", "engine_digest", "digest_of"]
+
+#: Bump when the cached value shape changes.
+LINT_CACHE_VERSION = 1
+
+#: Default cache root (repo-relative; override with --cache-dir).
+DEFAULT_CACHE_DIR = ".lint-cache"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce to a JSON-stable structure (runtime/cache.py discipline)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {
+            "__mapping__": sorted(
+                (str(k), _canonical(v)) for k, v in value.items()
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                (_canonical(v) for v in value),
+                key=lambda item: json.dumps(item, sort_keys=True),
+            )
+        }
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for cache key")
+
+
+def digest_of(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``value``."""
+    blob = json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+_ENGINE_DIGEST: Optional[str] = None
+
+
+def engine_digest() -> str:
+    """Digest over the lint package's own sources (cached per process)."""
+    global _ENGINE_DIGEST
+    if _ENGINE_DIGEST is None:
+        package_dir = Path(__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            hasher.update(path.relative_to(package_dir).as_posix().encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _ENGINE_DIGEST = hasher.hexdigest()
+    return _ENGINE_DIGEST
+
+
+class LintCache:
+    """Directory-backed JSON cache with self-healing reads."""
+
+    def __init__(self, root: Path):
+        self.dir = Path(root) / f"v{LINT_CACHE_VERSION}"
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings short on big repos.
+        return self.dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._entry_path(key)
+        try:
+            value = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Corrupt or truncated: heal by unlinking, treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(value, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(value, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        tmp.replace(path)  # atomic on POSIX: readers never see half a file

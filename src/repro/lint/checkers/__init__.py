@@ -1,6 +1,13 @@
 """Built-in checkers; importing this package populates the registry."""
 
-from . import des, determinism, hygiene, pickle_safety, scale  # noqa: F401
+from . import (  # noqa: F401
+    des,
+    determinism,
+    hygiene,
+    interprocedural,
+    pickle_safety,
+    scale,
+)
 from .base import Checker, ModuleContext, annotate_parents
 
 __all__ = ["Checker", "ModuleContext", "annotate_parents"]

@@ -40,14 +40,21 @@ def dotted_parts(node: ast.AST) -> Optional[List[str]]:
 
 
 class ModuleContext:
-    """Everything a checker needs to know about the module under lint."""
+    """Everything a checker needs to know about the module under lint.
+
+    ``facts`` carries the cross-module :class:`ProjectFacts` when the
+    module is linted as part of a full ``lint_paths`` run; single-module
+    entry points (``lint_source``) leave it ``None`` and the per-file rules
+    degrade to their local knowledge.
+    """
 
     def __init__(self, path: str, source: str, tree: ast.Module,
-                 config: LintConfig):
+                 config: LintConfig, facts: Optional[object] = None):
         self.path = path  # forward-slash relative path
         self.source = source
         self.tree = tree
         self.config = config
+        self.facts = facts
         self.lines = source.splitlines()
         self.in_sim_package = self._in_packages(config.sim_packages)
         self.in_engine_package = self._in_packages(config.engine_packages)
@@ -78,6 +85,7 @@ class Checker(ast.NodeVisitor):
         self.active = frozenset(active_rules)
         self.findings: List[Finding] = []
         self.imports: Dict[str, str] = self._collect_imports(ctx.tree)
+        self.imports.update(self._collect_relative_imports(ctx))
         self._func_stack: List[ast.AST] = []
 
     # -- reporting ----------------------------------------------------------
@@ -110,13 +118,41 @@ class Checker(ast.NodeVisitor):
                         # ``import numpy.random`` binds ``numpy``.
                         table[alias.name.split(".")[0]] = alias.name.split(".")[0]
             elif isinstance(node, ast.ImportFrom):
-                if node.level:  # relative import: stays project-internal
+                if node.level:  # resolved separately, against the path
                     continue
                 module = node.module or ""
                 for alias in node.names:
                     if alias.name == "*":
                         continue
                     table[alias.asname or alias.name] = f"{module}.{alias.name}"
+        return table
+
+    @staticmethod
+    def _collect_relative_imports(ctx: ModuleContext) -> Dict[str, str]:
+        """alias -> dotted origin for ``from . import x`` style imports.
+
+        Resolution anchors on the module's own dotted name (derived from
+        its path), with the same arithmetic :mod:`repro.lint.project` uses —
+        so names resolved here line up with the project-facts keys.
+        """
+        from ..project import module_name_for
+
+        parts = module_name_for(ctx.path).split(".")
+        table: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or not node.level:
+                continue
+            if node.level >= len(parts) + 1:
+                continue  # escapes the visible tree; leave unresolved
+            base = parts[: len(parts) - node.level]
+            if node.module:
+                base = base + node.module.split(".")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = ".".join(
+                    base + [alias.name]
+                )
         return table
 
     def resolve(self, node: ast.AST) -> Optional[str]:

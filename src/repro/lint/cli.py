@@ -16,9 +16,11 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .baseline import Baseline, BaselineError
+from .cache import DEFAULT_CACHE_DIR, LintCache
 from .config import LintConfig, load_config
 from .registry import all_rules
-from .runner import LintResult, lint_paths
+from .runner import LintResult, lint_paths, resolve_jobs
+from .sarif import write_sarif
 
 __all__ = ["main"]
 
@@ -69,8 +71,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the current findings to the baseline file and exit 0",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs", metavar="N", default=None,
+        help="check files in N parallel processes ('auto' = cores - 1); "
+             "findings are bit-identical to a serial run",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="enable the content-hash incremental cache "
+             f"(default dir: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (implies --cache)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -186,7 +202,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return EXIT_USAGE
 
     try:
-        result = lint_paths(args.paths, config=config, baseline=baseline)
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    cache: Optional[LintCache] = None
+    if args.cache or args.cache_dir:
+        cache = LintCache(Path(args.cache_dir or DEFAULT_CACHE_DIR))
+
+    try:
+        result = lint_paths(
+            args.paths, config=config, baseline=baseline,
+            jobs=jobs, cache=cache,
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -202,6 +231,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         _print_json(result, sys.stdout)
+    elif args.format == "sarif":
+        write_sarif(result.sorted_findings(), sys.stdout)
     else:
         _print_text(result, baseline, sys.stdout)
 

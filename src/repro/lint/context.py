@@ -1,0 +1,90 @@
+"""The whole-program analysis bundle handed to checkers.
+
+``lint_paths`` builds one :class:`ProjectContext` per invocation — index,
+call graph, dataflow — and distills the cheap, *picklable* part into
+:class:`ProjectFacts` for the per-file checkers.  The split matters for the
+parallel runner: workers receive only the facts (a few KB), never the AST
+forest, and because the facts are computed once in the coordinator they are
+byte-identical no matter how the files are later partitioned across
+processes — which is what keeps serial, ``--jobs auto``, and warm-cache
+findings bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, Optional, Tuple
+
+from .callgraph import CallGraph
+from .config import LintConfig
+from .dataflow import ProjectDataflow
+from .project import ProjectIndex
+
+__all__ = ["ProjectFacts", "ProjectContext"]
+
+
+@dataclass(frozen=True)
+class ProjectFacts:
+    """Cross-module facts consumable by per-file checkers.
+
+    Everything here is a plain tuple so the object pickles cheaply, hashes
+    into cache keys canonically, and cannot drift between workers.
+    """
+
+    #: attribute names provably set-typed in *every* non-test class that
+    #: assigns them (conflicting names are dropped — see
+    #: ``ProjectIndex.inferred_set_attributes``)
+    set_attributes: Tuple[str, ...] = ()
+    #: sorted ``(dotted function name, "generator" | "function")`` pairs
+    function_kinds: Tuple[Tuple[str, str], ...] = ()
+
+    def kind_of(self, dotted: str) -> Optional[str]:
+        """"generator"/"function" for a dotted module-level callable."""
+        return _kind_map(self.function_kinds).get(dotted)
+
+
+@lru_cache(maxsize=8)
+def _kind_map(pairs: Tuple[Tuple[str, str], ...]) -> Dict[str, str]:
+    return dict(pairs)
+
+
+class ProjectContext:
+    """Index + call graph + dataflow for one lint invocation."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        graph: CallGraph,
+        dataflow: ProjectDataflow,
+        config: LintConfig,
+        facts: ProjectFacts,
+    ):
+        self.index = index
+        self.graph = graph
+        self.dataflow = dataflow
+        self.config = config
+        self.facts = facts
+
+    @classmethod
+    def build(
+        cls,
+        sources: Iterable[Tuple[str, str]],
+        config: Optional[LintConfig] = None,
+    ) -> "ProjectContext":
+        """Index ``(path, source)`` pairs and run the dataflow fixpoint."""
+        config = config or LintConfig()
+        index = ProjectIndex.build(sources)
+        graph = CallGraph.build(index)
+        facts = ProjectFacts(
+            set_attributes=index.inferred_set_attributes(),
+            function_kinds=tuple(sorted(index.function_kinds().items())),
+        )
+        # The taint engine treats configured *and* inferred set attributes
+        # as hash-ordered sources; REP402 later skips sinks the per-file
+        # REP004 attribute tier already covers (the configured ones).
+        attr_union = sorted(
+            set(config.set_attributes) | set(facts.set_attributes)
+        )
+        dataflow = ProjectDataflow.build(index, graph, attr_union)
+        return cls(index, graph, dataflow, config, facts)

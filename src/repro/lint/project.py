@@ -1,0 +1,501 @@
+"""Whole-program index: one parse of every linted module, cross-referenced.
+
+The per-file checkers see one ``ast.Module`` at a time, which is exactly why
+a seeded RNG escaping through a helper in another module, or a set built in
+``core/`` and iterated in ``sim/``, sails through them.  The
+:class:`ProjectIndex` parses every discovered module once and builds the
+cross-module facts the inter-procedural layer needs:
+
+* a **symbol table** per module — functions, classes (with their methods),
+  and module-level assignments, all addressable by dotted name;
+* an **import table** per module that, unlike the per-file checkers',
+  resolves *relative* imports against the module's own dotted name
+  (``from ..network.multicast import build_neighbor_multicast`` inside
+  ``repro.core.backbone`` resolves to
+  ``repro.network.multicast.build_neighbor_multicast``);
+* the project **import graph** (module -> imported project modules);
+* **class attribute types** inferred from ``__init__`` bodies and
+  annotations (``self.neighbors: Set[...] = set()`` marks ``neighbors`` as
+  set-typed project-wide).
+
+Everything is ordered deterministically (sorted paths, source order inside
+a module) so downstream analyses and caches replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Symbol",
+    "module_name_for",
+    "is_test_path",
+]
+
+#: Directory/file name markers that exclude a module from project analysis:
+#: test fixtures deliberately contain violations, and facts inferred from
+#: test helpers must never change how ``src/`` is linted.
+_TEST_PARTS = {"tests", "test", "conftest.py"}
+
+
+def is_test_path(path: str) -> bool:
+    """True for test modules (excluded from project facts and REP4xx)."""
+    parts = path.replace("\\", "/").split("/")
+    if any(p in _TEST_PARTS for p in parts):
+        return True
+    name = parts[-1]
+    return name.startswith("test_") or name.endswith("_test.py")
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    Everything up to and including a ``src`` component is stripped, so
+    ``src/repro/core/manager.py`` -> ``repro.core.manager`` and a fixture
+    tree ``fixtures/proj/src/repro/sim/a.py`` -> ``repro.sim.a``.  Paths
+    without a ``src`` component keep their full dotted form.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    # Strip up to the *last* "src" component so nested fixture trees work.
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "src":
+            parts = parts[i + 1:]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    module: str          #: dotted module name
+    path: str            #: repo-relative path of the defining module
+    qualname: str        #: ``f`` or ``Cls.m``
+    node: ast.AST        #: the FunctionDef / AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Stable identity: ``(module, qualname)``."""
+        return (self.module, self.qualname)
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def is_generator(self) -> bool:
+        for sub in ast.walk(self.node):
+            if sub is not self.node and isinstance(
+                sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                owner = getattr(sub, "parent", None)
+                while owner is not None and not isinstance(
+                    owner, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    owner = getattr(owner, "parent", None)
+                if owner is self.node:
+                    return True
+        return False
+
+    def param_names(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        names.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and inferred attribute types."""
+
+    module: str
+    path: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: resolved dotted names of base classes (project-internal or not)
+    bases: Tuple[str, ...] = ()
+    #: attribute name -> "set" for attributes provably set-typed
+    set_attributes: Tuple[str, ...] = ()
+    #: attribute names assigned a non-set value somewhere in the class
+    other_attributes: Tuple[str, ...] = ()
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class Symbol:
+    """Resolution result: where a dotted name lands inside the project."""
+
+    module: str
+    qualname: str          #: "" when the symbol is the module itself
+    kind: str              #: "module" | "function" | "class" | "method" | "name"
+    node: Optional[ast.AST] = None
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.qualname}" if self.qualname else self.module
+
+
+class ModuleInfo:
+    """Symbol table and import table for one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = module_name_for(path)
+        self.is_test = is_test_path(path)
+        self.lines = source.splitlines()
+        #: local alias -> absolute dotted origin (relative imports resolved)
+        self.imports: Dict[str, str] = {}
+        #: qualname -> FunctionInfo (module functions and methods)
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class name -> ClassInfo
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module-level name -> value expression of its last binding
+        self.module_assigns: Dict[str, ast.AST] = {}
+        self._collect()
+
+    # -- collection ---------------------------------------------------------
+
+    def _collect(self) -> None:
+        self._collect_imports()
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionInfo(
+                    module=self.module, path=self.path,
+                    qualname=node.name, node=node,
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class(node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_assigns[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    self.module_assigns[node.target.id] = node.value
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            module=self.module, path=self.path, name=node.name, node=node,
+            bases=tuple(
+                self.resolve_dotted(b) or "?" for b in node.bases
+            ),
+        )
+        set_attrs: Set[str] = set()
+        other_attrs: Set[str] = set()
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{node.name}.{child.name}"
+                fi = FunctionInfo(
+                    module=self.module, path=self.path, qualname=qualname,
+                    node=child, class_name=node.name,
+                )
+                info.methods[child.name] = fi
+                self.functions[qualname] = fi
+            elif isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                if _annotation_is_set(child.annotation):
+                    set_attrs.add(child.target.id)
+                else:
+                    other_attrs.add(child.target.id)
+        # self.X = <expr> assignments anywhere in the class body.
+        for sub in ast.walk(node):
+            target_value = _self_attr_assignment(sub)
+            if target_value is None:
+                continue
+            attr, value, annotation = target_value
+            if annotation is not None and _annotation_is_set(annotation):
+                set_attrs.add(attr)
+            elif _expr_is_set(value):
+                set_attrs.add(attr)
+            else:
+                other_attrs.add(attr)
+        info.set_attributes = tuple(sorted(set_attrs - other_attrs))
+        info.other_attributes = tuple(sorted(other_attrs))
+        self.classes[node.name] = info
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    self.imports[alias.asname or alias.name] = origin
+
+    def _import_base(self, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted base of a ``from X import ...`` statement."""
+        if not node.level:
+            return node.module or ""
+        # Relative import: climb ``level`` packages from this module.
+        parts = self.module.split(".")
+        # ``from . import x`` in a module drops the module's own name first.
+        parts = parts[: len(parts) - node.level]
+        if node.module:
+            parts.append(node.module)
+        if not parts:
+            return None
+        return ".".join(parts)
+
+    # -- queries ------------------------------------------------------------
+
+    def resolve_dotted(self, node: ast.AST) -> Optional[str]:
+        """Absolute dotted name of a Name/Attribute chain in this module."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.imports.get(parts[0])
+        if head is not None:
+            parts = head.split(".") + parts[1:]
+        elif (
+            parts[0] in self.functions
+            or parts[0] in self.classes
+            or parts[0] in self.module_assigns
+        ):
+            # A symbol defined in this very module.
+            parts = self.module.split(".") + parts
+        return ".".join(parts)
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class ProjectIndex:
+    """All linted modules, parsed once and cross-referenced."""
+
+    def __init__(self) -> None:
+        #: path -> ModuleInfo, insertion-ordered by sorted path
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: dotted module name -> path (first sorted path wins on collision)
+        self.by_name: Dict[str, str] = {}
+        #: dotted module name -> sorted tuple of imported project modules
+        self.import_graph: Dict[str, Tuple[str, ...]] = {}
+        #: (path, message) for files that failed to parse
+        self.parse_errors: List[Tuple[str, str]] = []
+
+    @classmethod
+    def build(cls, sources: Iterable[Tuple[str, str]]) -> "ProjectIndex":
+        """Index ``(path, source)`` pairs; paths are repo-relative posix."""
+        from .checkers import annotate_parents
+
+        index = cls()
+        for path, source in sorted(sources, key=lambda item: item[0]):
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                index.parse_errors.append(
+                    (path, f"syntax error: {exc.msg} (line {exc.lineno})")
+                )
+                continue
+            annotate_parents(tree)
+            info = ModuleInfo(path, source, tree)
+            index.modules[path] = info
+            index.by_name.setdefault(info.module, path)
+        index._link_imports()
+        return index
+
+    def _link_imports(self) -> None:
+        for path, info in self.modules.items():
+            imported: Set[str] = set()
+            for origin in info.imports.values():
+                target = self._owning_module(origin)
+                if target is not None and target != info.module:
+                    imported.add(target)
+            self.import_graph[info.module] = tuple(sorted(imported))
+
+    def _owning_module(self, dotted: str) -> Optional[str]:
+        """The longest indexed module prefix of ``dotted``, if any."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.by_name:
+                return candidate
+        return None
+
+    # -- symbol resolution --------------------------------------------------
+
+    def module_for(self, name: str) -> Optional[ModuleInfo]:
+        path = self.by_name.get(name)
+        return self.modules.get(path) if path else None
+
+    def resolve(self, dotted: str) -> Optional[Symbol]:
+        """Resolve an absolute dotted name to a project symbol.
+
+        Walks the longest module prefix, then function/class/method chains
+        inside it.  Re-exports through package ``__init__`` modules are
+        followed one hop (``repro.des.Environment`` ->
+        ``repro.des.engine.Environment``).
+        """
+        return self._resolve(dotted, hops=0)
+
+    def _resolve(self, dotted: str, hops: int) -> Optional[Symbol]:
+        owner = self._owning_module(dotted)
+        if owner is None:
+            return None
+        info = self.module_for(owner)
+        if info is None:
+            return None
+        rest = dotted[len(owner):].lstrip(".")
+        if not rest:
+            return Symbol(module=owner, qualname="", kind="module",
+                          node=info.tree)
+        head, _, tail = rest.partition(".")
+        if head in info.classes:
+            cls = info.classes[head]
+            if not tail:
+                return Symbol(owner, head, "class", cls.node)
+            method = cls.methods.get(tail)
+            if method is not None:
+                return Symbol(owner, method.qualname, "method", method.node)
+            return None
+        if not tail and head in info.functions:
+            return Symbol(owner, head, "function", info.functions[head].node)
+        if head in info.imports and hops < 4:
+            # Re-export: follow the import one hop.
+            target = info.imports[head]
+            if tail:
+                target = f"{target}.{tail}"
+            return self._resolve(target, hops + 1)
+        if not tail and head in info.module_assigns:
+            return Symbol(owner, head, "name", info.module_assigns[head])
+        return None
+
+    def resolve_call(self, info: ModuleInfo, call: ast.Call) -> Optional[Symbol]:
+        """Resolve ``call.func`` through ``info``'s import table."""
+        dotted = info.resolve_dotted(call.func)
+        if dotted is None:
+            return None
+        return self.resolve(dotted)
+
+    # -- project-wide facts -------------------------------------------------
+
+    def inferred_set_attributes(self) -> Tuple[str, ...]:
+        """Attribute names set-typed in *every* non-test class using them.
+
+        A name counted as a set in one class but assigned something else in
+        another is dropped — the per-file attribute tier matches by name
+        only, so a conflicted name would flag dict lookups (the
+        ``FloorPlan.occupants`` lesson in the baseline).
+        """
+        set_names: Set[str] = set()
+        other_names: Set[str] = set()
+        for path in sorted(self.modules):
+            info = self.modules[path]
+            if info.is_test:
+                continue
+            for cls_name in sorted(info.classes):
+                cls = info.classes[cls_name]
+                set_names.update(cls.set_attributes)
+                other_names.update(cls.other_attributes)
+        return tuple(sorted(set_names - other_names))
+
+    def function_kinds(self) -> Dict[str, str]:
+        """dotted module-level function name -> "generator" | "function"."""
+        kinds: Dict[str, str] = {}
+        for path in sorted(self.modules):
+            info = self.modules[path]
+            if info.is_test:
+                continue
+            for qualname in sorted(info.functions):
+                fi = info.functions[qualname]
+                if fi.class_name is not None:
+                    continue
+                kinds[fi.dotted] = (
+                    "generator" if fi.is_generator else "function"
+                )
+        return kinds
+
+
+# -- shared expression classifiers ------------------------------------------
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    """``Set[...]``, ``FrozenSet[...]``, ``set``/``frozenset`` annotations."""
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    name = None
+    if isinstance(target, ast.Name):
+        name = target.id
+    elif isinstance(target, ast.Attribute):
+        name = target.attr
+    elif isinstance(target, ast.Constant) and isinstance(target.value, str):
+        # String annotation: a crude but effective prefix check.
+        text = target.value.strip()
+        name = text.split("[", 1)[0].strip()
+    return name in {"Set", "FrozenSet", "AbstractSet", "MutableSet",
+                    "set", "frozenset"}
+
+
+def _expr_is_set(node: ast.AST) -> bool:
+    """Syntactically evident set expressions (no scope tracking)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _expr_is_set(node.left) or _expr_is_set(node.right)
+    if isinstance(node, ast.IfExp):
+        return _expr_is_set(node.body) or _expr_is_set(node.orelse)
+    return False
+
+
+def _self_attr_assignment(
+    node: ast.AST,
+) -> Optional[Tuple[str, ast.AST, Optional[ast.AST]]]:
+    """``self.X = value`` / ``self.X: T = value`` -> (X, value, annotation)."""
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target, value, annotation = node.targets[0], node.value, None
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        target, value, annotation = node.target, node.value, node.annotation
+    else:
+        return None
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return (target.attr, value, annotation)
+    return None

@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 serialization for GitHub code scanning.
+
+One run, one tool driver (``repro-lint``), the full rule catalogue in
+``tool.driver.rules`` so the code-scanning UI can show rule help, and one
+``result`` per finding.  Output is fully deterministic: findings arrive
+pre-sorted and the JSON is dumped with stable key order, so the CI
+byte-identity check covers this format too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .findings import Finding
+from .registry import all_rules
+
+__all__ = ["sarif_payload", "write_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_payload(findings: List[Finding]) -> Dict[str, object]:
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(findings: List[Finding], out) -> None:
+    json.dump(sarif_payload(findings), out, indent=2, sort_keys=False)
+    out.write("\n")

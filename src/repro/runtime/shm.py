@@ -96,6 +96,13 @@ def _untrack(shm: Any) -> None:
 
 
 def _create_segment(name: str, size: int) -> Any:
+    """Create an untracked segment; the caller takes ownership.
+
+    Lifecycle transfer: the returned handle belongs to the encode side,
+    which closes it after writing; the *decode* side unlinks the name once
+    the payload is read (``decode_result``), and per-run orphan sweeps
+    catch crashed workers.  Nothing here may close or unlink.
+    """
     SharedMemory = _shared_memory()
     try:
         shm = SharedMemory(name=name, create=True, size=size, track=False)
@@ -106,6 +113,13 @@ def _create_segment(name: str, size: int) -> Any:
 
 
 def _attach_segment(name: str) -> Any:
+    """Attach to an existing segment; the caller takes ownership.
+
+    Lifecycle transfer: the decode side closes the returned handle and
+    unlinks the name after copying the payload out — attaching here and
+    unlinking there is the zero-copy handshake, so this helper must leave
+    the lifecycle entirely to its caller.
+    """
     SharedMemory = _shared_memory()
     try:
         shm = SharedMemory(name=name, track=False)

@@ -30,8 +30,13 @@ def reset_conn_ids() -> None:
     a replication emits into traces depend only on the replication itself
     — not on how many simulations the hosting process ran first.  Direct
     scenario entry points (``run_campus_day``) reset for the same reason.
+
+    The module-state mutation REP404 would flag is this hook's entire
+    purpose: every process (coordinator and each worker) runs it at the
+    same point in every replication, which is exactly what makes the
+    per-process counter deterministic.
     """
-    _conn_ids["next"] = 1
+    _conn_ids["next"] = 1  # repro-lint: ignore[REP404]
 
 
 class ConnectionState(Enum):

@@ -151,6 +151,73 @@ def test_json_clean_tree(tree):
     assert payload["counts"] == {}
 
 
+# -- SARIF format -----------------------------------------------------------
+
+
+def test_sarif_output_shape(tree):
+    proc = run_lint(["--format", "sarif", "src"], cwd=dirty(tree))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    catalogue = [rule["id"] for rule in driver["rules"]]
+    assert "REP001" in catalogue and "REP401" in catalogue
+
+    assert {r["ruleId"] for r in run["results"]} == {"REP001", "REP003"}
+    for result in run["results"]:
+        # ruleIndex must point back at the catalogue entry for ruleId.
+        assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == (
+            "src/repro/sim/module.py"
+        )
+        assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert location["region"]["startLine"] >= 1
+
+
+def test_sarif_clean_tree_has_no_results(tree):
+    proc = run_lint(["--format", "sarif", "src"], cwd=tree)
+    assert proc.returncode == 0
+    payload = json.loads(proc.stdout)
+    assert payload["runs"][0]["results"] == []
+
+
+# -- jobs / cache flags ------------------------------------------------------
+
+
+def test_jobs_flag_output_matches_serial(tree):
+    dirty(tree)
+    serial = run_lint(["--format", "json", "src"], cwd=tree)
+    for flag in ("2", "auto"):
+        parallel = run_lint(
+            ["--jobs", flag, "--format", "json", "src"], cwd=tree
+        )
+        assert parallel.stdout == serial.stdout
+        assert parallel.returncode == serial.returncode
+
+
+def test_jobs_zero_is_usage_error(tree):
+    proc = run_lint(["--jobs", "0", "src"], cwd=tree)
+    assert proc.returncode == 2
+    assert "--jobs" in proc.stderr
+
+
+def test_cache_flag_creates_dir_and_reuses_it(tree):
+    dirty(tree)
+    cold = run_lint(["--cache", "--format", "json", "src"], cwd=tree)
+    assert (tree / ".lint-cache" / "v1").is_dir()
+    warm = run_lint(["--cache", "--format", "json", "src"], cwd=tree)
+    assert warm.stdout == cold.stdout
+    assert warm.returncode == cold.returncode == 1
+
+
+def test_cache_dir_flag_implies_cache(tree):
+    run_lint(["--cache-dir", "elsewhere", "src"], cwd=tree)
+    assert (tree / "elsewhere" / "v1").is_dir()
+
+
 # -- baseline workflow ------------------------------------------------------
 
 
@@ -193,6 +260,49 @@ def test_no_baseline_flag_bypasses_it(tree):
     run_lint(["--write-baseline", "src"], cwd=tree)
     proc = run_lint(["--no-baseline", "src"], cwd=tree)
     assert proc.returncode == 1
+
+
+def test_baseline_counts_identical_lines(tree):
+    # Two byte-identical violating lines collide on (rule, path, code);
+    # the baseline must track the multiplicity, not just the key.
+    (tree / "src" / "repro" / "sim" / "module.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def first():\n"
+        "    return time.time()\n"
+        "\n"
+        "\n"
+        "def second():\n"
+        "    return time.time()\n"
+    )
+    wrote = run_lint(["--write-baseline", "src"], cwd=tree)
+    assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+    baseline = json.loads((tree / "lint-baseline.json").read_text())
+    assert len(baseline["entries"]) == 2
+
+    # Both occurrences are grandfathered...
+    proc = run_lint(["src"], cwd=tree)
+    assert proc.returncode == 0, proc.stdout
+    assert "2 baselined" in proc.stdout
+
+    # ...fixing one consumes one unit of budget and reports the freed
+    # unit as stale, instead of silently keeping a spare match around.
+    (tree / "src" / "repro" / "sim" / "module.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def first():\n"
+        "    return time.time()\n"
+        "\n"
+        "\n"
+        "def second():\n"
+        "    return 0.0\n"
+    )
+    proc = run_lint(["src"], cwd=tree)
+    assert proc.returncode == 0, proc.stdout
+    assert "1 baselined" in proc.stdout
+    assert "stale baseline entry" in proc.stdout
 
 
 def test_corrupt_baseline_is_usage_error(tree):

@@ -698,6 +698,7 @@ ALL_RULE_IDS = [
     "REP101", "REP102", "REP103",
     "REP201", "REP202", "REP204",
     "REP301", "REP302", "REP303",
+    "REP401", "REP402", "REP403", "REP404",
 ]
 
 
