@@ -6,6 +6,7 @@ Usage::
     python -m repro table2               # run one experiment, print it
     python -m repro figure5
     python -m repro --jobs 4 figure6     # parallel sweep execution
+    python -m repro figure4 --backend distributed --nodes 4  # multi-node sweep
     python -m repro all                  # run everything (slow)
     python -m repro campus --portables 100000   # campus-scale stress run
     python -m repro cache stats          # inspect the result cache
@@ -270,6 +271,18 @@ def _campus_main(argv: List[str]) -> int:
         "default: $REPRO_JOBS, else 1)",
     )
     parser.add_argument(
+        "--backend", choices=("serial", "process", "distributed"), default=None,
+        help="execution backend (default: serial for --jobs 1, else process)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=2, metavar="N",
+        help="node workers for --backend distributed (default 2)",
+    )
+    parser.add_argument(
+        "--node-jobs", default=1, metavar="N",
+        help="worker processes inside each distributed node (default 1)",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="print run telemetry (wall times, in-worker DES events/sec)",
     )
@@ -279,7 +292,12 @@ def _campus_main(argv: List[str]) -> int:
     )
     args = parser.parse_args(argv)
 
-    runner = ExperimentRunner(jobs=args.jobs)
+    runner = ExperimentRunner(
+        jobs=args.jobs,
+        backend=args.backend,
+        nodes=args.nodes,
+        node_jobs=args.node_jobs,
+    )
     configs = [
         {
             "seed": args.seed + i,
@@ -292,7 +310,7 @@ def _campus_main(argv: List[str]) -> int:
         }
         for i in range(args.replications)
     ]
-    results = runner.run_many(simulate_campus_scale, configs)
+    results = runner.run_many(simulate_campus_scale, configs, label="campus")
     for config, result in zip(configs, results):
         print(
             format_table(
@@ -369,6 +387,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default: $REPRO_JOBS, else 1)",
     )
     parser.add_argument(
+        "--backend", choices=("serial", "process", "distributed"), default=None,
+        help="execution backend (default: serial for --jobs 1, else process; "
+        "'distributed' shards sweeps across --nodes node workers with "
+        "resumable job manifests — see docs/DISTRIBUTED.md)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=2, metavar="N",
+        help="node workers for --backend distributed (default 2)",
+    )
+    parser.add_argument(
+        "--node-jobs", default=1, metavar="N",
+        help="worker processes inside each distributed node (default 1)",
+    )
+    parser.add_argument(
         "--cache", action="store_true",
         help="reuse previously simulated sweep points from benchmarks/.cache/",
     )
@@ -416,6 +448,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     runner = ExperimentRunner(
         jobs=args.jobs,
+        backend=args.backend,
+        nodes=args.nodes,
+        node_jobs=args.node_jobs,
         cache=ResultCache() if args.cache else None,
         max_retries=args.max_retries,
         timeout=args.timeout,

@@ -56,7 +56,7 @@ def _pooled(policy: str, seeds: Sequence[int], horizon: float,
     ]
     pooled = TeletrafficStats()
     survivors = drop_failures(
-        runner.run_many(simulate_twocell_stats, configs),
+        runner.run_many(simulate_twocell_stats, configs, label="ablations"),
         context=f"ablation pooled run ({policy})",
     )
     for stats in survivors:
@@ -90,7 +90,8 @@ def static_vs_predictive(
         for p_qos in p_qos_values
         for seed in seeds
     ]
-    stats_list = runner.run_many(simulate_twocell_stats, configs)
+    stats_list = runner.run_many(simulate_twocell_stats, configs,
+                                 label="ablations")
 
     def pooled(group: int) -> TeletrafficStats:
         # Filter failures inside the per-group slice so knob alignment
@@ -216,7 +217,8 @@ def mlist_overhead(conns: int = 6, switches: int = 6,
     runner = runner if runner is not None else ExperimentRunner()
     jobs = [_MlistJob(conns, switches, seed) for seed in seeds]
     return drop_failures(
-        runner.run_many(_mlist_row, jobs), context="mlist overhead"
+        runner.run_many(_mlist_row, jobs, label="ablations"),
+        context="mlist overhead",
     )
 
 
@@ -293,7 +295,8 @@ def prediction_levels(
         for name, enabled in variants.items()
     ]
     return drop_failures(
-        runner.run_many(_prediction_variant, jobs), context="prediction levels"
+        runner.run_many(_prediction_variant, jobs, label="ablations"),
+        context="prediction levels",
     )
 
 
@@ -388,7 +391,8 @@ def pool_fraction_sweep(
         for fraction in fractions
     ]
     return drop_failures(
-        runner.run_many(_pool_fraction_point, jobs), context="pool fraction"
+        runner.run_many(_pool_fraction_point, jobs, label="ablations"),
+        context="pool fraction",
     )
 
 

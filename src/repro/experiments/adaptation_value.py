@@ -171,7 +171,8 @@ def run_adaptation_value(
         for adaptive in (False, True)
     ]
     return drop_failures(
-        runner.run_many(simulate_adaptation_policy, configs),
+        runner.run_many(simulate_adaptation_policy, configs,
+                        label="adaptation-value"),
         context="adaptation value",
     )
 

@@ -172,7 +172,8 @@ def run_figure4_sweep(
     """
     runner = runner if runner is not None else ExperimentRunner()
     return drop_failures(
-        runner.run_many(run_figure4, list(seeds)), context="figure4"
+        runner.run_many(run_figure4, list(seeds), label="figure4"),
+        context="figure4",
     )
 
 

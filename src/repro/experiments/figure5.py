@@ -429,7 +429,7 @@ def run_figure5_comparison(
         for students in (lecture_students, lab_students)
         for policy in POLICIES
     ]
-    results = runner.run_many(_figure5_job, jobs)
+    results = runner.run_many(_figure5_job, jobs, label="figure5")
     # Warn about (and skip) exhausted points from a partial sweep; zipping
     # against the unfiltered list keeps job/result alignment intact.
     drop_failures(results, context="figure5")

@@ -64,7 +64,7 @@ def _pooled_run(window: float, p_qos: float, seeds: Sequence[int],
     ]
     return _merge_pooled(
         drop_failures(
-            runner.run_many(simulate_twocell_stats, configs),
+            runner.run_many(simulate_twocell_stats, configs, label="figure6"),
             context=f"figure6 pooled run ({policy})",
         )
     )
@@ -96,7 +96,8 @@ def run_figure6(
         for window, p_qos in grid
         for seed in seeds
     ]
-    stats_list = runner.run_many(simulate_twocell_stats, configs)
+    stats_list = runner.run_many(simulate_twocell_stats, configs,
+                                 label="figure6")
 
     points: List[Figure6Point] = []
     for index, (window, p_qos) in enumerate(grid):

@@ -107,7 +107,7 @@ def run_table2(runner: Optional[ExperimentRunner] = None) -> List[Table2Case]:
         Table2Spec("audio (tight delay)", Discipline.WFQ, True, "audio",
                    delay_bound=0.05)
     )
-    return drop_failures(runner.run_many(_admit_case, specs), context="table2")
+    return drop_failures(runner.run_many(_admit_case, specs, label="table2"), context="table2")
 
 
 def render_table2(cases: List[Table2Case]) -> str:

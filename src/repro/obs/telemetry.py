@@ -53,6 +53,17 @@ class RunTelemetry:
     #: DES events processed inside successful replications (summed across
     #: workers; counted by the simulation kernel, shipped with the result).
     des_events: int = 0
+    #: Node processes launched by the distributed backend (all rounds).
+    nodes: int = 0
+    #: Node relaunch rounds forced by crashed/hung nodes.
+    node_restarts: int = 0
+    #: Manifest chunks executed by nodes during this run.
+    chunks: int = 0
+    #: Manifest chunks whose results were adopted from a previous
+    #: submission's result files instead of being re-executed.
+    chunks_resumed: int = 0
+    #: Wall seconds each node round spent from launch to exit.
+    node_wall_times: List[float] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
@@ -116,6 +127,11 @@ class RunTelemetry:
         self.trace_dropped += other.trace_dropped
         self.wall_times.extend(other.wall_times)
         self.des_events += other.des_events
+        self.nodes += other.nodes
+        self.node_restarts += other.node_restarts
+        self.chunks += other.chunks
+        self.chunks_resumed += other.chunks_resumed
+        self.node_wall_times.extend(other.node_wall_times)
         return self
 
     def to_dict(self) -> Dict[str, Any]:
@@ -142,6 +158,13 @@ class RunTelemetry:
             "des": {
                 "events": self.des_events,
                 "events_per_second": self.events_per_second,
+            },
+            "distributed": {
+                "nodes": self.nodes,
+                "node_restarts": self.node_restarts,
+                "chunks": self.chunks,
+                "chunks_resumed": self.chunks_resumed,
+                "node_wall_total": sum(self.node_wall_times),
             },
             "wall_time": {
                 "elapsed": self.elapsed,
@@ -172,6 +195,13 @@ class RunTelemetry:
                 f"  cache:         {self.cache_hits} hits / "
                 f"{self.cache_misses} misses "
                 f"({self.cache_hit_rate * 100.0:.1f}% hit rate)"
+            )
+        if self.nodes:
+            lines.append(
+                f"  distributed:   {self.nodes} node launches, "
+                f"{self.chunks} chunks executed"
+                + (f", {self.chunks_resumed} resumed" if self.chunks_resumed else "")
+                + (f", {self.node_restarts} restarts" if self.node_restarts else "")
             )
         if self.shm_results:
             lines.append(

@@ -18,7 +18,13 @@ loops into a single dispatch surface:
   sleeps;
 * :class:`~repro.runtime.shm.SharedResultTransport` — zero-copy transport
   that ships large numeric result payloads through shared-memory segments
-  instead of the pickle pipe, with crash-safe orphan sweeping.
+  instead of the pickle pipe, with crash-safe orphan sweeping;
+* :mod:`~repro.runtime.distributed` — the cluster-scale backend
+  (``backend="distributed"`` / ``--backend distributed --nodes N``):
+  a coordinator shards each batch into a content-hash-keyed job manifest,
+  node workers execute chunks and publish per-chunk result files, crashed
+  or stalled nodes are re-sharded, and interrupted sweeps resume from
+  whatever chunks already completed (see ``docs/DISTRIBUTED.md``).
 
 Determinism contract: each replication owns its seed inside its config,
 workers never share RNG state, and merging stays on the coordinator in
@@ -35,7 +41,25 @@ from .cache import (
     default_cache_dir,
     parse_size,
 )
-from .faults import FaultInjector, FaultSpec, InjectedFault
+from .distributed import (
+    DistributedCoordinator,
+    DistributedRunError,
+    LocalSubprocessTransport,
+    NodeTransport,
+    ShardPlan,
+    default_run_root,
+    merge_chunk_results,
+    plan_shards,
+    sweep_id_for,
+)
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    NodeFaultSpec,
+    load_node_fault_plan,
+    write_node_fault_plan,
+)
 from .runner import (
     JOBS_ENV,
     ExperimentRunner,
@@ -67,9 +91,21 @@ __all__ = [
     "config_key",
     "default_cache_dir",
     "parse_size",
+    "DistributedCoordinator",
+    "DistributedRunError",
+    "LocalSubprocessTransport",
+    "NodeTransport",
+    "ShardPlan",
+    "default_run_root",
+    "merge_chunk_results",
+    "plan_shards",
+    "sweep_id_for",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "NodeFaultSpec",
+    "load_node_fault_plan",
+    "write_node_fault_plan",
     "JOBS_ENV",
     "ExperimentRunner",
     "FailedResult",

@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pickle
 import shutil
@@ -79,6 +80,10 @@ def parse_size(text: Union[str, int]) -> int:
         raise ValueError(
             f"invalid size {text!r}: expected e.g. 2048, 500M, or 1.5G"
         ) from None
+    if not math.isfinite(value):
+        # float("inf") / float("nan") parse but would crash int() below
+        # (or poison every cap comparison); reject them as sizes.
+        raise ValueError(f"size must be finite, got {text!r}")
     if value < 0:
         raise ValueError(f"size must be >= 0, got {text!r}")
     return int(value * _SIZE_SUFFIXES[suffix])
@@ -204,6 +209,7 @@ class ResultCache:
         path = self.path_for(fn, config)
         try:
             with open(path, "rb") as fh:
+                opened_ino = os.fstat(fh.fileno()).st_ino
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
@@ -211,9 +217,14 @@ class ResultCache:
         except Exception:
             # Unpickling arbitrary corruption can raise nearly anything
             # (ValueError from stray opcodes, UnicodeDecodeError, ...);
-            # every failure mode is just a miss.  Drop the dead entry.
+            # every failure mode is just a miss.  Drop the dead entry —
+            # but only if it is still the *same file* we opened: a
+            # concurrent writer may have atomically republished a good
+            # entry at this path since, and unlinking blindly would
+            # delete another node's live result.
             try:
-                path.unlink()
+                if path.stat().st_ino == opened_ino:
+                    path.unlink()
             except OSError:
                 pass
             self.misses += 1
@@ -310,10 +321,23 @@ class ResultCache:
             over_entries = max_entries is not None and count > max_entries
             if not (over_bytes or over_entries):
                 break
+            # Tolerate concurrent writers instead of locking: re-stat the
+            # entry just before unlinking.  An mtime newer than our
+            # snapshot means another process read (touched) or rewrote
+            # the entry after we ranked it LRU — it is live now, so skip
+            # it rather than evict a neighbor node's working set.
+            try:
+                current = entry.path.stat()
+            except OSError:
+                total -= entry.size
+                count -= 1
+                continue  # concurrently removed; treat as already evicted
+            if current.st_mtime > entry.last_used:
+                continue
             try:
                 entry.path.unlink()
             except OSError:
-                continue  # concurrently removed; treat as already evicted
+                continue
             total -= entry.size
             count -= 1
             evicted += 1

@@ -1,0 +1,54 @@
+"""Node-worker entry point for the distributed sweep backend.
+
+Launched (today) as a local subprocess by
+:class:`~repro.runtime.distributed.LocalSubprocessTransport`::
+
+    python -m repro.runtime.node_worker \
+        --run-dir benchmarks/.distrun/<sweep> --node 0 --round 0 --chunks 0,2,4
+
+The process reads the run directory's manifest and payload, executes its
+assigned chunks through an in-node :class:`~repro.runtime.ExperimentRunner`,
+publishes one atomic result file per chunk, and exits 0.  Exit codes:
+
+====  =====================================================================
+0     every assigned chunk published
+2     protocol problem (missing manifest/payload, unknown chunk id)
+3     a config failed unrecoverably (details in ``errors/node-<k>.json``)
+else  the process died — the coordinator treats missing chunks as a crash
+====  =====================================================================
+
+A remote transport only needs to arrange for this module to run against
+the run directory; everything else is files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .distributed import run_node_chunks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.node_worker",
+        description="Execute assigned sweep chunks against a run directory.",
+    )
+    parser.add_argument("--run-dir", required=True, help="the sweep's run directory")
+    parser.add_argument("--node", type=int, required=True, help="this node's id")
+    parser.add_argument(
+        "--round", type=int, default=0, dest="round_",
+        help="launch round (0 = first; restarts increment)",
+    )
+    parser.add_argument(
+        "--chunks", required=True,
+        help="comma-separated chunk ids assigned to this node",
+    )
+    args = parser.parse_args(argv)
+    chunk_ids = [int(c) for c in args.chunks.split(",") if c.strip() != ""]
+    return run_node_chunks(args.run_dir, args.node, args.round_, chunk_ids)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

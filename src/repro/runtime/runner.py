@@ -82,7 +82,10 @@ from ..obs.trace import RingBufferSink, Tracer, get_tracer, replay_records, set_
 from .shm import DEFAULT_MIN_ELEMENTS, SharedResultTransport, shm_available
 
 if TYPE_CHECKING:
+    from pathlib import Path
+
     from .cache import ResultCache
+    from .distributed import NodeTransport
 
 __all__ = [
     "JOBS_ENV",
@@ -409,8 +412,13 @@ class ExperimentRunner:
     jobs:
         Worker count (see :func:`resolve_jobs`); 1 means in-process serial.
     backend:
-        ``"serial"`` or ``"process"``; defaults to ``"process"`` when
-        ``jobs > 1``.
+        ``"serial"``, ``"process"``, or ``"distributed"``; defaults to
+        ``"process"`` when ``jobs > 1``.  The distributed backend shards
+        each batch across ``nodes`` node-worker processes through a
+        content-hash-keyed job manifest (see
+        :mod:`repro.runtime.distributed`); results stay bit-identical to
+        serial execution and interrupted sweeps resume from their
+        completed chunk files.
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache`; hits skip
         simulation entirely.  Failed sweep points are never cached.
@@ -450,6 +458,25 @@ class ExperimentRunner:
     trace_capacity:
         Worker-side trace ring-buffer capacity in records per
         replication; overflow is counted in ``telemetry.trace_dropped``.
+    nodes:
+        Node-worker count for the distributed backend (default 2).
+    node_jobs:
+        Worker processes *inside* each node (default 1; accepts the same
+        forms as ``jobs``).
+    run_root:
+        Directory holding distributed run directories (default
+        ``benchmarks/.distrun`` or ``$REPRO_DISTRIBUTED_DIR``).
+    node_timeout:
+        Seconds a node may go without publishing a new chunk file before
+        the coordinator cancels it and re-shards its missing chunks
+        (default None: wait forever).
+    max_node_restarts:
+        Re-shard rounds allowed after the first before the coordinator
+        gives up with :class:`~repro.runtime.distributed.DistributedRunError`
+        (the run directory is kept, so a re-submission resumes).
+    node_transport:
+        A :class:`~repro.runtime.distributed.NodeTransport` override; the
+        default launches local ``repro.runtime.node_worker`` subprocesses.
     sleep, clock:
         Injectable time sources (tests replace them to assert backoff
         schedules without real sleeping).
@@ -469,14 +496,28 @@ class ExperimentRunner:
         shm_min_elements: int = DEFAULT_MIN_ELEMENTS,
         worker_observability: bool = True,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        nodes: int = 2,
+        node_jobs: Union[int, str, None] = 1,
+        run_root: Union[str, "Path", None] = None,
+        node_timeout: Optional[float] = None,
+        max_node_restarts: int = 2,
+        node_transport: Optional["NodeTransport"] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.jobs = resolve_jobs(jobs)
         if backend is None:
             backend = "process" if self.jobs > 1 else "serial"
-        if backend not in ("serial", "process"):
+        if backend not in ("serial", "process", "distributed"):
             raise ValueError(f"unknown backend {backend!r}")
+        if int(nodes) != nodes or nodes < 1:
+            raise ValueError(f"nodes must be an int >= 1, got {nodes!r}")
+        if node_timeout is not None and node_timeout <= 0:
+            raise ValueError(f"node_timeout must be > 0 seconds, got {node_timeout!r}")
+        if int(max_node_restarts) != max_node_restarts or max_node_restarts < 0:
+            raise ValueError(
+                f"max_node_restarts must be an int >= 0, got {max_node_restarts!r}"
+            )
         if int(max_retries) != max_retries or max_retries < 0:
             raise ValueError(f"max_retries must be an int >= 0, got {max_retries!r}")
         if retry_backoff < 0:
@@ -494,6 +535,12 @@ class ExperimentRunner:
         self.shm_min_elements = int(shm_min_elements)
         self.worker_observability = bool(worker_observability)
         self.trace_capacity = int(trace_capacity)
+        self.nodes = int(nodes)
+        self.node_jobs = resolve_jobs(node_jobs)
+        self.run_root = run_root
+        self.node_timeout = node_timeout
+        self.max_node_restarts = int(max_node_restarts)
+        self.node_transport = node_transport
         self._transport: Optional[SharedResultTransport] = None
         self._sleep = sleep
         self._clock = clock
@@ -507,13 +554,20 @@ class ExperimentRunner:
         through the supervised paths."""
         return self.max_retries > 0 or self.timeout is not None or self.partial
 
-    def run_many(self, fn: Callable[[Any], Any], configs: Sequence[Any]) -> List[Any]:
+    def run_many(
+        self,
+        fn: Callable[[Any], Any],
+        configs: Sequence[Any],
+        label: Optional[str] = None,
+    ) -> List[Any]:
         """Run ``fn(config)`` for every config, results in submission order.
 
         ``fn`` must be a module-level callable and each config picklable
         when the process backend is active.  Under ``partial=True`` the
         returned list may contain :class:`FailedResult` sentinels at the
-        submission indices of exhausted configs.
+        submission indices of exhausted configs.  ``label`` is a
+        human-readable sweep name recorded in distributed job manifests
+        (experiment drivers pass their figure/table name).
         """
         configs = list(configs)
         results: List[Any] = [None] * len(configs)
@@ -539,7 +593,8 @@ class ExperimentRunner:
                 transport = self._transport_for(len(pending))
                 try:
                     computed = self._execute(
-                        fn, [configs[i] for i in pending], pending, obs, transport
+                        fn, [configs[i] for i in pending], pending, obs,
+                        transport, label=label,
                     )
                 finally:
                     # Workers are done (or reaped) by now: any segment still
@@ -649,7 +704,14 @@ class ExperimentRunner:
         indices: List[int],
         obs: Optional[ObsRequest],
         transport: Optional[SharedResultTransport],
+        label: Optional[str] = None,
     ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
+        if self.backend == "distributed":
+            from .distributed import DistributedCoordinator
+
+            return DistributedCoordinator(self).execute(
+                fn, configs, indices, obs, label=label
+            )
         if self.fault_tolerant:
             if self.backend == "process":
                 return self._run_supervised(fn, configs, indices, obs, transport)

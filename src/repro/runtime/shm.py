@@ -52,6 +52,7 @@ __all__ = [
     "SharedResultTransport",
     "active_segments",
     "shm_available",
+    "sweep_dead_owner_segments",
 ]
 
 #: Sequences shorter than this stay on the pickle path (1024 float64s is
@@ -189,6 +190,45 @@ def active_segments(run_id: Optional[str] = None) -> List[str]:
     except OSError:
         return []
     return sorted(e for e in entries if e.startswith(prefix))
+
+
+def sweep_dead_owner_segments() -> List[str]:
+    """Unlink transport segments whose creating process is gone.
+
+    Segment names embed the creator's pid (``repro_shm_<run>_<pid>_<seq>``).
+    A runner's own atexit sweep covers normal exits, but a *hard-killed*
+    process (a distributed node worker cancelled mid-chunk, a scripted
+    ``kill`` fault) never runs atexit hooks, and its coordinator — in a
+    different process tree — does not know the victim's run id.  The
+    distributed coordinator calls this after reaping a crashed node:
+    any segment owned by a dead pid is an orphan by definition.
+
+    Returns the names it reclaimed.
+    """
+    reclaimed: List[str] = []
+    for name in active_segments():
+        parts = name.split("_")
+        if len(parts) < 4:
+            continue
+        try:
+            pid = int(parts[-2], 16)
+        except ValueError:
+            continue
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # owner alive; its own sweep is responsible
+        except ProcessLookupError:
+            pass
+        except OSError:
+            continue  # permission etc. — not ours to judge
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            reclaimed.append(name)
+        except OSError:  # pragma: no cover - raced with another sweep
+            pass
+    return reclaimed
 
 
 @dataclass(frozen=True)

@@ -377,3 +377,102 @@ def test_stats_snapshot(tmp_path):
     )
     assert by_name["other.worker"][0] == 1
     assert sum(count for count, _size in by_name.values()) == 3
+
+
+# -- concurrent-writer tolerance --------------------------------------------
+#
+# Distributed node workers share one cache directory: several processes
+# get/put/prune concurrently with no lock.  The store tolerates that
+# instead of locking — these regressions pin the three races that used to
+# lose live entries (or crash) under concurrency.
+
+
+@pytest.mark.parametrize("text", ["inf", "-inf", "nan", "1e309", "infB"])
+def test_parse_size_rejects_non_finite(text):
+    """float() happily parses "inf"/"nan"/overflowing exponents; as cache
+    caps they would poison every comparison (or crash int())."""
+    with pytest.raises(ValueError):
+        parse_size(text)
+
+
+def test_prune_skips_entries_touched_after_snapshot(tmp_path, monkeypatch):
+    """An entry another process touched between our LRU snapshot and the
+    unlink is *live*: prune must re-stat and skip it, not evict a
+    concurrent reader's working set."""
+    cache = ResultCache(root=tmp_path)
+    touched = _put_with_age(cache, 1, 2, age_rank=0)
+    victim = _put_with_age(cache, 2, 4, age_rank=1)
+    stale = cache.entries()  # snapshot: `touched` ranks oldest
+
+    # Concurrent reader refreshes `touched` after the snapshot was taken.
+    stamp = 2_000_000_000
+    os.utime(touched, (stamp, stamp))
+    monkeypatch.setattr(cache, "entries", lambda: stale)
+
+    evicted, _freed = cache.prune(max_entries=1)
+    assert evicted == 1
+    assert touched.exists()  # the live entry survived
+    assert not victim.exists()  # eviction fell through to the next LRU
+
+
+def test_prune_tolerates_concurrently_removed_entries(tmp_path, monkeypatch):
+    """Entries that vanish between snapshot and unlink were evicted by the
+    other process: prune adjusts its totals instead of crashing."""
+    cache = ResultCache(root=tmp_path)
+    gone = _put_with_age(cache, 1, 2, age_rank=0)
+    keep = _put_with_age(cache, 2, 4, age_rank=1)
+    stale = cache.entries()
+    gone.unlink()  # another node pruned it first
+    monkeypatch.setattr(cache, "entries", lambda: stale)
+
+    evicted, freed = cache.prune(max_entries=1)
+    # The vanished entry already satisfied the cap; nothing else evicted.
+    assert (evicted, freed) == (0, 0)
+    assert keep.exists()
+
+
+def test_corrupt_get_does_not_unlink_concurrent_republish(tmp_path, monkeypatch):
+    """get() opened a corrupt entry, but a writer atomically republished a
+    good result at the same path before the unlink: the *new* file must
+    survive (inode guard), and the next read hits it."""
+    import pickle as real_pickle
+    import types
+
+    from repro.runtime import cache as cache_module
+
+    cache = ResultCache(root=tmp_path)
+    path = cache.put(_double, 1, 2)
+    path.write_bytes(b"corrupt garbage")
+
+    def load_with_concurrent_republish(fh):
+        tmp = path.with_name(".republished.tmp")
+        with open(tmp, "wb") as out:
+            real_pickle.dump(99, out, protocol=real_pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # a node's atomic publish, new inode
+        raise ValueError("corrupt stream")
+
+    monkeypatch.setattr(
+        cache_module,
+        "pickle",
+        types.SimpleNamespace(
+            load=load_with_concurrent_republish,
+            dump=real_pickle.dump,
+            HIGHEST_PROTOCOL=real_pickle.HIGHEST_PROTOCOL,
+        ),
+    )
+    hit, value = cache.get(_double, 1)
+    assert (hit, value) == (False, None)  # the corrupt read is still a miss
+    assert path.exists()  # but the republished entry was NOT unlinked
+
+    monkeypatch.setattr(cache_module, "pickle", real_pickle)
+    assert cache.get(_double, 1) == (True, 99)
+
+
+def test_corrupt_get_still_unlinks_when_no_republish(tmp_path):
+    """Sanity check for the guard's other arm: with no concurrent writer
+    the corrupt entry is dropped on detection, as before."""
+    cache = ResultCache(root=tmp_path)
+    path = cache.put(_double, 1, 2)
+    path.write_bytes(b"corrupt garbage")
+    assert cache.get(_double, 1) == (False, None)
+    assert not path.exists()

@@ -1,0 +1,241 @@
+"""Integration tests for the distributed sweep backend.
+
+Everything runs hermetically on one machine: nodes are real subprocesses
+launched by :class:`LocalSubprocessTransport` against a tmp run root, so
+these tests exercise the actual manifest/chunk-file/merge protocol,
+including crash re-sharding and resume.
+"""
+
+import pickle
+
+import pytest
+
+from repro.runtime import (
+    ExperimentRunner,
+    FailedResult,
+    ResultCache,
+    WorkerError,
+)
+from repro.runtime.cache import config_key
+from repro.runtime.distributed import (
+    chunk_result_path,
+    completed_chunk_ids,
+    load_manifest,
+    plan_shards,
+)
+from repro.sim import figure6_config, simulate_twocell_stats
+
+
+def _digest_worker(config):
+    """Cheap, importable-everywhere worker: a pure function of its config."""
+    return {"key": config_key(config), "seed": config["seed"]}
+
+
+def _failing_worker(config):
+    if config["seed"] == 3:
+        raise ValueError(f"bad seed {config['seed']}")
+    return config["seed"] * 2
+
+
+def _configs(n=8):
+    return [{"seed": i, "payload": [i, i + 1, i + 2]} for i in range(n)]
+
+
+def _distributed(run_root, **kwargs):
+    kwargs.setdefault("nodes", 2)
+    return ExperimentRunner(backend="distributed", run_root=run_root, **kwargs)
+
+
+def _canon(results):
+    """Canonical bytes for a result list.
+
+    Each element is round-tripped through pickle individually so that
+    cross-element object sharing (interned strings, shared tuples) cannot
+    leak into the encoding — serial results share objects across elements,
+    chunk-file results only within a chunk.  After normalization, byte
+    equality holds iff every element's *content* is byte-identical.
+    """
+    return pickle.dumps([pickle.loads(pickle.dumps(r)) for r in results])
+
+
+# -- byte-identity ---------------------------------------------------------
+
+
+def test_two_node_run_is_byte_identical_to_serial(tmp_path):
+    configs = _configs()
+    serial = ExperimentRunner(jobs=1).run_many(_digest_worker, configs)
+    runner = _distributed(tmp_path)
+    distributed = runner.run_many(_digest_worker, configs, label="unit")
+    assert _canon(distributed) == _canon(serial)
+    assert runner.telemetry.replications == len(configs)
+    assert runner.telemetry.chunks == 8  # 2 nodes x 4 chunks, 8 configs
+    assert runner.telemetry.nodes == 2
+    assert runner.telemetry.node_restarts == 0
+
+
+def test_node_count_does_not_change_results(tmp_path):
+    configs = _configs(10)
+    serial = ExperimentRunner(jobs=1).run_many(_digest_worker, configs)
+    for nodes in (1, 3):
+        runner = _distributed(tmp_path / str(nodes), nodes=nodes)
+        assert _canon(runner.run_many(_digest_worker, configs)) == _canon(serial)
+
+
+def test_distributed_real_simulation_matches_serial(tmp_path):
+    configs = [
+        figure6_config(policy="probabilistic", window=0.05, p_qos=p_qos,
+                       seed=seed, horizon=40.0)
+        for p_qos in (0.005, 0.1)
+        for seed in (1, 2)
+    ]
+    serial = ExperimentRunner(jobs=1).run_many(simulate_twocell_stats, configs)
+    runner = _distributed(tmp_path)
+    distributed = runner.run_many(simulate_twocell_stats, configs, label="figure6")
+    assert _canon(distributed) == _canon(serial)
+
+
+def test_manifest_recorded_with_label_and_resume_state(tmp_path):
+    configs = _configs(6)
+    runner = _distributed(tmp_path)
+    runner.run_many(_digest_worker, configs, label="labelled")
+    run_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+    assert len(run_dirs) == 1
+    plan = load_manifest(run_dirs[0])
+    assert plan is not None
+    assert plan.label == "labelled"
+    assert sorted(completed_chunk_ids(run_dirs[0], plan)) == [
+        c.chunk_id for c in plan.chunks
+    ]
+
+
+# -- failure propagation ---------------------------------------------------
+
+
+def test_config_failure_surfaces_as_worker_error(tmp_path):
+    configs = [{"seed": i} for i in range(6)]
+    runner = _distributed(tmp_path)
+    with pytest.raises(WorkerError) as excinfo:
+        runner.run_many(_failing_worker, configs)
+    assert excinfo.value.config == {"seed": 3}
+    assert excinfo.value.index == 3
+
+
+def test_partial_mode_yields_failed_result_sentinels(tmp_path):
+    configs = [{"seed": i} for i in range(6)]
+    runner = _distributed(tmp_path, partial=True)
+    results = runner.run_many(_failing_worker, configs)
+    assert [r for r in results if not isinstance(r, FailedResult)] == [
+        i * 2 for i in range(6) if i != 3
+    ]
+    sentinel = results[3]
+    assert isinstance(sentinel, FailedResult)
+    assert sentinel.index == 3
+    assert "bad seed 3" in sentinel.error
+
+
+# -- cache interplay -------------------------------------------------------
+
+
+def test_cache_short_circuits_distributed_rerun(tmp_path):
+    configs = _configs(6)
+    cache = ResultCache(root=tmp_path / "cache")
+    first = _distributed(tmp_path / "runs", cache=cache)
+    results = first.run_many(_digest_worker, configs)
+    assert first.telemetry.cache_misses == 6
+    second = _distributed(tmp_path / "runs", cache=cache)
+    again = second.run_many(_digest_worker, configs)
+    assert _canon(again) == _canon(results)
+    # Every point came from cache: no nodes launched, no chunks executed.
+    assert second.telemetry.cache_hits == 6
+    assert second.telemetry.nodes == 0
+    assert second.telemetry.chunks == 0
+
+
+def test_rerun_without_cache_resumes_completed_chunks(tmp_path):
+    configs = _configs(8)
+    first = _distributed(tmp_path)
+    results = first.run_many(_digest_worker, configs)
+    second = _distributed(tmp_path)
+    again = second.run_many(_digest_worker, configs)
+    assert _canon(again) == _canon(results)
+    assert second.telemetry.chunks_resumed == 8
+    assert second.telemetry.chunks == 0
+    assert second.telemetry.replications == 0
+    assert second.telemetry.nodes == 0
+
+
+# -- observability ---------------------------------------------------------
+
+
+def test_metrics_and_traces_identical_to_serial(tmp_path):
+    from repro.obs import MetricsRegistry, RingBufferSink, Tracer, use_registry, use_tracer
+
+    configs = [
+        figure6_config(policy="probabilistic", window=0.05, p_qos=0.1,
+                       seed=seed, horizon=30.0)
+        for seed in (1, 2)
+    ]
+
+    def observe(runner):
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        with use_registry(registry), use_tracer(Tracer(sink)):
+            runner.run_many(simulate_twocell_stats, configs)
+        return registry.to_json(indent=0), sink.records()
+
+    serial_metrics, serial_records = observe(ExperimentRunner(jobs=1))
+    dist_metrics, dist_records = observe(_distributed(tmp_path))
+    assert dist_metrics == serial_metrics
+    assert dist_records == serial_records
+
+
+# -- protocol details ------------------------------------------------------
+
+
+def test_corrupt_chunk_file_is_reexecuted(tmp_path):
+    configs = _configs(6)
+    first = _distributed(tmp_path)
+    results = first.run_many(_digest_worker, configs)
+    run_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+    plan = load_manifest(run_dir)
+    victim = chunk_result_path(run_dir, plan.chunks[0].chunk_id)
+    victim.write_bytes(b"not a pickle")
+    second = _distributed(tmp_path)
+    again = second.run_many(_digest_worker, configs)
+    assert _canon(again) == _canon(results)
+    assert second.telemetry.chunks == 1  # only the corrupted chunk re-ran
+    assert second.telemetry.chunks_resumed == len(plan.chunks) - 1
+
+
+def test_run_root_isolation_between_different_sweeps(tmp_path):
+    """Different configs -> different sweep id -> different run directory."""
+    a = _distributed(tmp_path)
+    a.run_many(_digest_worker, _configs(4))
+    b = _distributed(tmp_path)
+    b.run_many(_digest_worker, _configs(5))
+    assert len([p for p in tmp_path.iterdir() if p.is_dir()]) == 2
+
+
+def test_empty_batch_short_circuits(tmp_path):
+    runner = _distributed(tmp_path)
+    assert runner.run_many(_digest_worker, []) == []
+    assert runner.telemetry.nodes == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_plan_shards_matches_coordinator_layout(tmp_path):
+    """The on-disk manifest is exactly what plan_shards computes."""
+    configs = _configs(7)
+    runner = _distributed(tmp_path, nodes=3)
+    runner.run_many(_digest_worker, configs)
+    run_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+    plan = load_manifest(run_dir)
+    keys = [config_key(c) for c in configs]
+    expected = plan_shards(
+        f"{_digest_worker.__module__}.{_digest_worker.__qualname__}",
+        keys,
+        3,
+        label=None,
+    )
+    assert plan.sweep_id == expected.sweep_id
+    assert plan.chunks == expected.chunks

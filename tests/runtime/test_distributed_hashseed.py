@@ -1,0 +1,90 @@
+"""Distributed protocol must not depend on PYTHONHASHSEED.
+
+The resume contract hangs on content addressing: a re-submission from a
+*different interpreter* (different hash seed, as pool workers and cluster
+nodes always are) must compute the same sweep id, the same manifest
+bytes, and land in the same run directory — otherwise resume silently
+degrades to "start over".  Same pattern as
+``tests/sim/test_hashseed_determinism.py``: run the snippet under several
+explicit hash seeds in subprocesses and require identical stdout.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+HASH_SEEDS = ("0", "1", "31337")
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_snippet(snippet: str, hash_seed: str, extra_env=None) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_manifest_bytes_identical_across_hash_seeds():
+    """Sweep ids and the serialized manifest are pure content functions —
+    configs with sets/dicts included, since ``config_key`` canonicalizes
+    before hashing."""
+    snippet = """
+from repro.runtime import config_key
+from repro.runtime.distributed import manifest_bytes, plan_shards
+
+configs = [
+    {"seed": i, "cells": frozenset({f"cell-{i % 3}", "corridor"}), "w": 0.05}
+    for i in range(11)
+]
+keys = [config_key(c) for c in configs]
+plan = plan_shards("sweep.ns", keys, nodes=3, label="hashseed")
+print(plan.sweep_id)
+print(manifest_bytes(plan).decode("utf-8"))
+"""
+    outputs = {_run_snippet(snippet, seed) for seed in HASH_SEEDS}
+    assert len(outputs) == 1, (
+        "manifest depends on PYTHONHASHSEED:\n" + "\n---\n".join(sorted(outputs))
+    )
+
+
+def test_distributed_merge_identical_across_hash_seeds(tmp_path):
+    """A real 2-node distributed run — coordinator and node subprocesses
+    all hash-randomized differently — must merge to identical bytes and
+    reuse one run directory across interpreters."""
+    # Each seed gets its own run root so the assertion covers full
+    # recomputation, not chunk-file reuse from the previous seed's run.
+    outputs = set()
+    for seed in HASH_SEEDS:
+        root = tmp_path / f"seed-{seed}"
+        snippet = f"""
+import pickle
+
+from repro.runtime import ExperimentRunner
+from repro.runtime.cache import config_key
+
+configs = [
+    {{"seed": i, "tags": frozenset({{"a", "b", f"t{{i}}"}})}} for i in range(6)
+]
+runner = ExperimentRunner(
+    backend="distributed", nodes=2, run_root={str(root)!r}
+)
+results = runner.run_many(config_key, configs)
+canon = pickle.dumps([pickle.loads(pickle.dumps(r)) for r in results])
+print(canon.hex())
+"""
+        outputs.add(_run_snippet(snippet, seed))
+    assert len(outputs) == 1, (
+        "merged distributed output depends on PYTHONHASHSEED:\n"
+        + "\n---\n".join(sorted(outputs))
+    )

@@ -1,0 +1,142 @@
+"""Property tests for the distributed shard planner and merge.
+
+The guarantees the distributed backend leans on, stated as hypotheses:
+
+* **partition** — every sweep position appears in exactly one chunk;
+* **balance** — chunk sizes differ by at most one, and so do per-node
+  chunk loads under :func:`assign_chunks`;
+* **order-free merge** — merging chunk results is byte-identical to the
+  serial result list no matter what order (or grouping) chunks completed
+  in, which is exactly why node crashes, restarts, and resume cannot
+  change a sweep's output.
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.distributed import (
+    ChunkSpec,
+    ShardPlan,
+    assign_chunks,
+    merge_chunk_results,
+    plan_shards,
+    sweep_id_for,
+)
+
+
+def _keys(n):
+    return [f"k{i:05d}" for i in range(n)]
+
+
+@given(
+    n=st.integers(min_value=0, max_value=400),
+    nodes=st.integers(min_value=1, max_value=16),
+    cpn=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=200)
+def test_every_position_in_exactly_one_chunk(n, nodes, cpn):
+    plan = plan_shards("ns", _keys(n), nodes, chunks_per_node=cpn)
+    seen = [i for chunk in plan.chunks for i in chunk.indices]
+    assert sorted(seen) == list(range(n))
+    assert len(seen) == len(set(seen)) == n
+
+
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    nodes=st.integers(min_value=1, max_value=16),
+    cpn=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=200)
+def test_chunk_sizes_balanced_within_one(n, nodes, cpn):
+    plan = plan_shards("ns", _keys(n), nodes, chunks_per_node=cpn)
+    sizes = [len(chunk.indices) for chunk in plan.chunks]
+    assert max(sizes) - min(sizes) <= 1
+    # Never more chunks than positions; ids are dense and ordered.
+    assert [c.chunk_id for c in plan.chunks] == list(range(len(plan.chunks)))
+    assert len(plan.chunks) <= n
+
+
+@given(
+    n=st.integers(min_value=0, max_value=400),
+    nodes=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=200)
+def test_chunks_are_contiguous_and_keys_aligned(n, nodes):
+    keys = _keys(n)
+    plan = plan_shards("ns", keys, nodes)
+    for chunk in plan.chunks:
+        assert list(chunk.indices) == list(
+            range(chunk.indices[0], chunk.indices[0] + len(chunk.indices))
+        )
+        assert list(chunk.keys) == [keys[i] for i in chunk.indices]
+
+
+@given(
+    chunks=st.integers(min_value=0, max_value=200),
+    nodes=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=200)
+def test_node_assignment_balanced_within_one(chunks, nodes):
+    assignments = assign_chunks(list(range(chunks)), nodes)
+    assert len(assignments) == nodes
+    dealt = sorted(c for bucket in assignments for c in bucket)
+    assert dealt == list(range(chunks))
+    loads = [len(bucket) for bucket in assignments]
+    assert max(loads) - min(loads) <= 1
+
+
+@given(
+    n=st.integers(min_value=0, max_value=300),
+    nodes=st.integers(min_value=1, max_value=16),
+    shuffle_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=200)
+def test_merge_of_any_completion_order_is_byte_identical_to_serial(
+    n, nodes, shuffle_seed
+):
+    plan = plan_shards("ns", _keys(n), nodes)
+    serial = [{"i": i, "v": i * i} for i in range(n)]
+    chunk_ids = [c.chunk_id for c in plan.chunks]
+    random.Random(shuffle_seed).shuffle(chunk_ids)  # completion order
+    by_chunk = {}
+    chunks = {c.chunk_id: c for c in plan.chunks}
+    for chunk_id in chunk_ids:
+        chunk = chunks[chunk_id]
+        by_chunk[chunk_id] = [serial[i] for i in chunk.indices]
+    merged = merge_chunk_results(plan, by_chunk)
+    assert pickle.dumps(merged) == pickle.dumps(serial)
+
+
+@given(
+    n=st.integers(min_value=0, max_value=100),
+    nodes_a=st.integers(min_value=1, max_value=16),
+    nodes_b=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=100)
+def test_sweep_id_independent_of_node_count(n, nodes_a, nodes_b):
+    """Resubmitting with a different --nodes N must find the same run dir."""
+    keys = _keys(n)
+    a = plan_shards("ns", keys, nodes_a)
+    b = plan_shards("ns", keys, nodes_b)
+    assert a.sweep_id == b.sweep_id == sweep_id_for("ns", keys)
+
+
+def test_merge_rejects_shape_mismatch():
+    plan = ShardPlan(
+        sweep_id="x",
+        namespace="ns",
+        label=None,
+        chunks=(ChunkSpec(chunk_id=0, indices=(0, 1), keys=("a", "b")),),
+    )
+    with pytest.raises(ValueError):
+        merge_chunk_results(plan, {0: [1]})
+
+
+def test_plan_validates_arguments():
+    with pytest.raises(ValueError):
+        plan_shards("ns", [], 0)
+    with pytest.raises(ValueError):
+        plan_shards("ns", [], 1, chunks_per_node=0)

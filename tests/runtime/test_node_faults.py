@@ -1,0 +1,141 @@
+"""Node-level fault injection: kill/hang a node mid-sweep, stay correct.
+
+The scripted faults live in the run directory (``node-faults.json``), so
+the test writes the plan *before* submitting the sweep and the node
+workers — real subprocesses — fire them deterministically after their
+``after_chunks``-th completed chunk.  One-shot markers guarantee each
+fault fires exactly once per run directory, which is what makes the
+relaunch/resume assertions exact rather than flaky.
+"""
+
+import pickle
+
+import pytest
+
+from repro.runtime import (
+    DistributedRunError,
+    ExperimentRunner,
+    NodeFaultSpec,
+    ResultCache,
+    write_node_fault_plan,
+)
+from repro.runtime.cache import config_key
+from repro.runtime.distributed import sweep_id_for
+
+
+def _digest_worker(config):
+    return {"key": config_key(config), "seed": config["seed"]}
+
+
+def _configs(n=8):
+    return [{"seed": i, "fault-test": True} for i in range(n)]
+
+
+def _run_dir(run_root, fn, configs):
+    """Predict the run directory the coordinator will use for this sweep."""
+    namespace = f"{fn.__module__}.{fn.__qualname__}"
+    keys = [config_key(c) for c in configs]
+    return run_root / sweep_id_for(namespace, keys)[:16]
+
+
+def _distributed(run_root, **kwargs):
+    kwargs.setdefault("nodes", 2)
+    return ExperimentRunner(backend="distributed", run_root=run_root, **kwargs)
+
+
+def _canon(results):
+    return pickle.dumps([pickle.loads(pickle.dumps(r)) for r in results])
+
+
+def test_killed_node_is_resharded_and_output_unchanged(tmp_path):
+    configs = _configs(8)  # 2 nodes x 4 chunks -> 8 single-config chunks
+    serial = ExperimentRunner(jobs=1).run_many(_digest_worker, configs)
+
+    run_dir = _run_dir(tmp_path, _digest_worker, configs)
+    write_node_fault_plan(run_dir, {1: NodeFaultSpec("kill", after_chunks=1)})
+
+    runner = _distributed(tmp_path)
+    results = runner.run_many(_digest_worker, configs)
+    assert _canon(results) == _canon(serial)
+    # Node 1 died after publishing one chunk: the coordinator saw the
+    # crash, launched a second round for the missing chunks, and nothing
+    # was computed twice (8 replications for 8 configs).
+    assert runner.telemetry.crashes >= 1
+    assert runner.telemetry.node_restarts == 1
+    assert runner.telemetry.nodes > 2
+    assert runner.telemetry.replications == 8
+    assert runner.telemetry.chunks == 8
+
+
+def test_hung_node_is_cancelled_by_node_timeout(tmp_path):
+    configs = _configs(8)
+    serial = ExperimentRunner(jobs=1).run_many(_digest_worker, configs)
+
+    run_dir = _run_dir(tmp_path, _digest_worker, configs)
+    write_node_fault_plan(
+        run_dir,
+        {1: NodeFaultSpec("hang", after_chunks=1, hang_seconds=120.0)},
+    )
+
+    runner = _distributed(tmp_path, node_timeout=0.5)
+    results = runner.run_many(_digest_worker, configs)
+    assert _canon(results) == _canon(serial)
+    assert runner.telemetry.timeouts >= 1
+    assert runner.telemetry.node_restarts >= 1
+    assert runner.telemetry.chunks == 8
+
+
+def test_losing_every_node_preserves_partial_progress_for_resume(tmp_path):
+    """Both nodes die after one chunk with no restart budget: the submission
+    fails, but the two published chunk files survive, and a re-submission
+    runs only the six missing chunks."""
+    configs = _configs(8)
+    serial = ExperimentRunner(jobs=1).run_many(_digest_worker, configs)
+
+    run_dir = _run_dir(tmp_path, _digest_worker, configs)
+    write_node_fault_plan(
+        run_dir,
+        {
+            0: NodeFaultSpec("kill", after_chunks=1),
+            1: NodeFaultSpec("kill", after_chunks=1),
+        },
+    )
+
+    cache = ResultCache(root=tmp_path / "cache")
+    first = _distributed(tmp_path, max_node_restarts=0, cache=cache)
+    with pytest.raises(DistributedRunError) as excinfo:
+        first.run_many(_digest_worker, configs)
+    assert excinfo.value.run_dir == run_dir
+    assert len(excinfo.value.missing) == 6  # each node published 1 of its 4
+    # An aborted sweep caches nothing: the cache cannot go stale on resume.
+    assert first.telemetry.cache_hits == 0
+
+    # Resume: same sweep, fresh submission.  The faults already fired (one-
+    # shot markers), the two completed chunks are adopted, only the six
+    # missing chunks execute, and the merged output is still serial-exact.
+    second = _distributed(tmp_path, cache=cache)
+    results = second.run_many(_digest_worker, configs)
+    assert _canon(results) == _canon(serial)
+    assert second.telemetry.cache_hits == 0
+    assert second.telemetry.cache_misses == 8
+    assert second.telemetry.chunks_resumed == 2
+    assert second.telemetry.chunks == 6
+    assert second.telemetry.replications == 6
+
+    # Third submission: everything now comes from the result cache — the
+    # coordinator never launches a node.
+    third = _distributed(tmp_path, cache=cache)
+    again = third.run_many(_digest_worker, configs)
+    assert _canon(again) == _canon(serial)
+    assert third.telemetry.cache_hits == 8
+    assert third.telemetry.nodes == 0
+    assert third.telemetry.chunks == 0
+
+
+def test_node_fault_spec_validation():
+    with pytest.raises(ValueError):
+        NodeFaultSpec("explode")
+    with pytest.raises(ValueError):
+        NodeFaultSpec("kill", after_chunks=-1)
+    with pytest.raises(ValueError):
+        NodeFaultSpec("hang", hang_seconds=-1.0)
