@@ -1,0 +1,126 @@
+"""Span tracing cost: the untraced hot paths must not pay for spans.
+
+Two bargains are measured:
+
+* ``kernel`` — spans never touch the DES event loop at all (the ledger
+  lives in the coordinator, not the simulation), so a global
+  ``SpanCollector`` being installed must leave the untraced kernel's
+  per-event cost unchanged.  Both sides run the same chain workload as
+  ``bench_des_overhead.py``; the installed/uninstalled ratio must stay
+  within the observability budget (``DISABLED_OVERHEAD_CEILING``, the
+  same 2% ``bench_trace_overhead.py`` enforces, against the reference
+  numbers in ``results/des_overhead.txt``).
+* ``dispatch`` — with a collector installed the runner emits one
+  replication + one attempt span per config.  That happens once per
+  *replication*, not per event, so it is reported as an absolute
+  per-replication cost (µs) rather than a multiplier over the kernel.
+"""
+
+import time
+
+from conftest import once
+
+from repro.des import Environment
+from repro.obs import SpanCollector, use_span_collector
+from repro.runtime import ExperimentRunner
+
+#: Installing (but not exercising) span collection may move the untraced
+#: kernel by at most this fraction — same budget as disabled tracing.
+DISABLED_OVERHEAD_CEILING = 0.02
+
+
+def _bench_chain(n):
+    env = Environment()
+
+    def proc():
+        to = env.timeout
+        for _ in range(n):
+            yield to(0.1)
+
+    env.process(proc())
+    t0 = time.perf_counter()
+    env.run()
+    return (time.perf_counter() - t0) / n
+
+
+def _kernel_per_event(installed, n=200_000, rounds=5):
+    if installed:
+        with use_span_collector(SpanCollector()):
+            return min(_bench_chain(n) for _ in range(rounds))
+    return min(_bench_chain(n) for _ in range(rounds))
+
+
+def _noop_worker(config):
+    return config["i"]
+
+
+def _dispatch_per_replication(with_spans, configs=300, rounds=3):
+    def run_once():
+        runner = ExperimentRunner(jobs=1)
+        batch = [{"i": i} for i in range(configs)]
+        t0 = time.perf_counter()
+        runner.run_many(_noop_worker, batch)
+        return (time.perf_counter() - t0) / configs
+
+    if with_spans:
+        best = None
+        for _ in range(rounds):
+            collector = SpanCollector()
+            with use_span_collector(collector):
+                elapsed = run_once()
+            assert collector.counts["replication"] == configs
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+    return min(run_once() for _ in range(rounds))
+
+
+def test_span_overhead(benchmark, report, report_json):
+    def run():
+        return {
+            "kernel_off": _kernel_per_event(installed=False),
+            "kernel_on": _kernel_per_event(installed=True),
+            "dispatch_off": _dispatch_per_replication(with_spans=False),
+            "dispatch_on": _dispatch_per_replication(with_spans=True),
+        }
+
+    m = once(benchmark, run)
+    kernel_ratio = m["kernel_on"] / m["kernel_off"]
+    span_cost_us = (m["dispatch_on"] - m["dispatch_off"]) * 1e6
+
+    lines = [
+        "Span tracing overhead (lower is better)",
+        f"{'path':<22} {'no collector':>14} {'collector':>12} {'delta':>8}",
+        f"{'DES kernel (us/event)':<22} {m['kernel_off'] * 1e6:>14.3f}"
+        f" {m['kernel_on'] * 1e6:>12.3f} {kernel_ratio - 1:>7.1%}",
+        f"{'runner (us/rep)':<22} {m['dispatch_off'] * 1e6:>14.1f}"
+        f" {m['dispatch_on'] * 1e6:>12.1f} {span_cost_us:>6.1f}us",
+        "",
+        "kernel: spans never run inside the event loop, so an installed "
+        "collector",
+        f"must stay within {DISABLED_OVERHEAD_CEILING:.0%} of the untraced "
+        "kernel (results/des_overhead.txt);",
+        "runner: ~2 span emissions per replication, absolute cost per "
+        "replication.",
+    ]
+    report("span_overhead", "\n".join(lines))
+    report_json(
+        "span_overhead",
+        [
+            {"metric": "kernel_off_us_per_event",
+             "value": m["kernel_off"] * 1e6, "units": "us"},
+            {"metric": "kernel_on_us_per_event",
+             "value": m["kernel_on"] * 1e6, "units": "us"},
+            {"metric": "kernel_ratio", "value": kernel_ratio, "units": "x"},
+            {"metric": "span_cost_us_per_replication",
+             "value": span_cost_us, "units": "us"},
+        ],
+        config={"chain_events": 200_000, "dispatch_configs": 300},
+    )
+
+    assert m["kernel_off"] > 0 and m["dispatch_off"] > 0
+    # The collector is dormant on the kernel path: identical code runs on
+    # both sides, so anything beyond the budget is a real regression.
+    assert kernel_ratio < 1.0 + DISABLED_OVERHEAD_CEILING, (
+        f"untraced kernel slowed by {kernel_ratio - 1:.1%} with a span "
+        "collector installed"
+    )

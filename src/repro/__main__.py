@@ -15,6 +15,11 @@ Usage::
     python -m repro trace summarize trace.jsonl  # aggregate a recorded trace
     python -m repro --metrics-json m.json table2 # export the metrics registry
     python -m repro --stats figure5              # print run telemetry
+    python -m repro --spans spans.jsonl.gz figure4  # record runtime spans
+    python -m repro trace spans spans.jsonl.gz      # render the span tree
+    python -m repro --profile prof.pstats.gz table2 # profile the workers
+    python -m repro trace profile prof.pstats.gz    # aggregated hotspots
+    python -m repro monitor RUN_DIR --follow        # watch a distributed run
 
 Sweep-style experiments dispatch through
 :class:`repro.runtime.ExperimentRunner`; ``--jobs N`` (or the
@@ -37,6 +42,13 @@ telemetry.  All of them compose with ``--jobs N``: pool workers capture
 their replication's records and metrics locally and the coordinator
 merges the snapshots deterministically, so observed output is identical
 at any worker count.
+
+Runtime observability: ``--spans PATH`` records hierarchical wall-clock
+spans (sweep → node → chunk → replication → attempt) whose *structure*
+is byte-identical at any ``--jobs``/``--nodes`` placement, and
+``--profile PATH`` runs every replication under cProfile and aggregates
+the stats deterministically across workers and nodes.  ``python -m
+repro monitor RUN_DIR`` watches a distributed run directory live.
 """
 
 from __future__ import annotations
@@ -342,22 +354,75 @@ def _campus_main(argv: List[str]) -> int:
 
 
 def _trace_main(argv: List[str]) -> int:
-    """``python -m repro trace summarize PATH`` — aggregate a JSONL trace."""
+    """``python -m repro trace summarize|spans|profile`` — analyze artifacts."""
     from .obs import read_jsonl, summarize_records
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
-        description="Analyze traces recorded with --trace PATH.",
+        description="Analyze traces, spans, and profiles recorded by "
+        "--trace/--spans/--profile (plain or gzipped).",
     )
     sub = parser.add_subparsers(dest="action", required=True)
     p_sum = sub.add_parser(
         "summarize", help="per-kind counts/time spans and domain aggregates"
     )
-    p_sum.add_argument("path", help="JSONL trace file written by --trace PATH")
+    p_sum.add_argument(
+        "path", help="JSONL trace file written by --trace PATH (.gz ok)"
+    )
+    p_spans = sub.add_parser(
+        "spans", help="render the span tree recorded with --spans PATH"
+    )
+    p_spans.add_argument(
+        "path", help="span JSONL file written by --spans PATH (.gz ok)"
+    )
+    p_spans.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw span records instead of the rendered tree",
+    )
+    p_prof = sub.add_parser(
+        "profile", help="aggregated cProfile hotspots recorded with --profile"
+    )
+    p_prof.add_argument(
+        "path", help="pstats file written by --profile PATH (.gz ok)"
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows to show (default 20)",
+    )
+    p_prof.add_argument(
+        "--sort", choices=("cumulative", "tottime", "calls"),
+        default="cumulative", help="ranking column (default cumulative)",
+    )
+    p_prof.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the hotspot rows as JSON",
+    )
     args = parser.parse_args(argv)
 
-    records = read_jsonl(args.path)
-    print(json.dumps(summarize_records(records), indent=2))
+    if args.action == "summarize":
+        records = read_jsonl(args.path)
+        print(json.dumps(summarize_records(records), indent=2))
+        return 0
+    if args.action == "spans":
+        from .obs import format_span_tree, read_spans_jsonl
+
+        spans = read_spans_jsonl(args.path)
+        if args.as_json:
+            from .obs.spans import span_to_record
+
+            print(json.dumps([span_to_record(s) for s in spans], indent=2))
+        else:
+            print(format_span_tree(spans))
+        return 0
+    # profile
+    from .obs import hotspots, read_pstats, render_hotspots
+
+    raw = read_pstats(args.path)
+    rows = hotspots(raw, top=args.top, sort=args.sort)
+    if args.as_json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(render_hotspots(rows, args.sort))
     return 0
 
 
@@ -369,6 +434,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _campus_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "monitor":
+        from .obs.monitor import main as monitor_main
+
+        return monitor_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -431,6 +500,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "JSON snapshot to PATH ('-' for stdout; works at any --jobs N)",
     )
     parser.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="record hierarchical runtime spans (sweep → node → chunk → "
+        "replication → attempt) to a JSONL file ('.gz' compresses); span "
+        "structure is identical at any --jobs/--nodes placement",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="run each replication under cProfile and write the "
+        "deterministically aggregated stats to PATH ('.gz' compresses; "
+        "inspect with 'python -m repro trace profile PATH')",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="print run telemetry (replication wall times, faults, cache "
         "hit rate) after the experiments",
@@ -456,16 +537,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         timeout=args.timeout,
         partial=args.partial,
         retry_backoff=0.5 if args.max_retries else 0.0,
+        profile=args.profile is not None,
     )
 
     from .obs import (
         JsonlSink,
         MetricsRegistry,
         RingBufferSink,
+        SpanCollector,
         Tracer,
         set_registry,
+        set_span_collector,
         set_tracer,
         summarize_records,
+        write_spans_jsonl,
     )
 
     tracer: Optional[Tracer] = None
@@ -475,6 +560,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_tracer(tracer)
     if args.metrics_json is not None:
         set_registry(MetricsRegistry())
+    collector: Optional[SpanCollector] = None
+    if args.spans is not None:
+        collector = SpanCollector()
+        set_span_collector(collector)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
@@ -486,6 +575,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if tracer is not None:
             set_tracer(None)
             tracer.close()
+        if collector is not None:
+            set_span_collector(None)
+            write_spans_jsonl(args.spans, collector.spans())
+            print(
+                f"spans written to {args.spans} "
+                f"({len(collector.spans())} records)"
+            )
+        if args.profile is not None and runner.profile_stats:
+            from .obs import write_pstats
+
+            write_pstats(args.profile, runner.profile_stats)
+            print(f"profile written to {args.profile}")
         if args.metrics_json is not None:
             registry = set_registry(None)
             if args.metrics_json == "-":

@@ -5,6 +5,10 @@ bit-identity contract) dies the moment simulation behaviour reads from the
 process-global RNG, the wall clock, or hash-randomized ``set`` iteration
 order.  These rules pin all randomness to explicitly seeded generator
 objects and all set-to-sequence conversions to ``sorted(...)``.
+
+REP304 rides along here (it shares the wall-clock call tables and the
+scope heuristic): engine/observability code may *record* wall-clock
+stamps but must never compute durations from them.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ __all__ = [
     "GlobalRandomChecker",
     "WallClockChecker",
     "SetIterationChecker",
+    "WallClockDurationChecker",
 ]
 
 REP001 = Rule(
@@ -45,6 +50,13 @@ REP004 = Rule(
     "iteration over a set feeds simulation decisions in hash-randomized "
     "order; wrap in sorted(..., key=repr)",
 )
+REP304 = Rule(
+    "REP304",
+    "no-wallclock-durations",
+    "wall-clock stamp used in duration arithmetic in engine/observability "
+    "code; wall clocks jump (NTP, suspend) — measure elapsed time with "
+    "time.monotonic()/time.perf_counter()",
+)
 
 #: random-module functions that read/advance the global Mersenne state.
 _GLOBAL_RANDOM_HEADS = ("random.", "numpy.random.")
@@ -69,6 +81,21 @@ _WALL_CLOCK_CALLS = {
     "secrets.token_bytes",
     "secrets.token_hex",
     "secrets.randbelow",
+}
+
+#: Wall-clock *stamp* producers for REP304.  Deliberately excludes the
+#: monotonic family (``time.monotonic``/``time.perf_counter``) — those are
+#: the fix, not the offence: they cannot jump, so differences between them
+#: are honest durations.  Stamping a wall time into a record (heartbeat
+#: ``updated_at``, log timestamps) is fine; *subtracting* two wall stamps
+#: to measure elapsed time is the bug this rule catches.
+_WALLCLOCK_STAMP_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
 }
 
 
@@ -256,3 +283,110 @@ class SetIterationChecker(Checker):
     visit_SetComp = _visit_comp
     visit_DictComp = _visit_comp
     visit_GeneratorExp = _visit_comp
+
+
+@register(REP304)
+class WallClockDurationChecker(Checker):
+    """Durations computed from wall-clock stamps in engine/obs code.
+
+    Engine and observability code legitimately *records* wall-clock
+    stamps (heartbeat ``updated_at`` fields, run metadata), so unlike
+    REP003 this rule does not ban the calls outright.  It flags the
+    arithmetic: a subtraction or comparison whose operand is a wall-clock
+    stamp — either a direct ``time.time()``-family call, or a local name
+    whose every assignment in the enclosing scope is such a call (the
+    same scope heuristic :class:`SetIterationChecker` uses for sets).
+    Simulation packages are excluded; REP003 already bans the reads
+    there wholesale.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._scope_stamps: list[Set[str]] = []
+        haystack = "/" + self.ctx.path.strip("/") + "/"
+        self._applies = (
+            self.ctx.in_engine_package or "/repro/obs/" in haystack
+        ) and not self.ctx.in_sim_package
+
+    # -- scope bookkeeping: names locally provable to be wall stamps --------
+
+    def _walk_function(self, node: ast.AST) -> None:
+        self._scope_stamps.append(self._stamp_names(node))
+        super()._walk_function(node)
+        self._scope_stamps.pop()
+
+    visit_FunctionDef = _walk_function
+    visit_AsyncFunctionDef = _walk_function
+    visit_Lambda = _walk_function
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scope_stamps.append(self._stamp_names(node))
+        self.generic_visit(node)
+        self._scope_stamps.pop()
+
+    def _stamp_names(self, scope: ast.AST) -> Set[str]:
+        """Names in ``scope`` only ever bound to wall-clock stamp calls."""
+        stamped: Set[str] = set()
+        other: Set[str] = set()
+        for node in ast.walk(scope):
+            if node is not scope and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue  # ast.walk still descends; fine for a heuristic
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if self._is_stamp_call(value):
+                    stamped.add(target.id)
+                else:
+                    other.add(target.id)
+        return stamped - other
+
+    def _is_stamp_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and self.call_name(node) in _WALLCLOCK_STAMP_CALLS
+        )
+
+    def _stamp_source(self, node: ast.AST) -> Optional[str]:
+        """Why ``node`` is a wall-clock stamp, or None."""
+        if self._is_stamp_call(node):
+            return f"{self.call_name(node)}()"  # type: ignore[union-attr]
+        if isinstance(node, ast.Name) and any(
+            node.id in scope for scope in self._scope_stamps
+        ):
+            return f"'{node.id}' (assigned from a wall-clock stamp)"
+        return None
+
+    # -- arithmetic sites ----------------------------------------------------
+
+    def _check_operands(self, site: ast.AST, *operands: ast.AST) -> None:
+        for operand in operands:
+            reason = self._stamp_source(operand)
+            if reason is not None:
+                self.report(
+                    "REP304", site,
+                    f"{reason} in duration arithmetic; wall clocks jump "
+                    "(NTP, suspend) — measure elapsed time with "
+                    "time.monotonic()/time.perf_counter()",
+                )
+                return
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self._applies and isinstance(node.op, ast.Sub):
+            self._check_operands(node, node.left, node.right)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._applies:
+            self._check_operands(node, node.left, *node.comparators)
+        self.generic_visit(node)

@@ -15,6 +15,16 @@ Three legs, all free when off and structured when on:
   experiment runtime did: per-replication wall times, retry / timeout /
   crash counts, cache hit rates (``--stats-json``).
 
+Two more legs cover the runtime itself rather than the simulation:
+
+* :mod:`repro.obs.spans` — hierarchical wall-clock spans over sweep →
+  node → chunk → replication → attempt, with a placement-independent
+  canonical structure (``--spans``, ``python -m repro trace spans``).
+* :mod:`repro.obs.profiling` — deterministic cProfile aggregation across
+  workers and nodes (``--profile``, ``python -m repro trace profile``).
+* :mod:`repro.obs.monitor` — live view over a distributed run directory's
+  heartbeat files (``python -m repro monitor RUN_DIR``).
+
 Invariant: observability *reads* simulation state and never perturbs RNG
 draws or event order, so enabling any of it leaves experiment outputs
 bit-identical to an unobserved run.  See ``docs/OBSERVABILITY.md``.
@@ -31,12 +41,33 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .profiling import (
+    hotspots,
+    merge_profile_stats,
+    profile_to_pstats,
+    read_pstats,
+    render_hotspots,
+    write_pstats,
+)
+from .spans import (
+    Span,
+    SpanCollector,
+    SpanLedger,
+    canonical_structure,
+    format_span_tree,
+    get_span_collector,
+    read_spans_jsonl,
+    set_span_collector,
+    use_span_collector,
+    write_spans_jsonl,
+)
 from .telemetry import RunTelemetry
 from .trace import (
     JsonlSink,
     RingBufferSink,
     Tracer,
     get_tracer,
+    open_text,
     read_jsonl,
     set_tracer,
     summarize_records,
@@ -60,6 +91,23 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "open_text",
     "read_jsonl",
     "summarize_records",
+    "Span",
+    "SpanCollector",
+    "SpanLedger",
+    "canonical_structure",
+    "format_span_tree",
+    "get_span_collector",
+    "set_span_collector",
+    "use_span_collector",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
+    "hotspots",
+    "merge_profile_stats",
+    "profile_to_pstats",
+    "read_pstats",
+    "render_hotspots",
+    "write_pstats",
 ]

@@ -1,0 +1,282 @@
+"""Live run monitor: a view over a distributed run directory.
+
+``python -m repro monitor RUN_DIR`` reads only what the runtime already
+publishes — the manifest, the chunk result files, and the atomic
+heartbeat documents under ``progress/`` — so it can watch a sweep from
+any process (or machine sharing the run directory) without talking to
+the coordinator.  ``--follow`` refreshes a terminal view until the run
+finishes; ``--once --json`` emits one machine-readable status document
+for CI assertions.
+
+Staleness is judged from the heartbeats' wall-clock ``updated_at``
+stamps: a node that has not rewritten its document within
+``--stale-after`` seconds is reported ``stale`` and excluded from the
+in-flight replication estimate, and a run whose coordinator heartbeat
+went quiet mid-run is reported ``stalled``.  The ETA extrapolates the
+mean per-replication wall time the nodes have measured so far (the same
+numbers that land in :class:`~repro.obs.telemetry.RunTelemetry`) over
+the remaining replications and the currently-active worker slots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["load_run_status", "main", "render_status", "resolve_run_dir"]
+
+
+def resolve_run_dir(path: Union[str, Path]) -> Path:
+    """``path`` itself when it holds a manifest, else its newest run dir.
+
+    Lets ``repro monitor`` take either a specific run directory or a run
+    *root* (``$REPRO_DISTRIBUTED_DIR``) holding one directory per sweep.
+    """
+    path = Path(path)
+    if (path / "manifest.json").is_file():
+        return path
+    candidates = [
+        child
+        for child in path.iterdir()
+        if (child / "manifest.json").is_file()
+    ] if path.is_dir() else []
+    if not candidates:
+        raise FileNotFoundError(
+            f"{path}: no manifest.json here or in any subdirectory"
+        )
+    return max(candidates, key=lambda c: (c / "manifest.json").stat().st_mtime)
+
+
+def load_run_status(
+    run_dir: Union[str, Path], stale_after: float = 10.0
+) -> Dict[str, Any]:
+    """One status document for a run directory (see module docstring)."""
+    from ..runtime.distributed import (
+        chunk_result_path,
+        load_manifest,
+        read_progress_docs,
+    )
+
+    run_dir = Path(run_dir)
+    plan = load_manifest(run_dir)
+    if plan is None:
+        raise FileNotFoundError(f"{run_dir}: manifest missing or unreadable")
+    docs = read_progress_docs(run_dir)
+    now = time.time()
+
+    chunks_done = [
+        c.chunk_id
+        for c in plan.chunks
+        if chunk_result_path(run_dir, c.chunk_id).exists()
+    ]
+    positions_done = sum(
+        len(c.indices) for c in plan.chunks if c.chunk_id in set(chunks_done)
+    )
+
+    coordinator = docs.get("coordinator")
+    nodes: List[Dict[str, Any]] = []
+    faults = {"retries": 0, "timeouts": 0, "crashes": 0, "failures": 0}
+    inflight = 0
+    active_jobs = 0
+    wall_time_total = 0.0
+    replications_timed = 0
+    des_events = 0
+    for name in sorted(docs):
+        doc = docs[name]
+        if doc.get("kind") != "node":
+            continue
+        age = now - float(doc.get("updated_at", 0.0))  # repro-lint: ignore[REP304]
+        fresh = age <= stale_after
+        running = doc.get("state") in ("starting", "running")
+        node_state = doc.get("state", "unknown")
+        if running and not fresh:
+            node_state = "stale"
+        if running and fresh:
+            inflight += int(doc.get("current_done", 0))
+            active_jobs += max(int(doc.get("jobs", 1)), 1)
+        for key in faults:
+            faults[key] += int(doc.get(key, 0))
+        wall_time_total += float(doc.get("wall_time_total", 0.0))
+        replications_timed += int(doc.get("replications", 0))
+        des_events += int(doc.get("des_events", 0))
+        nodes.append(
+            {
+                "node": doc.get("node"),
+                "round": doc.get("round"),
+                "state": node_state,
+                "chunks_done": doc.get("chunks_done", 0),
+                "chunks_assigned": doc.get("chunks_assigned", 0),
+                "replications": doc.get("replications", 0),
+                "current_chunk": doc.get("current_chunk"),
+                "age_seconds": max(age, 0.0),
+            }
+        )
+
+    replications_total = plan.positions
+    replications_done = min(positions_done + inflight, replications_total)
+
+    if coordinator is not None:
+        state = str(coordinator.get("state", "unknown"))
+        coord_age = now - float(  # repro-lint: ignore[REP304]
+            coordinator.get("updated_at", 0.0)
+        )
+        if state == "running" and coord_age > stale_after:
+            state = "stalled"
+    elif len(chunks_done) == len(plan.chunks):
+        state, coord_age = "done", None
+    else:
+        state, coord_age = "unknown", None
+
+    events_per_second = (
+        des_events / wall_time_total if wall_time_total > 0 else 0.0
+    )
+    eta_seconds: Optional[float] = None
+    remaining = replications_total - replications_done
+    if state in ("running", "stalled") and replications_timed and remaining:
+        mean = wall_time_total / replications_timed
+        eta_seconds = remaining * mean / max(active_jobs, 1)
+
+    return {
+        "run_dir": str(run_dir),
+        "sweep_id": plan.sweep_id,
+        "label": plan.label,
+        "state": state,
+        "coordinator_age_seconds": coord_age,
+        "chunks": {
+            "done": len(chunks_done),
+            "total": len(plan.chunks),
+            "resumed": (
+                int(coordinator.get("chunks_resumed", 0))
+                if coordinator is not None
+                else 0
+            ),
+        },
+        "replications": {
+            "done": replications_done,
+            "total": replications_total,
+        },
+        "events_per_second": events_per_second,
+        "faults": faults,
+        "eta_seconds": eta_seconds,
+        "nodes": nodes,
+    }
+
+
+def render_status(status: Dict[str, Any]) -> str:
+    """Human-readable status block (what ``--follow`` repaints)."""
+    chunks = status["chunks"]
+    reps = status["replications"]
+    lines = [
+        f"sweep {status['sweep_id'][:16]}"
+        + (f" ({status['label']})" if status.get("label") else "")
+        + f" — {status['state']}",
+        f"  chunks:        {chunks['done']}/{chunks['total']}"
+        + (f" ({chunks['resumed']} resumed)" if chunks.get("resumed") else ""),
+        f"  replications:  {reps['done']}/{reps['total']}",
+    ]
+    if status["events_per_second"]:
+        lines.append(
+            f"  des events/s:  {status['events_per_second']:,.0f} (in-worker)"
+        )
+    faults = status["faults"]
+    if any(faults.values()):
+        lines.append(
+            f"  faults:        {faults['retries']} retries, "
+            f"{faults['timeouts']} timeouts, {faults['crashes']} crashes, "
+            f"{faults['failures']} failures"
+        )
+    if status.get("eta_seconds") is not None:
+        lines.append(f"  eta:           ~{status['eta_seconds']:.1f}s")
+    for node in status["nodes"]:
+        current = (
+            f", on chunk {node['current_chunk']}"
+            if node.get("current_chunk") is not None
+            else ""
+        )
+        lines.append(
+            f"  node {node['node']} (round {node['round']}): {node['state']}, "
+            f"{node['chunks_done']}/{node['chunks_assigned']} chunks, "
+            f"{node['replications']} replications{current} "
+            f"[heartbeat {node['age_seconds']:.1f}s ago]"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro monitor",
+        description="Watch a distributed run directory's progress.",
+    )
+    parser.add_argument(
+        "run_dir",
+        help="a run directory (contains manifest.json) or a run root "
+        "holding one directory per sweep (newest is picked)",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="refresh until the run reaches done/failed",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one status snapshot and exit (the default)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the status as JSON instead of the human view",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between --follow refreshes (default 1.0)",
+    )
+    parser.add_argument(
+        "--stale-after", type=float, default=10.0,
+        help="seconds without a heartbeat before a node/run counts as "
+        "stale/stalled (default 10)",
+    )
+    args = parser.parse_args(argv)
+    if args.follow and args.once:
+        parser.error("--follow and --once are mutually exclusive")
+
+    try:
+        run_dir = resolve_run_dir(args.run_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    def snapshot() -> Dict[str, Any]:
+        return load_run_status(run_dir, stale_after=args.stale_after)
+
+    def show(status: Dict[str, Any]) -> None:
+        if args.as_json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(render_status(status))
+
+    if not args.follow:
+        try:
+            show(snapshot())
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
+
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    while True:
+        status = snapshot()
+        if clear:
+            sys.stdout.write(clear)
+        show(status)
+        if not args.as_json and not clear:
+            print("---")
+        sys.stdout.flush()
+        if status["state"] in ("done", "failed"):
+            return 0 if status["state"] == "done" else 1
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

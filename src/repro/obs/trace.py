@@ -22,7 +22,9 @@ contract the test suite asserts end-to-end.
 
 from __future__ import annotations
 
+import gzip
 import json
+import os
 from collections import deque
 from contextlib import contextmanager
 from typing import (
@@ -44,6 +46,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "open_text",
     "read_jsonl",
     "replay_records",
     "summarize_records",
@@ -51,6 +54,19 @@ __all__ = [
 
 #: A trace record: {"t": sim-time-or-None, "kind": str, <sorted fields>}.
 TraceRecord = Dict[str, Any]
+
+
+def open_text(path: str, mode: str) -> IO[str]:
+    """Open a text file, transparently gzipped when the path ends in ``.gz``.
+
+    Long distributed sweeps produce multi-gigabyte JSONL traces; every
+    reader in this layer (``read_jsonl``, the span file reader, the
+    ``trace`` CLI) and the :class:`JsonlSink` writer route through this so
+    ``.jsonl.gz`` works everywhere a ``.jsonl`` does.
+    """
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
 
 
 class RingBufferSink:
@@ -77,11 +93,26 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Writes each record as one JSON line to a path or file object."""
+    """Writes each record as one JSON line to a path or file object.
 
-    def __init__(self, target: Union[str, IO[str]]):
-        if isinstance(target, str):
-            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+    ``compress`` opts into gzip output; left at ``None`` it is inferred
+    from the path suffix, so ``--trace sweep.jsonl.gz`` just works.
+    """
+
+    def __init__(
+        self, target: Union[str, "os.PathLike[str]", IO[str]],
+        compress: Optional[bool] = None,
+    ):
+        if isinstance(target, (str, os.PathLike)):
+            target = os.fspath(target)
+            if compress is None:
+                compress = target.endswith(".gz")
+            if compress:
+                self._fh: IO[str] = gzip.open(  # type: ignore[assignment]
+                    target, "wt", encoding="utf-8"
+                )
+            else:
+                self._fh = open(target, "w", encoding="utf-8")
             self._owns = True
             self.path: Optional[str] = target
         else:
@@ -222,9 +253,10 @@ def read_jsonl(path: str) -> List[TraceRecord]:
     Every line must parse as a JSON object with a string ``kind`` and a
     ``t`` that is a number or null; anything else raises ``ValueError``
     naming the offending line (the CI smoke step relies on this).
+    Gzipped traces (``.jsonl.gz``) are decompressed transparently.
     """
     records: List[TraceRecord] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    with open_text(path, "r") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:

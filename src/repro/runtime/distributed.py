@@ -23,6 +23,18 @@ protocol inside a **run directory** keyed by the sweep's content hash:
     A node that hit an unrecoverable *config* failure (as opposed to
     dying) reports it here so the coordinator can re-raise a
     :class:`~repro.runtime.runner.WorkerError` with full context.
+``progress/<name>.json``
+    Atomically-rewritten heartbeat documents: each node maintains
+    ``node-<k>.json`` (state, chunks done, replication counts, DES
+    throughput) as replications settle, and the coordinator maintains
+    ``coordinator.json`` with sweep-level state.  ``python -m repro
+    monitor`` reads only this directory plus the manifest.
+``spans/node-<k>.jsonl``
+    Append-only per-node span log (chunk, replication, and attempt
+    spans) for live inspection while a node runs.  The authoritative
+    span copies ride inside the chunk result files, where the
+    coordinator merges them by manifest position — see
+    :mod:`repro.obs.spans`.
 
 The coordinator shards chunks across ``nodes`` workers, launches them
 through a pluggable :class:`NodeTransport` (local subprocesses today; an
@@ -45,7 +57,8 @@ import os
 import pickle
 import subprocess
 import sys
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -59,6 +72,19 @@ from typing import (
     Union,
 )
 
+from ..obs.spans import (
+    KIND_CHUNK,
+    KIND_NODE,
+    Span,
+    SpanCollector,
+    chunk_span_id,
+    get_span_collector,
+    node_span_id,
+    rebase_span_record,
+    set_span_collector,
+    span_from_record,
+    span_to_record,
+)
 from .cache import config_key
 from .shm import sweep_dead_owner_segments
 
@@ -82,14 +108,19 @@ __all__ = [
     "default_run_root",
     "load_manifest",
     "merge_chunk_results",
+    "node_spans_path",
     "plan_shards",
+    "progress_path",
+    "read_progress_docs",
     "sweep_id_for",
     "write_manifest",
+    "write_progress_doc",
 ]
 
 #: Bump when the manifest or chunk-file format changes; old run
 #: directories are then simply never matched (fresh sweep ids).
-MANIFEST_VERSION = 1
+#: Version 2: chunk result files carry per-replication span records.
+MANIFEST_VERSION = 2
 
 #: Target chunks per node: small enough that a crashed node forfeits only
 #: a slice of its assignment, large enough that per-chunk file overhead
@@ -317,6 +348,12 @@ class ChunkResult:
     timeouts: int = 0
     crashes: int = 0
     failures: int = 0
+    #: Span records (chunk + replication + attempt) captured while the
+    #: chunk executed, in node-local manifest positions.  The coordinator
+    #: rebases them (:func:`repro.obs.spans.rebase_span_record`) into the
+    #: current submission's indices at merge time, so spans survive
+    #: resume exactly like results do.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def chunk_result_path(run_dir: Union[str, Path], chunk_id: int) -> Path:
@@ -422,6 +459,52 @@ def read_node_errors(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
         except (OSError, ValueError):
             continue
     return found
+
+
+# -- heartbeats / live span files ------------------------------------------
+
+
+def progress_path(run_dir: Union[str, Path], name: str) -> Path:
+    """The heartbeat file for ``name`` (``coordinator`` or ``node-<k>``)."""
+    return Path(run_dir) / "progress" / f"{name}.json"
+
+
+def write_progress_doc(
+    run_dir: Union[str, Path], name: str, doc: Dict[str, Any]
+) -> Path:
+    """Atomically publish one heartbeat document (readers never see a
+    partial write — the same tmp-then-rename protocol chunk files use)."""
+    path = progress_path(run_dir, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write_bytes(
+        path, (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    )
+    return path
+
+
+def read_progress_docs(run_dir: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """All heartbeat documents by name; unreadable files are skipped.
+
+    A half-gone file (node died mid-rename, monitor raced a rewrite) reads
+    as absent rather than failing the whole status scan.
+    """
+    docs: Dict[str, Dict[str, Any]] = {}
+    progress_dir = Path(run_dir) / "progress"
+    if not progress_dir.is_dir():
+        return docs
+    for path in sorted(progress_dir.glob("*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict):
+            docs[path.stem] = doc
+    return docs
+
+
+def node_spans_path(run_dir: Union[str, Path], node_id: int) -> Path:
+    """The append-only live span JSONL a node writes as chunks finish."""
+    return Path(run_dir) / "spans" / f"node-{node_id}.jsonl"
 
 
 # -- transports ------------------------------------------------------------
@@ -535,6 +618,14 @@ class DistributedCoordinator:
     def __init__(self, runner: "ExperimentRunner"):
         self.runner = runner
         self.transport = runner.node_transport or LocalSubprocessTransport()
+        self._plan: Optional[ShardPlan] = None
+        self._span_parent: Optional[str] = None
+        self._collector: Optional[SpanCollector] = None
+        self._resumed_count = 0
+        self._round = 0
+        self._nodes_running = 0
+        self._started_wall = 0.0
+        self._hb_last = float("-inf")
 
     # The runner's _execute contract: List[(value, snapshot)] in the order
     # of the ``configs``/``indices`` it was handed.
@@ -545,6 +636,7 @@ class DistributedCoordinator:
         indices: List[int],
         obs: Optional["ObsRequest"],
         label: Optional[str] = None,
+        span_parent: Optional[str] = None,
     ) -> List[Tuple[Any, Optional["ObsSnapshot"]]]:
         from .cache import _namespace  # worker-function namespace helper
         from .runner import FailedResult
@@ -574,6 +666,11 @@ class DistributedCoordinator:
                 "shm": runner.shm,
                 "shm_min_elements": runner.shm_min_elements,
                 "trace_capacity": runner.trace_capacity,
+                "profile": runner.profile,
+                # Nodes parent their replication spans directly under the
+                # coordinator's sweep span, so the merged structure is the
+                # same tree a serial run would have built.
+                "span_sweep": span_parent,
             },
         )
 
@@ -590,25 +687,101 @@ class DistributedCoordinator:
         runner.telemetry.chunks_resumed += len(resumed)
         missing = [c.chunk_id for c in plan.chunks if c.chunk_id not in resumed]
 
-        rounds = 0
-        while missing:
-            if rounds > runner.max_node_restarts:
-                raise DistributedRunError(
-                    f"{len(missing)} chunk(s) still missing after "
-                    f"{rounds} node round(s); run directory {run_dir} kept "
-                    f"for resume",
-                    run_dir=run_dir,
-                    missing=missing,
-                )
-            if rounds:
-                runner.telemetry.node_restarts += 1
-            self._run_round(run_dir, missing, rounds)
-            self._raise_node_errors(run_dir, fn, configs, indices)
-            done = set(completed_chunk_ids(run_dir, plan))
-            missing = [c for c in missing if c not in done]
-            rounds += 1
+        self._plan = plan
+        self._span_parent = span_parent
+        self._collector = get_span_collector()
+        self._resumed_count = len(resumed)
+        self._started_wall = time.time()
+        self._heartbeat(run_dir, "running", force=True)
 
-        return self._merge(run_dir, plan, indices, resumed, FailedResult)
+        try:
+            rounds = 0
+            while missing:
+                if rounds > runner.max_node_restarts:
+                    raise DistributedRunError(
+                        f"{len(missing)} chunk(s) still missing after "
+                        f"{rounds} node round(s); run directory {run_dir} kept "
+                        f"for resume",
+                        run_dir=run_dir,
+                        missing=missing,
+                    )
+                if rounds:
+                    runner.telemetry.node_restarts += 1
+                self._round = rounds
+                self._run_round(run_dir, missing, rounds)
+                self._raise_node_errors(run_dir, fn, configs, indices)
+                done = set(completed_chunk_ids(run_dir, plan))
+                missing = [c for c in missing if c not in done]
+                rounds += 1
+
+            merged = self._merge(run_dir, plan, indices, resumed, FailedResult)
+        except BaseException:
+            self._heartbeat(run_dir, "failed", force=True)
+            raise
+        self._heartbeat(run_dir, "done", force=True)
+        return merged
+
+    def _heartbeat(self, run_dir: Path, state: str, force: bool = False) -> None:
+        """Publish the coordinator's progress document (throttled).
+
+        ``started_at``/``updated_at`` are wall-clock stamps so a monitor in
+        another process can judge staleness; every duration the runtime
+        itself reasons about stays on the monotonic clock.
+        """
+        plan = self._plan
+        if plan is None:
+            return
+        now = self.runner._clock()
+        if not force and now - self._hb_last < 0.5:
+            return
+        self._hb_last = now
+        chunks_done = sum(
+            1
+            for c in plan.chunks
+            if chunk_result_path(run_dir, c.chunk_id).exists()
+        )
+        doc = {
+            "version": 1,
+            "kind": "coordinator",
+            "state": state,
+            "sweep_id": plan.sweep_id,
+            "label": plan.label,
+            "namespace": plan.namespace,
+            "chunks_total": len(plan.chunks),
+            "chunks_done": chunks_done,
+            "chunks_resumed": self._resumed_count,
+            "replications_total": plan.positions,
+            "round": self._round,
+            "nodes_running": self._nodes_running,
+            "pid": os.getpid(),
+            "started_at": self._started_wall,
+            "updated_at": time.time(),
+        }
+        try:
+            write_progress_doc(run_dir, "coordinator", doc)
+        except OSError:
+            pass  # heartbeats are best-effort; the sweep itself must not die
+
+    def _node_span(self, handle: NodeHandle, status: str, wall: float) -> None:
+        """Emit the topology span for a finished/terminated node round."""
+        if self._collector is None or self._span_parent is None:
+            return
+        self._collector.emit(
+            Span(
+                span_id=node_span_id(handle.node_id, handle.round_),
+                parent_id=self._span_parent,
+                name=f"node {handle.node_id} round {handle.round_}",
+                kind=KIND_NODE,
+                status=status,
+                start=time.perf_counter() - wall,
+                duration=wall,
+                attrs={
+                    "chunks": list(handle.chunk_ids),
+                    "node": handle.node_id,
+                    "round": handle.round_,
+                },
+            )
+        )
 
     # -- one launch round --------------------------------------------------
 
@@ -634,9 +807,11 @@ class DistributedCoordinator:
             started[node_id] = clock()
             progress[node_id] = (0, clock())
             runner.telemetry.nodes += 1
+        self._nodes_running = len(handles)
         try:
             self._watch(run_dir, handles, started, progress)
         finally:
+            self._nodes_running = 0
             for handle in handles:
                 handle.terminate()
             # Hard-killed nodes never ran their atexit sweeps; reclaim any
@@ -664,11 +839,13 @@ class DistributedCoordinator:
             for handle in running:
                 code = handle.poll()
                 if code is not None:
-                    runner.telemetry.node_wall_times.append(
-                        clock() - started[handle.node_id]
-                    )
+                    wall = clock() - started[handle.node_id]
+                    runner.telemetry.node_wall_times.append(wall)
                     if code != 0:
                         runner.telemetry.crashes += 1
+                    self._node_span(
+                        handle, "ok" if code == 0 else "crashed", wall
+                    )
                     continue
                 if runner.node_timeout is not None:
                     files = sum(
@@ -682,11 +859,13 @@ class DistributedCoordinator:
                     elif clock() - last_at > runner.node_timeout:
                         handle.terminate()
                         runner.telemetry.timeouts += 1
-                        runner.telemetry.node_wall_times.append(
-                            clock() - started[handle.node_id]
-                        )
+                        wall = clock() - started[handle.node_id]
+                        runner.telemetry.node_wall_times.append(wall)
+                        self._node_span(handle, "timeout", wall)
                         continue
                 still.append(handle)
+            self._nodes_running = len(still)
+            self._heartbeat(run_dir, "running")
             running = still
             if running:
                 runner._sleep(_POLL_INTERVAL)
@@ -752,6 +931,20 @@ class DistributedCoordinator:
                 rebased.append(value)
             values_by_chunk[chunk.chunk_id] = rebased
             snapshots_by_chunk[chunk.chunk_id] = list(result.snapshots)
+            # Replay the chunk's spans — resumed chunks included, so spans
+            # from a first, interrupted submission survive exactly like
+            # their results do.  Replication/attempt ids are rebased from
+            # manifest positions to this submission's indices.
+            if self._collector is not None and self._span_parent is not None:
+                position_map = {pos: indices[pos] for pos in chunk.indices}
+                for record in getattr(result, "spans", ()):
+                    self._collector.emit(
+                        span_from_record(
+                            rebase_span_record(
+                                record, position_map, self._span_parent
+                            )
+                        )
+                    )
             if chunk.chunk_id in resumed:
                 continue
             # Fold this submission's executed work into run telemetry.
@@ -786,16 +979,86 @@ def run_node_chunks(
     result file atomically, and then consults the scripted node-fault
     plan — so a ``kill`` fault leaves exactly the completed files behind,
     like a real mid-sweep power loss would.
+
+    While running, the node maintains two observability surfaces in the
+    run directory: an atomically-rewritten ``progress/node-<k>.json``
+    heartbeat updated as replications settle, and an append-only
+    ``spans/node-<k>.jsonl`` span log.  Each chunk's spans are captured
+    in a private per-chunk :class:`~repro.obs.spans.SpanCollector`
+    (parented under the coordinator's sweep span) and shipped inside the
+    chunk result file, so they resume with it.
     """
     from .faults import maybe_fire_node_fault
     from .runner import ExperimentRunner, WorkerError
 
     run_dir = Path(run_dir)
+    started_wall = time.time()
+    totals = {
+        "replications": 0,
+        "failures": 0,
+        "retries": 0,
+        "timeouts": 0,
+        "crashes": 0,
+        "des_events": 0,
+        "wall_time_total": 0.0,
+    }
+    completed = 0
+    last_publish = [float("-inf")]
+
+    def publish(
+        state: str,
+        current_chunk: Optional[int] = None,
+        telemetry: Any = None,
+        current_total: int = 0,
+        jobs: int = 1,
+        force: bool = False,
+    ) -> None:
+        now = time.monotonic()
+        if not force and now - last_publish[0] < 0.2:
+            return
+        last_publish[0] = now
+        current_done = telemetry.replications if telemetry is not None else 0
+        doc = {
+            "version": 1,
+            "kind": "node",
+            "node": node_id,
+            "round": round_,
+            "pid": os.getpid(),
+            "jobs": jobs,
+            "state": state,
+            "chunks_assigned": len(chunk_ids),
+            "chunks_done": completed,
+            "current_chunk": current_chunk,
+            "current_total": current_total,
+            "current_done": current_done,
+            "replications": totals["replications"] + current_done,
+            "failures": totals["failures"]
+            + (telemetry.failures if telemetry is not None else 0),
+            "retries": totals["retries"]
+            + (telemetry.retries if telemetry is not None else 0),
+            "timeouts": totals["timeouts"]
+            + (telemetry.timeouts if telemetry is not None else 0),
+            "crashes": totals["crashes"]
+            + (telemetry.crashes if telemetry is not None else 0),
+            "des_events": totals["des_events"]
+            + (telemetry.des_events if telemetry is not None else 0),
+            "wall_time_total": totals["wall_time_total"]
+            + (telemetry.wall_time_total if telemetry is not None else 0.0),
+            "started_at": started_wall,
+            "updated_at": time.time(),
+        }
+        try:
+            write_progress_doc(run_dir, f"node-{node_id}", doc)
+        except OSError:
+            pass  # a failed heartbeat must never fail the chunk
+
+    publish("starting", force=True)
     plan = load_manifest(run_dir)
     if plan is None:
         write_node_error(
             run_dir, node_id, {"error": "manifest missing or unreadable"}
         )
+        publish("failed", force=True)
         return 2
     payload = load_payload(run_dir)
     fn = payload["fn"]
@@ -803,6 +1066,7 @@ def run_node_chunks(
     obs = payload["obs"]
     options = payload["node_options"]
     chunks = {c.chunk_id: c for c in plan.chunks}
+    sweep_parent = options.get("span_sweep")
 
     # Nodes with retries/timeout/partial run attempts in supervised child
     # processes so a crashing config cannot take the whole node down —
@@ -816,13 +1080,13 @@ def run_node_chunks(
         "process" if (fault_tolerant or options["jobs"] > 1) else "serial"
     )
 
-    completed = 0
     for chunk_id in chunk_ids:
         chunk = chunks.get(chunk_id)
         if chunk is None:
             write_node_error(
                 run_dir, node_id, {"error": f"unknown chunk id {chunk_id}"}
             )
+            publish("failed", force=True)
             return 2
         if chunk_result_path(run_dir, chunk_id).exists():
             completed += 1  # published by an earlier round; keep it
@@ -838,12 +1102,28 @@ def run_node_chunks(
             shm=options["shm"],
             shm_min_elements=options["shm_min_elements"],
             trace_capacity=options["trace_capacity"],
+            profile=bool(options.get("profile")),
         )
         chunk_configs = [configs[i] for i in chunk.indices]
         local_positions = list(chunk.indices)
+        chunk_total = len(chunk.indices)
+        def on_progress(
+            telemetry: Any, c: int = chunk_id, t: int = chunk_total
+        ) -> None:
+            publish("running", c, telemetry, t, jobs=options["jobs"])
+
+        runner.on_progress = on_progress
+        publish("running", chunk_id, runner.telemetry, chunk_total,
+                jobs=options["jobs"], force=True)
+        # Spans for this chunk are captured in a private collector so they
+        # can ride inside the chunk's own result file.
+        collector = SpanCollector()
+        chunk_started = time.perf_counter()
+        previous = set_span_collector(collector)
         try:
             computed = runner._execute(
-                fn, chunk_configs, local_positions, obs, transport=None
+                fn, chunk_configs, local_positions, obs, transport=None,
+                span_parent=sweep_parent,
             )
         except WorkerError as exc:
             write_node_error(
@@ -857,7 +1137,25 @@ def run_node_chunks(
                     "attempts": exc.attempts,
                 },
             )
+            publish("failed", force=True)
             return 3
+        finally:
+            set_span_collector(previous)
+        chunk_elapsed = time.perf_counter() - chunk_started
+        chunk_span = Span(
+            span_id=chunk_span_id(chunk_id),
+            parent_id=node_span_id(node_id, round_),
+            name=f"chunk {chunk_id}",
+            kind=KIND_CHUNK,
+            status="ok",
+            start=chunk_started,
+            duration=chunk_elapsed,
+            attrs={"node": node_id, "positions": chunk_total, "round": round_},
+        )
+        for span in collector.spans():
+            span.attrs.setdefault("chunk", chunk_id)
+        span_records = [span_to_record(s) for s in collector.spans()]
+        span_records.append(span_to_record(chunk_span))
         telemetry = runner.telemetry
         write_chunk_result(
             run_dir,
@@ -876,8 +1174,28 @@ def run_node_chunks(
                 timeouts=telemetry.timeouts,
                 crashes=telemetry.crashes,
                 failures=telemetry.failures,
+                spans=span_records,
             ),
         )
+        # Append the same records to the node's live span log for anyone
+        # tailing the run directory while the sweep is still going.
+        spans_file = node_spans_path(run_dir, node_id)
+        try:
+            spans_file.parent.mkdir(parents=True, exist_ok=True)
+            with open(spans_file, "a", encoding="utf-8") as fh:
+                for record in span_records:
+                    fh.write(json.dumps(record) + "\n")
+        except OSError:
+            pass  # the authoritative copy is already in the chunk file
+        totals["replications"] += telemetry.replications
+        totals["failures"] += telemetry.failures
+        totals["retries"] += telemetry.retries
+        totals["timeouts"] += telemetry.timeouts
+        totals["crashes"] += telemetry.crashes
+        totals["des_events"] += telemetry.des_events
+        totals["wall_time_total"] += telemetry.wall_time_total
         completed += 1
+        publish("running", force=True)
         maybe_fire_node_fault(run_dir, node_id, completed)
+    publish("done", force=True)
     return 0

@@ -8,7 +8,12 @@ Launched (today) as a local subprocess by
 
 The process reads the run directory's manifest and payload, executes its
 assigned chunks through an in-node :class:`~repro.runtime.ExperimentRunner`,
-publishes one atomic result file per chunk, and exits 0.  Exit codes:
+publishes one atomic result file per chunk, and exits 0.  While running it
+also maintains an atomically-rewritten heartbeat at
+``progress/node-<k>.json`` (read by ``python -m repro monitor``) and
+appends each finished chunk's spans to ``spans/node-<k>.jsonl``; the
+authoritative span copies travel inside the chunk result files.  Exit
+codes:
 
 ====  =====================================================================
 0     every assigned chunk published

@@ -49,6 +49,7 @@ Two transport/observability layers ride on top of the backends:
 
 from __future__ import annotations
 
+import cProfile
 import multiprocessing
 import multiprocessing.process
 import os
@@ -77,6 +78,14 @@ from typing import (
 
 from ..des.engine import events_processed_total
 from ..obs.metrics import MetricsRegistry, NullRegistry, get_registry, set_registry
+from ..obs.profiling import merge_profile_stats
+from ..obs.spans import (
+    KIND_SWEEP,
+    Span,
+    SpanLedger,
+    get_span_collector,
+    sweep_span_id,
+)
 from ..obs.telemetry import RunTelemetry
 from ..obs.trace import RingBufferSink, Tracer, get_tracer, replay_records, set_tracer
 from .shm import DEFAULT_MIN_ELEMENTS, SharedResultTransport, shm_available
@@ -227,6 +236,9 @@ class ObsRequest:
     trace: bool = False
     trace_kinds: Optional[frozenset] = None
     ring_capacity: int = DEFAULT_TRACE_CAPACITY
+    #: Run the replication under cProfile; the raw stats dict rides back
+    #: in the snapshot and is folded deterministically by the coordinator.
+    profile: bool = False
 
 
 @dataclass
@@ -241,6 +253,8 @@ class ObsSnapshot:
     metrics: Optional[Dict[str, Any]] = None
     records: Optional[List[Dict[str, Any]]] = None
     dropped: int = 0
+    #: Raw ``cProfile`` stats dict for the replication, when profiling.
+    profile: Optional[Dict[Any, Any]] = None
 
 
 #: Callables invoked before every replication attempt.  Modules that keep
@@ -280,6 +294,7 @@ def _observed_call(
         return fn(config), None
     registry = MetricsRegistry() if obs.metrics else None
     sink = RingBufferSink(capacity=obs.ring_capacity) if obs.trace else None
+    profiler = cProfile.Profile() if obs.profile else None
     prev_registry = set_registry(registry) if registry is not None else None
     prev_tracer = (
         set_tracer(Tracer(sink, kinds=obs.trace_kinds))
@@ -287,16 +302,24 @@ def _observed_call(
         else None
     )
     try:
-        result = fn(config)
+        if profiler is not None:
+            result = profiler.runcall(fn, config)
+        else:
+            result = fn(config)
     finally:
         if registry is not None:
             set_registry(prev_registry)
         if sink is not None:
             set_tracer(prev_tracer)
+    profile_stats: Optional[Dict[Any, Any]] = None
+    if profiler is not None:
+        profiler.create_stats()
+        profile_stats = profiler.stats  # type: ignore[attr-defined]
     return result, ObsSnapshot(
         metrics=registry.to_dict() if registry is not None else None,
         records=sink.records() if sink is not None else None,
         dropped=sink.dropped if sink is not None else 0,
+        profile=profile_stats,
     )
 
 
@@ -378,6 +401,7 @@ def _supervised_child(
                 False,
                 (RuntimeError(f"unpicklable {detail} from worker"), tb),
                 message[2],
+                0,
                 None,
             ))
         except Exception:
@@ -458,6 +482,21 @@ class ExperimentRunner:
     trace_capacity:
         Worker-side trace ring-buffer capacity in records per
         replication; overflow is counted in ``telemetry.trace_dropped``.
+    profile:
+        Run every replication under :mod:`cProfile` *in the worker*; the
+        raw stats ride back with each observation snapshot and fold into
+        :attr:`profile_stats` in submission order, so the aggregate is
+        deterministic at any ``--jobs``/``--nodes``
+        (``python -m repro trace profile`` renders it).
+    on_progress:
+        Optional ``(RunTelemetry) -> None`` callback invoked after every
+        replication settles (success or final failure).  The distributed
+        node worker hooks this to publish heartbeat files; the callback
+        must not raise.
+    span_context:
+        Parent span id adopted instead of minting a ``sweep`` span.  Used
+        by in-node runners so distributed replication spans parent under
+        the coordinator's sweep; leave None otherwise.
     nodes:
         Node-worker count for the distributed backend (default 2).
     node_jobs:
@@ -496,6 +535,9 @@ class ExperimentRunner:
         shm_min_elements: int = DEFAULT_MIN_ELEMENTS,
         worker_observability: bool = True,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        profile: bool = False,
+        on_progress: Optional[Callable[[RunTelemetry], None]] = None,
+        span_context: Optional[str] = None,
         nodes: int = 2,
         node_jobs: Union[int, str, None] = 1,
         run_root: Union[str, "Path", None] = None,
@@ -535,6 +577,9 @@ class ExperimentRunner:
         self.shm_min_elements = int(shm_min_elements)
         self.worker_observability = bool(worker_observability)
         self.trace_capacity = int(trace_capacity)
+        self.profile = bool(profile)
+        self.on_progress = on_progress
+        self.span_context = span_context
         self.nodes = int(nodes)
         self.node_jobs = resolve_jobs(node_jobs)
         self.run_root = run_root
@@ -544,9 +589,18 @@ class ExperimentRunner:
         self._transport: Optional[SharedResultTransport] = None
         self._sleep = sleep
         self._clock = clock
+        self._span_ledger: Optional[SpanLedger] = None
+        #: Merged raw cProfile stats across this runner's batches
+        #: (``{(file, line, func): (cc, nc, tt, ct, callers)}``).
+        self._profile_stats: Dict[Any, Any] = {}
         #: Aggregated accounting across this runner's ``run_many`` batches
         #: (``--stats`` / ``--stats-json`` read this).
         self.telemetry = RunTelemetry()
+
+    @property
+    def profile_stats(self) -> Dict[Any, Any]:
+        """Merged raw cProfile stats (see :mod:`repro.obs.profiling`)."""
+        return self._profile_stats
 
     @property
     def fault_tolerant(self) -> bool:
@@ -587,6 +641,14 @@ class ExperimentRunner:
                     self.telemetry.cache_misses += 1
             pending = missing
 
+        # One sweep span roots this batch's replication spans.  The id
+        # derives from the batch counter alone (placement-independent);
+        # in-node runners adopt the coordinator's id via ``span_context``
+        # and emit no sweep span of their own.
+        collector = get_span_collector()
+        sweep_id = self.span_context or sweep_span_id(self.telemetry.batches - 1)
+        own_sweep = collector is not None and self.span_context is None
+        sweep_status = "ok"
         try:
             if pending:
                 obs = self._obs_request()
@@ -594,7 +656,7 @@ class ExperimentRunner:
                 try:
                     computed = self._execute(
                         fn, [configs[i] for i in pending], pending, obs,
-                        transport, label=label,
+                        transport, label=label, span_parent=sweep_id,
                     )
                 finally:
                     # Workers are done (or reaped) by now: any segment still
@@ -608,8 +670,26 @@ class ExperimentRunner:
                         self.cache.put(fn, configs[i], value)
                 if obs is not None:
                     self._merge_observations(pending, computed)
+        except BaseException:
+            sweep_status = "failed"
+            raise
         finally:
-            self.telemetry.elapsed += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.telemetry.elapsed += elapsed
+            if own_sweep:
+                assert collector is not None
+                collector.emit(
+                    Span(
+                        span_id=sweep_id,
+                        parent_id=None,
+                        name=label or "sweep",
+                        kind=KIND_SWEEP,
+                        status=sweep_status,
+                        start=started,
+                        duration=elapsed,
+                        attrs={"configs": len(configs), "label": label},
+                    )
+                )
         return results
 
     # -- observability / transport plumbing -------------------------------
@@ -627,7 +707,8 @@ class ExperimentRunner:
         registry = get_registry()
         want_metrics = not isinstance(registry, NullRegistry)
         want_trace = tracer is not None
-        if not (want_metrics or want_trace):
+        want_profile = self.profile
+        if not (want_metrics or want_trace or want_profile):
             return None
         kinds = (
             frozenset(tracer.kinds)
@@ -639,6 +720,7 @@ class ExperimentRunner:
             trace=want_trace,
             trace_kinds=kinds,
             ring_capacity=self.trace_capacity,
+            profile=want_profile,
         )
 
     def _transport_for(self, n: int) -> Optional[SharedResultTransport]:
@@ -694,6 +776,13 @@ class ExperimentRunner:
                     tracer, snapshot.records, replication=index
                 )
                 self.telemetry.trace_dropped += snapshot.dropped
+            if snapshot.profile:
+                merge_profile_stats(self._profile_stats, snapshot.profile)
+
+    def _progress(self) -> None:
+        """Invoke the heartbeat callback after a replication settles."""
+        if self.on_progress is not None:
+            self.on_progress(self.telemetry)
 
     # -- backends ---------------------------------------------------------
 
@@ -705,20 +794,27 @@ class ExperimentRunner:
         obs: Optional[ObsRequest],
         transport: Optional[SharedResultTransport],
         label: Optional[str] = None,
+        span_parent: Optional[str] = None,
     ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
         if self.backend == "distributed":
             from .distributed import DistributedCoordinator
 
             return DistributedCoordinator(self).execute(
-                fn, configs, indices, obs, label=label
+                fn, configs, indices, obs, label=label, span_parent=span_parent
             )
-        if self.fault_tolerant:
-            if self.backend == "process":
-                return self._run_supervised(fn, configs, indices, obs, transport)
-            return self._run_serial_ft(fn, configs, indices, obs)
-        if self.backend == "serial" or self.jobs == 1 or len(configs) <= 1:
-            return self._run_serial(fn, configs, indices, obs)
-        return self._run_pool(fn, configs, indices, obs, transport)
+        collector = get_span_collector()
+        if collector is not None and span_parent is not None:
+            self._span_ledger = SpanLedger(collector, span_parent)
+        try:
+            if self.fault_tolerant:
+                if self.backend == "process":
+                    return self._run_supervised(fn, configs, indices, obs, transport)
+                return self._run_serial_ft(fn, configs, indices, obs)
+            if self.backend == "serial" or self.jobs == 1 or len(configs) <= 1:
+                return self._run_serial(fn, configs, indices, obs)
+            return self._run_pool(fn, configs, indices, obs, transport)
+        finally:
+            self._span_ledger = None
 
     def _run_serial(
         self,
@@ -727,6 +823,7 @@ class ExperimentRunner:
         indices: List[int],
         obs: Optional[ObsRequest],
     ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
+        ledger = self._span_ledger
         out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         for config, index in zip(configs, indices):
             started = time.perf_counter()
@@ -735,13 +832,22 @@ class ExperimentRunner:
                 out.append(_observed_call(fn, config, obs))
             except Exception as exc:
                 self.telemetry.failures += 1
+                if ledger is not None:
+                    ledger.attempt(index, "error", time.perf_counter() - started)
+                    ledger.settle(index, "failed")
+                self._progress()
                 raise WorkerError(
                     config, index, exc, traceback.format_exc()
                 ) from exc
+            elapsed = time.perf_counter() - started
+            if ledger is not None:
+                ledger.attempt(index, "ok", elapsed)
+                ledger.settle(index, "ok")
             self.telemetry.record_replication(
-                time.perf_counter() - started,
+                elapsed,
                 events_processed_total() - events_before,
             )
+            self._progress()
         return out
 
     def _run_pool(
@@ -752,6 +858,7 @@ class ExperimentRunner:
         obs: Optional[ObsRequest],
         transport: Optional[SharedResultTransport],
     ) -> List[Tuple[Any, Optional[ObsSnapshot]]]:
+        ledger = self._span_ledger
         workers = min(self.jobs, len(configs))
         chunk = self.chunk_size or max(1, len(configs) // (workers * 4))
         out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
@@ -763,9 +870,17 @@ class ExperimentRunner:
                 if not ok:
                     exc, tb = value
                     self.telemetry.failures += 1
+                    if ledger is not None:
+                        ledger.attempt(indices[pos], "error", elapsed)
+                        ledger.settle(indices[pos], "failed")
+                    self._progress()
                     raise WorkerError(configs[pos], indices[pos], exc, tb) from exc
                 out.append((self._decode_result(transport, value), snapshot))
+                if ledger is not None:
+                    ledger.attempt(indices[pos], "ok", elapsed)
+                    ledger.settle(indices[pos], "ok")
                 self.telemetry.record_replication(elapsed, events)
+                self._progress()
         return out
 
     # -- fault-tolerant paths ---------------------------------------------
@@ -808,6 +923,7 @@ class ExperimentRunner:
             # snapshot is discarded with the exception).
             return _observed_call(fn, config, obs)
 
+        ledger = self._span_ledger
         out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         for config, index in zip(configs, indices):
             attempts = 0
@@ -819,8 +935,15 @@ class ExperimentRunner:
                     result, snapshot = self._call_with_alarm(attempt, config)
                 except Exception as exc:
                     tb = traceback.format_exc()
-                    if isinstance(exc, ReplicationTimeout):
+                    timed_out = isinstance(exc, ReplicationTimeout)
+                    if timed_out:
                         self.telemetry.timeouts += 1
+                    if ledger is not None:
+                        ledger.attempt(
+                            index,
+                            "timeout" if timed_out else "error",
+                            time.perf_counter() - started,
+                        )
                     if attempts <= self.max_retries:
                         self.telemetry.retries += 1
                         delay = self._backoff_delay(attempts)
@@ -828,6 +951,9 @@ class ExperimentRunner:
                             self._sleep(delay)
                         continue
                     self.telemetry.failures += 1
+                    if ledger is not None:
+                        ledger.settle(index, "failed")
+                    self._progress()
                     if self.partial:
                         out.append((
                             FailedResult(config, index, attempts, repr(exc), tb),
@@ -837,11 +963,16 @@ class ExperimentRunner:
                     raise WorkerError(
                         config, index, exc, tb, attempts=attempts
                     ) from exc
+                elapsed = time.perf_counter() - started
+                if ledger is not None:
+                    ledger.attempt(index, "ok", elapsed)
+                    ledger.settle(index, "ok")
                 out.append((result, snapshot))
                 self.telemetry.record_replication(
-                    time.perf_counter() - started,
+                    elapsed,
                     events_processed_total() - events_before,
                 )
+                self._progress()
                 break
         return out
 
@@ -861,14 +992,15 @@ class ExperimentRunner:
         delay.  Up to ``jobs`` attempts run concurrently.
         """
         ctx = multiprocessing.get_context()
+        ledger = self._span_ledger
         n = len(configs)
         slots = min(self.jobs, n)
         results: List[Tuple[Any, Optional[ObsSnapshot]]] = [(None, None)] * n
         attempts = [0] * n
         runnable: Deque[int] = deque(range(n))
         delayed: List[Tuple[float, int]] = []  # (eligible_at, position) heap
-        # pipe -> (process, position, deadline)
-        inflight: Dict[Connection, Tuple[Any, int, Optional[float]]] = {}
+        # pipe -> (process, position, deadline, launched_at)
+        inflight: Dict[Connection, Tuple[Any, int, Optional[float], float]] = {}
         done = 0
 
         def launch(pos: int) -> None:
@@ -880,17 +1012,24 @@ class ExperimentRunner:
             )
             proc.start()
             send_end.close()  # coordinator's copy; child death now EOFs recv
-            deadline = (
-                self._clock() + self.timeout if self.timeout is not None else None
-            )
-            inflight[recv_end] = (proc, pos, deadline)
+            now = self._clock()
+            deadline = now + self.timeout if self.timeout is not None else None
+            inflight[recv_end] = (proc, pos, deadline, now)
 
-        def settle_failure(pos: int, cause: BaseException, tb: str) -> None:
+        def settle_failure(
+            pos: int, cause: BaseException, tb: str, seconds: float
+        ) -> None:
             nonlocal done
             if isinstance(cause, ReplicationTimeout):
                 self.telemetry.timeouts += 1
+                attempt_status = "timeout"
             elif isinstance(cause, WorkerCrash):
                 self.telemetry.crashes += 1
+                attempt_status = "crash"
+            else:
+                attempt_status = "error"
+            if ledger is not None:
+                ledger.attempt(indices[pos], attempt_status, seconds)
             if attempts[pos] <= self.max_retries:
                 self.telemetry.retries += 1
                 delay = self._backoff_delay(attempts[pos])
@@ -900,6 +1039,9 @@ class ExperimentRunner:
                     runnable.append(pos)
                 return
             self.telemetry.failures += 1
+            if ledger is not None:
+                ledger.settle(indices[pos], "failed")
+            self._progress()
             if self.partial:
                 results[pos] = (
                     FailedResult(
@@ -927,7 +1069,7 @@ class ExperimentRunner:
 
                 waits = [
                     deadline - now
-                    for (_proc, _pos, deadline) in inflight.values()
+                    for (_proc, _pos, deadline, _launched) in inflight.values()
                     if deadline is not None
                 ]
                 if delayed:
@@ -935,7 +1077,7 @@ class ExperimentRunner:
                 poll = max(0.0, min(waits)) if waits else None
 
                 for conn in _connection_wait(list(inflight), timeout=poll):
-                    proc, pos, _deadline = inflight.pop(conn)  # type: ignore[arg-type]
+                    proc, pos, _deadline, launched = inflight.pop(conn)  # type: ignore[arg-type]
                     attempts[pos] += 1
                     try:
                         ok, payload, elapsed, events, snapshot = conn.recv()  # type: ignore[union-attr]
@@ -948,6 +1090,7 @@ class ExperimentRunner:
                                 f"{proc.exitcode}"
                             ),
                             "",
+                            self._clock() - launched,
                         )
                     else:
                         proc.join()
@@ -957,21 +1100,25 @@ class ExperimentRunner:
                                 snapshot,
                             )
                             done += 1
+                            if ledger is not None:
+                                ledger.attempt(indices[pos], "ok", elapsed)
+                                ledger.settle(indices[pos], "ok")
                             self.telemetry.record_replication(elapsed, events)
+                            self._progress()
                         else:
                             cause, tb = payload
-                            settle_failure(pos, cause, tb)
+                            settle_failure(pos, cause, tb, elapsed)
                     finally:
                         conn.close()  # type: ignore[union-attr]
 
                 now = self._clock()
                 expired = [
                     conn
-                    for conn, (_proc, _pos, deadline) in inflight.items()
+                    for conn, (_proc, _pos, deadline, _launched) in inflight.items()
                     if deadline is not None and deadline <= now
                 ]
                 for conn in expired:
-                    proc, pos, _deadline = inflight.pop(conn)
+                    proc, pos, _deadline, launched = inflight.pop(conn)
                     _reap(proc)
                     conn.close()
                     attempts[pos] += 1
@@ -982,9 +1129,10 @@ class ExperimentRunner:
                             "timeout; worker cancelled"
                         ),
                         "",
+                        now - launched,
                     )
         finally:
-            for conn, (proc, _pos, _deadline) in inflight.items():
+            for conn, (proc, _pos, _deadline, _launched) in inflight.items():
                 _reap(proc)
                 conn.close()
             inflight.clear()

@@ -690,6 +690,107 @@ def test_rep303_negative_shadowed_print_is_still_flagged_only_for_builtin():
     """, path=PLAIN_PATH)
 
 
+# -- REP304: no wall-clock durations in engine/obs code ---------------------
+
+
+RUNTIME_PATH = "src/repro/runtime/fixture_module.py"
+OBS_PATH = "src/repro/obs/fixture_module.py"
+
+
+def test_rep304_positive_direct_subtraction():
+    assert_triggers("REP304", """
+        import time
+
+        def elapsed(start):
+            return time.time() - start
+    """, path=RUNTIME_PATH, line=5)
+
+
+def test_rep304_positive_tracked_stamp_name():
+    assert_triggers("REP304", """
+        import time
+
+        def age(doc):
+            now = time.time()
+            return now - doc["updated_at"]
+    """, path=OBS_PATH, line=6)
+
+
+def test_rep304_positive_comparison_with_deadline():
+    assert_triggers("REP304", """
+        import time
+
+        def expired(deadline):
+            return time.time() > deadline
+    """, path=RUNTIME_PATH, line=5)
+
+
+def test_rep304_positive_datetime_now():
+    assert_triggers("REP304", """
+        import datetime
+
+        def spent(started):
+            return datetime.datetime.now() - started
+    """, path=RUNTIME_PATH, line=5)
+
+
+def test_rep304_negative_monotonic_duration():
+    assert_clean("REP304", """
+        import time
+
+        def elapsed(start):
+            return time.monotonic() - start
+    """, path=RUNTIME_PATH)
+    assert_clean("REP304", """
+        import time
+
+        def elapsed(start):
+            return time.perf_counter() - start
+    """, path=RUNTIME_PATH)
+
+
+def test_rep304_negative_stamping_without_arithmetic():
+    assert_clean("REP304", """
+        import time
+
+        def heartbeat(doc):
+            doc["updated_at"] = time.time()
+            return doc
+    """, path=RUNTIME_PATH)
+
+
+def test_rep304_negative_reassigned_name_not_tracked():
+    assert_clean("REP304", """
+        import time
+
+        def elapsed(flag):
+            now = time.time()
+            if flag:
+                now = 0.0
+            return now - 1.0
+    """, path=RUNTIME_PATH)
+
+
+def test_rep304_negative_sim_package_is_rep003_territory():
+    source = """
+        import time
+
+        def elapsed(start):
+            return time.time() - start
+    """
+    assert_clean("REP304", source, path=SIM_PATH)
+    assert_triggers("REP003", source, path=SIM_PATH)
+
+
+def test_rep304_negative_outside_engine_and_obs():
+    assert_clean("REP304", """
+        import time
+
+        def elapsed(start):
+            return time.time() - start
+    """, path=PLAIN_PATH)
+
+
 # -- cross-cutting ----------------------------------------------------------
 
 
@@ -697,7 +798,7 @@ ALL_RULE_IDS = [
     "REP001", "REP002", "REP003", "REP004", "REP005",
     "REP101", "REP102", "REP103",
     "REP201", "REP202", "REP204",
-    "REP301", "REP302", "REP303",
+    "REP301", "REP302", "REP303", "REP304",
     "REP401", "REP402", "REP403", "REP404",
 ]
 

@@ -1,0 +1,175 @@
+"""Monitor view over a real run directory, plus fabricated heartbeat states."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.monitor import (
+    load_run_status,
+    main,
+    render_status,
+    resolve_run_dir,
+)
+from repro.runtime import ExperimentRunner
+from repro.runtime.cache import config_key
+from repro.runtime.distributed import (
+    chunk_result_path,
+    load_manifest,
+    write_progress_doc,
+)
+
+
+def _digest_worker(config):
+    return {"key": config_key(config), "seed": config["seed"]}
+
+
+@pytest.fixture()
+def finished_run(tmp_path):
+    """A real two-node distributed run, completed, in a tmp run root."""
+    configs = [{"seed": i, "monitor-test": True} for i in range(6)]
+    runner = ExperimentRunner(
+        backend="distributed", nodes=2, run_root=tmp_path / "runs"
+    )
+    runner.run_many(_digest_worker, configs, label="monitored")
+    (run_dir,) = [p for p in (tmp_path / "runs").iterdir() if p.is_dir()]
+    return run_dir
+
+
+# -- resolve ----------------------------------------------------------------
+
+
+def test_resolve_accepts_run_dir_and_run_root(finished_run):
+    assert resolve_run_dir(finished_run) == finished_run
+    assert resolve_run_dir(finished_run.parent) == finished_run
+
+
+def test_resolve_rejects_empty_dir(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        resolve_run_dir(tmp_path)
+
+
+# -- status from a finished run ---------------------------------------------
+
+
+def test_finished_run_reports_done(finished_run):
+    status = load_run_status(finished_run)
+    assert status["state"] == "done"
+    assert status["label"] == "monitored"
+    assert status["chunks"]["done"] == status["chunks"]["total"] == 6
+    assert status["replications"] == {"done": 6, "total": 6}
+    assert status["faults"]["crashes"] == 0
+    assert status["eta_seconds"] is None
+    assert {n["state"] for n in status["nodes"]} == {"done"}
+    assert status["events_per_second"] >= 0.0
+
+
+def test_render_status_mentions_the_essentials(finished_run):
+    text = render_status(load_run_status(finished_run))
+    assert "done" in text
+    assert "6/6" in text
+    assert "node 0" in text
+
+
+# -- fabricated heartbeat states --------------------------------------------
+
+
+def test_stalled_coordinator_detected(finished_run):
+    doc = json.loads((finished_run / "progress" / "coordinator.json").read_text())
+    doc["state"] = "running"
+    doc["updated_at"] = time.time() - 3600.0
+    write_progress_doc(finished_run, "coordinator", doc)
+    assert load_run_status(finished_run, stale_after=5.0)["state"] == "stalled"
+    doc["updated_at"] = time.time()
+    write_progress_doc(finished_run, "coordinator", doc)
+    assert load_run_status(finished_run, stale_after=5.0)["state"] == "running"
+
+
+def test_silent_running_node_reported_stale(finished_run):
+    doc = json.loads((finished_run / "progress" / "node-0.json").read_text())
+    doc["state"] = "running"
+    doc["updated_at"] = time.time() - 3600.0
+    write_progress_doc(finished_run, "node-0", doc)
+    status = load_run_status(finished_run, stale_after=5.0)
+    by_node = {n["node"]: n for n in status["nodes"]}
+    assert by_node[0]["state"] == "stale"
+
+
+def test_eta_estimated_for_running_sweep(finished_run):
+    plan = load_manifest(finished_run)
+    chunk_result_path(finished_run, plan.chunks[0].chunk_id).unlink()
+    coord = json.loads(
+        (finished_run / "progress" / "coordinator.json").read_text()
+    )
+    coord["state"] = "running"
+    coord["updated_at"] = time.time()
+    write_progress_doc(finished_run, "coordinator", coord)
+    node = json.loads((finished_run / "progress" / "node-0.json").read_text())
+    node.update(
+        state="running", updated_at=time.time(), wall_time_total=2.0,
+        replications=4, current_done=0, jobs=1,
+    )
+    write_progress_doc(finished_run, "node-0", node)
+    other = json.loads((finished_run / "progress" / "node-1.json").read_text())
+    other.update(state="done", wall_time_total=0.0, replications=0,
+                 des_events=0)
+    write_progress_doc(finished_run, "node-1", other)
+    status = load_run_status(finished_run, stale_after=60.0)
+    assert status["state"] == "running"
+    assert status["replications"]["done"] == 5
+    assert status["eta_seconds"] == pytest.approx(0.5)  # 1 rep x 2.0/4
+
+
+def test_fault_counts_are_summed_across_nodes(finished_run):
+    for node_id in (0, 1):
+        name = f"node-{node_id}"
+        doc = json.loads(
+            (finished_run / "progress" / f"{name}.json").read_text()
+        )
+        doc.update(retries=1, timeouts=2, crashes=0, failures=1)
+        write_progress_doc(finished_run, name, doc)
+    faults = load_run_status(finished_run)["faults"]
+    assert faults == {"retries": 2, "timeouts": 4, "crashes": 0, "failures": 2}
+
+
+def test_missing_manifest_raises(tmp_path):
+    (tmp_path / "manifest.json").write_text("not json")
+    with pytest.raises(FileNotFoundError):
+        load_run_status(tmp_path)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_once_json_parses(finished_run, capsys):
+    assert main([str(finished_run), "--once", "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["state"] == "done"
+    assert status["chunks"]["done"] == 6
+
+
+def test_cli_human_output(finished_run, capsys):
+    assert main([str(finished_run)]) == 0
+    assert "replications:  6/6" in capsys.readouterr().out
+
+
+def test_cli_missing_dir_exits_2(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "manifest" in capsys.readouterr().err
+
+
+def test_cli_follow_exits_when_done(finished_run, capsys):
+    assert main([str(finished_run), "--follow", "--interval", "0.01"]) == 0
+    assert "done" in capsys.readouterr().out
+
+
+def test_cli_rejects_follow_plus_once(finished_run):
+    with pytest.raises(SystemExit):
+        main([str(finished_run), "--follow", "--once"])
+
+
+def test_module_dispatch(finished_run, capsys):
+    from repro.__main__ import main as repro_main
+
+    assert repro_main(["monitor", str(finished_run), "--once", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["state"] == "done"

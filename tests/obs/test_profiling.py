@@ -1,0 +1,142 @@
+"""Deterministic cProfile aggregation: merge, persistence, hotspots."""
+
+import cProfile
+import pstats
+
+import pytest
+
+from repro.obs import (
+    hotspots,
+    merge_profile_stats,
+    profile_to_pstats,
+    read_pstats,
+    render_hotspots,
+    write_pstats,
+)
+from repro.runtime import ExperimentRunner
+
+
+def _key(name):
+    return ("file.py", 1, name)
+
+
+def _entry(cc, nc, tt, ct, callers=None):
+    return (cc, nc, tt, ct, callers or {})
+
+
+def test_merge_sums_counts_times_and_callers():
+    acc = {
+        _key("f"): _entry(1, 2, 0.5, 1.0, {_key("g"): (1, 1, 0.1, 0.2)}),
+    }
+    merge_profile_stats(
+        acc,
+        {
+            _key("f"): _entry(3, 4, 0.25, 0.5, {
+                _key("g"): (2, 2, 0.3, 0.4),
+                _key("h"): (1, 1, 0.0, 0.1),
+            }),
+            _key("new"): _entry(1, 1, 0.1, 0.1),
+        },
+    )
+    cc, nc, tt, ct, callers = acc[_key("f")]
+    assert (cc, nc) == (4, 6)
+    assert (tt, ct) == (0.75, 1.5)
+    assert callers[_key("g")] == (3, 3, pytest.approx(0.4), pytest.approx(0.6))
+    assert callers[_key("h")] == (1, 1, 0.0, 0.1)
+    assert acc[_key("new")] == _entry(1, 1, 0.1, 0.1)
+
+
+def test_merge_into_empty_copies():
+    acc = {}
+    merge_profile_stats(acc, {_key("f"): _entry(1, 1, 0.1, 0.2)})
+    assert acc == {_key("f"): _entry(1, 1, 0.1, 0.2)}
+
+
+def _real_profile():
+    profiler = cProfile.Profile()
+    profiler.runcall(sorted, range(100))
+    profiler.create_stats()
+    return profiler.stats
+
+
+@pytest.mark.parametrize("name", ["prof.pstats", "prof.pstats.gz"])
+def test_pstats_round_trip(tmp_path, name):
+    raw = _real_profile()
+    path = tmp_path / name
+    write_pstats(path, raw)
+    assert read_pstats(path) == raw
+    if name.endswith(".gz"):
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+    else:
+        # A plain dump is a standard pstats file other tools can open.
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+
+def test_read_pstats_rejects_garbage(tmp_path):
+    path = tmp_path / "prof.pstats"
+    path.write_bytes(b"not marshal data")
+    with pytest.raises(ValueError):
+        read_pstats(path)
+
+
+def test_profile_to_pstats_is_printable():
+    stats = profile_to_pstats(_real_profile())
+    assert isinstance(stats, pstats.Stats)
+    assert stats.total_calls > 0
+
+
+def test_hotspots_sorting_and_tie_break():
+    raw = {
+        ("b.py", 1, "beta"): _entry(2, 2, 0.5, 1.0),
+        ("a.py", 1, "alpha"): _entry(2, 2, 0.5, 1.0),  # ties: label order
+        ("c.py", 1, "gamma"): _entry(9, 9, 0.1, 2.0),
+    }
+    by_cum = hotspots(raw, sort="cumulative")
+    assert [r["function"] for r in by_cum] == [
+        "c.py:1(gamma)", "a.py:1(alpha)", "b.py:1(beta)",
+    ]
+    by_tt = hotspots(raw, sort="tottime")
+    assert [r["function"] for r in by_tt][:2] == [
+        "a.py:1(alpha)", "b.py:1(beta)",
+    ]
+    by_calls = hotspots(raw, sort="calls")
+    assert by_calls[0]["function"] == "c.py:1(gamma)"
+    assert hotspots(raw, top=1, sort="cumulative")[0]["cumulative"] == 2.0
+
+
+def test_render_hotspots_shows_primitive_calls():
+    raw = {("a.py", 1, "alpha"): _entry(2, 5, 0.5, 1.0)}
+    text = render_hotspots(hotspots(raw), "cumulative")
+    assert "5/2" in text
+    assert "a.py:1(alpha)" in text
+
+
+# -- runner integration -----------------------------------------------------
+
+
+def _square(config):
+    return config["x"] * config["x"]
+
+
+def _collect_keys(runner):
+    runner.run_many(_square, [{"x": i} for i in range(4)])
+    return {key[2] for key in runner.profile_stats}
+
+
+def test_runner_profile_collects_worker_functions():
+    runner = ExperimentRunner(jobs=1, profile=True)
+    names = _collect_keys(runner)
+    assert "_square" in names
+
+
+def test_runner_profile_off_by_default():
+    runner = ExperimentRunner(jobs=1)
+    runner.run_many(_square, [{"x": i} for i in range(2)])
+    assert runner.profile_stats == {}
+
+
+def test_pool_profile_keys_match_serial():
+    serial = ExperimentRunner(jobs=1, profile=True)
+    pool = ExperimentRunner(jobs=2, profile=True)
+    assert _collect_keys(serial) == _collect_keys(pool)

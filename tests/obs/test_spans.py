@@ -1,0 +1,252 @@
+"""Unit tests for the span model: ids, ledger lifecycle, canonical form."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Span,
+    SpanCollector,
+    SpanLedger,
+    canonical_structure,
+    format_span_tree,
+    get_span_collector,
+    read_spans_jsonl,
+    set_span_collector,
+    use_span_collector,
+    write_spans_jsonl,
+)
+from repro.obs.spans import (
+    attempt_span_id,
+    chunk_span_id,
+    node_span_id,
+    rebase_span_record,
+    replication_span_id,
+    span_from_record,
+    span_to_record,
+    sweep_span_id,
+)
+
+
+# -- ids --------------------------------------------------------------------
+
+
+def test_span_id_formats():
+    assert sweep_span_id(0) == "sweep-000"
+    assert replication_span_id(7) == "rep-00007"
+    assert attempt_span_id(7, 2) == "rep-00007.a2"
+    assert chunk_span_id(3) == "chunk-00003"
+    assert node_span_id(1, 2) == "node-1.r2"
+
+
+# -- records ----------------------------------------------------------------
+
+
+def test_record_round_trip_and_key_order():
+    span = Span(
+        span_id="rep-00001",
+        parent_id="sweep-000",
+        name="replication 1",
+        kind="replication",
+        status="ok",
+        start=1.5,
+        duration=0.25,
+        attrs={"position": 1, "attempts": 1},
+    )
+    record = span_to_record(span)
+    assert list(record) == [
+        "span", "parent", "name", "kind", "status", "start", "duration",
+        "attrs",
+    ]
+    assert list(record["attrs"]) == sorted(record["attrs"])
+    assert span_from_record(record) == span
+
+
+def test_record_defaults_are_tolerant():
+    span = span_from_record({"span": "x", "kind": "sweep"})
+    assert span.span_id == "x"
+    assert span.parent_id is None
+    assert span.name == "x"
+    assert span.status == "ok"
+    assert span.attrs == {}
+
+
+# -- collector globals ------------------------------------------------------
+
+
+def test_collector_install_and_restore():
+    assert get_span_collector() is None
+    collector = SpanCollector()
+    with use_span_collector(collector):
+        assert get_span_collector() is collector
+        get_span_collector().emit(
+            Span("sweep-000", None, "s", "sweep", "ok", 0.0, 1.0)
+        )
+    assert get_span_collector() is None
+    assert collector.counts == {"sweep": 1}
+    previous = set_span_collector(collector)
+    assert previous is None
+    assert set_span_collector(None) is collector
+
+
+# -- ledger lifecycle -------------------------------------------------------
+
+
+def _fixed_clock(values):
+    it = iter(values)
+    return lambda: next(it)
+
+
+def test_ledger_single_attempt_success():
+    collector = SpanCollector()
+    ledger = SpanLedger(collector, "sweep-000", clock=_fixed_clock([10.0, 10.0]))
+    ledger.attempt(3, "ok", 2.0)
+    ledger.settle(3, "ok")
+    spans = {s.span_id: s for s in collector.spans()}
+    attempt = spans["rep-00003.a1"]
+    assert attempt.parent_id == "rep-00003"
+    assert attempt.kind == "attempt"
+    assert attempt.duration == 2.0
+    assert attempt.start == 8.0  # now - seconds
+    rep = spans["rep-00003"]
+    assert rep.parent_id == "sweep-000"
+    assert rep.status == "ok"
+    assert rep.attrs["attempts"] == 1
+    assert rep.duration == 2.0
+
+
+def test_ledger_retries_number_attempts_and_sum_durations():
+    collector = SpanCollector()
+    ledger = SpanLedger(
+        collector, "sweep-000", clock=_fixed_clock([1.0, 2.0, 3.0, 3.0])
+    )
+    ledger.attempt(0, "error", 0.5)
+    ledger.attempt(0, "timeout", 0.25)
+    ledger.attempt(0, "ok", 0.125)
+    ledger.settle(0, "ok")
+    spans = {s.span_id: s for s in collector.spans()}
+    assert spans["rep-00000.a1"].status == "error"
+    assert spans["rep-00000.a2"].status == "timeout"
+    assert spans["rep-00000.a3"].status == "ok"
+    rep = spans["rep-00000"]
+    assert rep.attrs["attempts"] == 3
+    assert rep.duration == pytest.approx(0.875)
+
+
+def test_ledger_settle_without_attempt_reports_one():
+    collector = SpanCollector()
+    ledger = SpanLedger(collector, "sweep-000", clock=_fixed_clock([1.0]))
+    ledger.settle(2, "failed")
+    (rep,) = collector.spans()
+    assert rep.span_id == "rep-00002"
+    assert rep.status == "failed"
+    assert rep.attrs["attempts"] == 1
+
+
+# -- canonical structure ----------------------------------------------------
+
+
+def _spans_with_topology(duration=1.0, shuffle=False):
+    spans = [
+        Span("sweep-000", None, "sweep", "sweep", "ok", 0.0, duration),
+        Span("rep-00000", "sweep-000", "replication 0", "replication", "ok",
+             0.0, duration, {"position": 0, "attempts": 1}),
+        Span("rep-00000.a1", "rep-00000", "attempt 1", "attempt", "ok",
+             0.0, duration, {"position": 0, "attempt": 1}),
+        Span("node-0.r0", "sweep-000", "node 0 round 0", "node", "ok",
+             0.0, duration),
+        Span("chunk-00000", "node-0.r0", "chunk 0", "chunk", "ok",
+             0.0, duration),
+    ]
+    if shuffle:
+        spans.reverse()
+    return spans
+
+
+def test_canonical_structure_ignores_topology_durations_and_order():
+    base = canonical_structure(_spans_with_topology())
+    assert canonical_structure(_spans_with_topology(duration=9.0)) == base
+    assert canonical_structure(_spans_with_topology(shuffle=True)) == base
+    no_topology = [
+        s for s in _spans_with_topology() if s.kind not in ("node", "chunk")
+    ]
+    assert canonical_structure(no_topology) == base
+
+
+def test_canonical_structure_sees_status_and_count_changes():
+    base = canonical_structure(_spans_with_topology())
+    failed = _spans_with_topology()
+    failed[1].status = "failed"
+    assert canonical_structure(failed) != base
+    extra = _spans_with_topology() + [
+        Span("rep-00001", "sweep-000", "replication 1", "replication", "ok",
+             0.0, 1.0)
+    ]
+    assert canonical_structure(extra) != base
+
+
+# -- rebase -----------------------------------------------------------------
+
+
+def test_rebase_remaps_position_and_reparents_to_sweep():
+    record = span_to_record(
+        Span("rep-00000", "sweep-old", "replication 0", "replication", "ok",
+             0.0, 1.0, {"position": 0, "attempts": 2})
+    )
+    out = rebase_span_record(record, {0: 5}, "sweep-new")
+    assert out["span"] == "rep-00005"
+    assert out["parent"] == "sweep-new"
+    assert out["name"] == "replication 5"
+    assert out["attrs"]["position"] == 5
+    attempt = span_to_record(
+        Span("rep-00000.a2", "rep-00000", "attempt 2", "attempt", "error",
+             0.0, 1.0, {"position": 0, "attempt": 2})
+    )
+    out = rebase_span_record(attempt, {0: 5}, "sweep-new")
+    assert out["span"] == "rep-00005.a2"
+    assert out["parent"] == "rep-00005"
+    assert out["attrs"]["position"] == 5
+
+
+# -- jsonl I/O --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["spans.jsonl", "spans.jsonl.gz"])
+def test_write_read_round_trip(tmp_path, name):
+    spans = _spans_with_topology(shuffle=True)
+    path = tmp_path / name
+    write_spans_jsonl(path, spans)
+    loaded = read_spans_jsonl(path)
+    # Written sorted by span id regardless of emission order.
+    assert [s.span_id for s in loaded] == sorted(s.span_id for s in spans)
+    assert {s.span_id: s for s in loaded} == {s.span_id: s for s in spans}
+    if name.endswith(".gz"):
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+
+def test_read_rejects_non_span_lines(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    path.write_text(
+        json.dumps({"not-a-span": 1}) + "\n"
+        + json.dumps(span_to_record(_spans_with_topology()[0])) + "\n"
+    )
+    with pytest.raises(ValueError, match="not a span record"):
+        read_spans_jsonl(path)
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def test_format_span_tree_nests_children_and_roots_orphans():
+    spans = _spans_with_topology()
+    spans.append(
+        Span("rep-99999", "sweep-missing", "orphan", "replication", "ok",
+             0.0, 0.5)
+    )
+    text = format_span_tree(spans)
+    lines = text.splitlines()
+    assert any(line.startswith("sweep-000 [sweep] ok") for line in lines)
+    assert any(line.startswith("  rep-00000 ") for line in lines)
+    assert any(line.startswith("    rep-00000.a1 ") for line in lines)
+    # Orphan parents render at the root level instead of vanishing.
+    assert any(line.startswith("rep-99999 ") for line in lines)

@@ -1,0 +1,272 @@
+"""Span structure is a pure function of the sweep, not of its placement.
+
+The contract under test: the *structural* spans (sweep → replication →
+attempt) produced by a sweep are byte-identical — via
+:func:`canonical_structure` — whether the sweep ran serially, on a
+process pool, or sharded across node subprocesses; and they survive node
+crashes, re-sharding, and ``--resume`` (spans minted by the first,
+failed submission ride the surviving chunk files and are rebased into
+the resumed sweep).  Topology spans (node/chunk) describe the placement
+that actually happened and are deliberately outside the canonical form.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import SpanCollector, canonical_structure, use_span_collector
+from repro.runtime import (
+    DistributedRunError,
+    ExperimentRunner,
+    NodeFaultSpec,
+    write_node_fault_plan,
+)
+from repro.runtime.cache import config_key
+from repro.runtime.distributed import node_spans_path, sweep_id_for
+
+
+def _digest_worker(config):
+    return {"key": config_key(config), "seed": config["seed"]}
+
+
+def _flaky_worker(config):
+    marker = pathlib.Path(config["marker"])
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise ValueError("first attempt fails")
+    return config["seed"]
+
+
+def _configs(n=8):
+    return [{"seed": i, "span-test": True} for i in range(n)]
+
+
+def _run_dir(run_root, fn, configs):
+    namespace = f"{fn.__module__}.{fn.__qualname__}"
+    keys = [config_key(c) for c in configs]
+    return run_root / sweep_id_for(namespace, keys)[:16]
+
+
+def _distributed(run_root, **kwargs):
+    kwargs.setdefault("nodes", 2)
+    return ExperimentRunner(backend="distributed", run_root=run_root, **kwargs)
+
+
+def _collect(runner, configs, fn=_digest_worker, raises=None):
+    collector = SpanCollector()
+    with use_span_collector(collector):
+        if raises is None:
+            runner.run_many(fn, configs)
+        else:
+            with pytest.raises(raises):
+                runner.run_many(fn, configs)
+    return collector.spans()
+
+
+# -- placement independence -------------------------------------------------
+
+
+def test_structure_identical_serial_pool_distributed(tmp_path):
+    configs = _configs()
+    serial = _collect(ExperimentRunner(jobs=1), configs)
+    pool = _collect(ExperimentRunner(jobs=2), configs)
+    dist = _collect(_distributed(tmp_path), configs)
+
+    base = canonical_structure(serial)
+    assert canonical_structure(pool) == base
+    assert canonical_structure(dist) == base
+
+    def counts(spans):
+        out = {}
+        for s in spans:
+            out[s.kind] = out.get(s.kind, 0) + 1
+        return out
+
+    assert counts(serial) == {"sweep": 1, "replication": 8, "attempt": 8}
+    dist_counts = counts(dist)
+    assert dist_counts["sweep"] == 1
+    assert dist_counts["replication"] == 8
+    assert dist_counts["attempt"] == 8
+    assert dist_counts["node"] >= 2  # placement-only spans exist here...
+    assert dist_counts["chunk"] == 8
+    assert "node" not in counts(serial)  # ...and nowhere else
+
+
+def test_structure_identical_across_node_counts(tmp_path):
+    configs = _configs(10)
+    base = canonical_structure(_collect(ExperimentRunner(jobs=1), configs))
+    for nodes in (1, 3):
+        spans = _collect(_distributed(tmp_path / str(nodes), nodes=nodes),
+                         configs)
+        assert canonical_structure(spans) == base
+
+
+def test_serial_parentage_and_ids():
+    configs = _configs(3)
+    spans = {s.span_id: s for s in _collect(ExperimentRunner(jobs=1), configs)}
+    sweep = spans["sweep-000"]
+    assert sweep.parent_id is None
+    assert sweep.status == "ok"
+    for i in range(3):
+        rep = spans[f"rep-{i:05d}"]
+        assert rep.parent_id == "sweep-000"
+        assert rep.attrs["position"] == i
+        attempt = spans[f"rep-{i:05d}.a1"]
+        assert attempt.parent_id == rep.span_id
+
+
+def test_distributed_run_appends_live_node_span_files(tmp_path):
+    configs = _configs(6)
+    runner = _distributed(tmp_path)
+    _collect(runner, configs)
+    run_dir = _run_dir(tmp_path, _digest_worker, configs)
+    live = [
+        node_spans_path(run_dir, node) for node in (0, 1)
+        if node_spans_path(run_dir, node).exists()
+    ]
+    assert live, "no live span files written"
+    import json
+
+    for path in live:
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert isinstance(record["span"], str)
+
+
+def test_no_collector_installed_no_span_overhead_paths(tmp_path):
+    # Without a collector the runner must not fabricate spans anywhere.
+    runner = _distributed(tmp_path)
+    runner.run_many(_digest_worker, _configs(4))
+    assert runner.telemetry.replications == 4
+
+
+# -- retries show up as attempt spans ---------------------------------------
+
+
+def test_retry_produces_numbered_attempt_spans(tmp_path):
+    configs = [{"seed": 0, "marker": str(tmp_path / "marker")}]
+    runner = ExperimentRunner(jobs=1, max_retries=2, retry_backoff=0.0)
+    spans = {s.span_id: s for s in _collect(runner, configs, fn=_flaky_worker)}
+    assert spans["rep-00000.a1"].status == "error"
+    assert spans["rep-00000.a2"].status == "ok"
+    rep = spans["rep-00000"]
+    assert rep.status == "ok"
+    assert rep.attrs["attempts"] == 2
+
+
+def test_exhausted_retries_settle_failed(tmp_path):
+    from repro.runtime import WorkerError
+
+    def no_retries():
+        return ExperimentRunner(jobs=1, max_retries=0)
+
+    configs = [{"seed": 0, "marker": str(tmp_path / "never-written" / "x")}]
+    spans = {
+        s.span_id: s
+        for s in _collect(no_retries(), configs, fn=_flaky_worker,
+                          raises=WorkerError)
+    }
+    assert spans["rep-00000.a1"].status == "error"
+    assert spans["rep-00000"].status == "failed"
+    assert spans["sweep-000"].status == "failed"
+
+
+# -- faults and resume ------------------------------------------------------
+
+
+def test_node_crash_keeps_structure_and_reports_topology(tmp_path):
+    configs = _configs(8)
+    base = canonical_structure(_collect(ExperimentRunner(jobs=1), configs))
+
+    run_dir = _run_dir(tmp_path, _digest_worker, configs)
+    write_node_fault_plan(run_dir, {1: NodeFaultSpec("kill", after_chunks=1)})
+    runner = _distributed(tmp_path)
+    spans = _collect(runner, configs)
+    assert canonical_structure(spans) == base
+    node_statuses = [s.status for s in spans if s.kind == "node"]
+    assert "crashed" in node_statuses
+    assert runner.telemetry.node_restarts == 1
+
+
+def test_resume_preserves_first_attempt_spans(tmp_path):
+    """Kill both nodes after one chunk each with no restart budget, then
+    resubmit: the resumed sweep's merged spans must be structurally
+    byte-identical to an uninterrupted run, including the replications
+    that only ever executed under the first (failed) submission."""
+    configs = _configs(8)
+    base = canonical_structure(_collect(ExperimentRunner(jobs=1), configs))
+
+    run_dir = _run_dir(tmp_path, _digest_worker, configs)
+    write_node_fault_plan(
+        run_dir,
+        {
+            0: NodeFaultSpec("kill", after_chunks=1),
+            1: NodeFaultSpec("kill", after_chunks=1),
+        },
+    )
+    first = _distributed(tmp_path, max_node_restarts=0)
+    _collect(first, configs, raises=DistributedRunError)
+
+    second = _distributed(tmp_path)
+    spans = _collect(second, configs)
+    assert second.telemetry.chunks_resumed == 2
+    assert second.telemetry.chunks == 6
+    assert canonical_structure(spans) == base
+    # Every replication span exists exactly once, resumed chunks included.
+    reps = sorted(s.span_id for s in spans if s.kind == "replication")
+    assert reps == [f"rep-{i:05d}" for i in range(8)]
+
+
+# -- hash-seed independence -------------------------------------------------
+
+HASH_SEEDS = ("0", "1", "31337")
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+_SNIPPET = """
+import hashlib
+import sys
+import tempfile
+
+from repro.obs import SpanCollector, canonical_structure, use_span_collector
+from repro.runtime import ExperimentRunner
+from repro.runtime.cache import config_key as work
+
+configs = [{"seed": i, "hashseed-span-test": True} for i in range(6)]
+
+def structure(runner):
+    collector = SpanCollector()
+    with use_span_collector(collector):
+        runner.run_many(work, configs)
+    return canonical_structure(collector.spans())
+
+with tempfile.TemporaryDirectory() as tmp:
+    serial = structure(ExperimentRunner(jobs=1))
+    dist = structure(
+        ExperimentRunner(backend="distributed", nodes=2, run_root=tmp)
+    )
+assert serial == dist, "structure differs across backends"
+print(hashlib.sha256(serial).hexdigest())
+"""
+
+
+def _run_snippet(hash_seed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_canonical_structure_independent_of_hash_seed():
+    outputs = {seed: _run_snippet(seed) for seed in HASH_SEEDS}
+    assert len(set(outputs.values())) == 1, outputs
