@@ -1,5 +1,55 @@
-"""Legacy setup shim: enables editable installs without the `wheel` package."""
+"""Setup shim + optional compiled DES core.
 
-from setuptools import setup
+The project is pure Python; ``repro.des._speedups`` (the compiled event
+heap + run pump, see docs/PERFORMANCE.md "Compiled core") is a strictly
+optional accelerator.  Building it must never be a hard requirement, so
+``build_ext`` failures — no compiler, no Python headers, exotic platform —
+degrade to a warning and the pure-Python kernel, never a failed install.
 
-setup()
+Build it in a source checkout with::
+
+    python setup.py build_ext --inplace
+
+which drops the shared object next to ``src/repro/des/engine.py`` where
+``make_environment()`` probes for it.
+"""
+
+import sys
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class optional_build_ext(build_ext):
+    """A build_ext that downgrades compiler failures to a warning."""
+
+    def run(self):
+        try:
+            build_ext.run(self)
+        except Exception as exc:  # compiler/toolchain missing entirely
+            self._warn(exc)
+
+    def build_extension(self, ext):
+        try:
+            build_ext.build_extension(self, ext)
+        except Exception as exc:  # this one extension failed to compile
+            self._warn(exc)
+
+    def _warn(self, exc):
+        sys.stderr.write(
+            "warning: building the optional repro.des._speedups extension "
+            f"failed ({exc!r}); the pure-Python DES kernel will be used. "
+            "See docs/PERFORMANCE.md ('Compiled core').\n"
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.des._speedups",
+            sources=["src/repro/des/_speedups.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
+)

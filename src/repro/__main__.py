@@ -55,10 +55,32 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from .runtime import ExperimentRunner, ResultCache, parse_size
+
+
+def _add_des_core_flag(parser: argparse.ArgumentParser) -> None:
+    """The ``--des-core`` selector shared by the experiment parsers."""
+    parser.add_argument(
+        "--des-core", choices=("auto", "native", "pure"), default=None,
+        help="simulation kernel core: 'native' requires the compiled "
+        "repro.des._speedups extension (errors if absent), 'pure' forces "
+        "the Python kernel, 'auto' picks native when available (default: "
+        "$REPRO_DES_NATIVE, else auto)",
+    )
+
+
+def _apply_des_core(args: argparse.Namespace) -> None:
+    """Publish ``--des-core`` through ``REPRO_DES_NATIVE`` so every
+    ``make_environment()`` — in this process, pool workers, and
+    distributed node workers alike — sees the same selection."""
+    if getattr(args, "des_core", None) is not None:
+        from .des import NATIVE_ENV
+
+        os.environ[NATIVE_ENV] = args.des_core
 
 
 def _table2(runner: ExperimentRunner) -> str:
@@ -296,13 +318,16 @@ def _campus_main(argv: List[str]) -> int:
     )
     parser.add_argument(
         "--stats", action="store_true",
-        help="print run telemetry (wall times, in-worker DES events/sec)",
+        help="print run telemetry (wall times, in-worker DES events/sec, "
+        "active kernel core)",
     )
     parser.add_argument(
         "--stats-json", default=None, metavar="PATH",
         help="write run telemetry as JSON to PATH (implies --stats output)",
     )
+    _add_des_core_flag(parser)
     args = parser.parse_args(argv)
+    _apply_des_core(args)
 
     runner = ExperimentRunner(
         jobs=args.jobs,
@@ -514,13 +539,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--stats", action="store_true",
         help="print run telemetry (replication wall times, faults, cache "
-        "hit rate) after the experiments",
+        "hit rate, active DES kernel core) after the experiments",
     )
     parser.add_argument(
         "--stats-json", default=None, metavar="PATH",
         help="write run telemetry as JSON to PATH (implies --stats output)",
     )
+    _add_des_core_flag(parser)
     args = parser.parse_args(argv)
+    _apply_des_core(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

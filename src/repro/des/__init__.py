@@ -23,8 +23,14 @@ Example
 from .engine import (
     Environment,
     RecyclingEnvironment,
+    events_processed_by_core,
     events_processed_total,
     make_environment,
+    native_available,
+    native_import_error,
+    resolve_des_core,
+    selected_core,
+    NATIVE_ENV,
     NORMAL,
     RECYCLE_ENV,
     URGENT,
@@ -40,8 +46,14 @@ from .store import FilterStore, Store
 __all__ = [
     "Environment",
     "RecyclingEnvironment",
+    "events_processed_by_core",
     "events_processed_total",
     "make_environment",
+    "native_available",
+    "native_import_error",
+    "resolve_des_core",
+    "selected_core",
+    "NATIVE_ENV",
     "NORMAL",
     "RECYCLE_ENV",
     "URGENT",

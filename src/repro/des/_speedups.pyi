@@ -1,0 +1,24 @@
+"""Type stub for the optional compiled DES core.
+
+The extension is built (or not) by ``setup.py build_ext --inplace``;
+this stub keeps type checkers working either way.  Only ``repro/des/``
+may import it — rule REP305.
+"""
+
+from typing import Any, Callable, Tuple, Type
+
+#: True in the compiled module (distinguishes it from any pure shim).
+COMPILED: bool
+
+def install(
+    environment_cls: Type[Any],
+    event_cls: Type[Any],
+    timeout_cls: Type[Any],
+    process_cls: Type[Any],
+    empty_schedule_exc: Type[BaseException],
+    stop_process_exc: Type[BaseException],
+) -> None: ...
+
+def bind(
+    env: Any,
+) -> Tuple[Callable[..., Any], Callable[..., None], Callable[[], None]]: ...

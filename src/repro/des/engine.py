@@ -6,7 +6,7 @@ import heapq
 import os
 import sys
 from itertools import count
-from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple, Union
 
 from ..obs.trace import Tracer, get_tracer
 from .errors import EmptySchedule, StopProcess
@@ -18,21 +18,37 @@ __all__ = [
     "RecyclingEnvironment",
     "make_environment",
     "events_processed_total",
+    "events_processed_by_core",
+    "native_available",
+    "native_import_error",
+    "resolve_des_core",
+    "selected_core",
     "NORMAL",
     "URGENT",
     "RECYCLE_ENV",
+    "NATIVE_ENV",
 ]
 
-#: Process-wide count of DES events fired by completed ``run()`` calls.
-#: Flushed from each environment when its pump exits, so the hot loop
-#: itself carries no counting cost; pool workers report this back to the
-#: parent through run telemetry (events/sec in ``--stats``).
-_EVENTS_PROCESSED = 0
+#: Process-wide count of DES events fired by completed ``run()`` calls,
+#: keyed by the kernel that pumped them ("pure" or "native").  Flushed from
+#: each environment when its pump exits, so the hot loop itself carries no
+#: counting cost; pool workers report the deltas back to the parent through
+#: run telemetry (events/sec and the active core in ``--stats``).
+_EVENTS_BY_CORE: Dict[str, int] = {"pure": 0, "native": 0}
 
 
 def events_processed_total() -> int:
     """DES events processed so far in this process (across environments)."""
-    return _EVENTS_PROCESSED
+    return sum(_EVENTS_BY_CORE.values())
+
+
+def events_processed_by_core() -> Dict[str, int]:
+    """Per-core event counts for this process (``{"pure": n, "native": m}``).
+
+    Workers snapshot this before/after a replication so telemetry can pin
+    which kernel actually ran — a sweep must never silently mix cores.
+    """
+    return dict(_EVENTS_BY_CORE)
 
 #: Priority for interrupt/initialize events (processed first at a timestamp).
 URGENT = 0
@@ -60,6 +76,11 @@ class Environment:
 
     __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_push", "_pop",
                  "_tracer", "_tallied")
+
+    #: Which kernel this environment's pump runs on; the compiled subclass
+    #: (``repro.des.native.NativeEnvironment``) overrides this with
+    #: ``"native"``.  Telemetry keys per-replication event counts by it.
+    core = "pure"
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -100,13 +121,12 @@ class Environment:
     def _flush_event_tally(self) -> None:
         """Fold this environment's new events into the process total.
 
-        The total is deliberately per-process: pool workers each count
-        their own events and ship the delta back with the result message,
+        The totals are deliberately per-process: pool workers each count
+        their own events and ship the deltas back with the result message,
         so the coordinator's telemetry is identical at any worker count.
         """
-        global _EVENTS_PROCESSED  # repro-lint: ignore[REP202]
         processed = self.events_processed
-        _EVENTS_PROCESSED += processed - self._tallied
+        _EVENTS_BY_CORE[self.core] += processed - self._tallied
         self._tallied = processed
 
     # -- observability ----------------------------------------------------
@@ -408,17 +428,128 @@ class RecyclingEnvironment(Environment):
 #: built through :func:`make_environment` (off by default).
 RECYCLE_ENV = "REPRO_DES_RECYCLE"
 
+#: Environment variable selecting the DES core for simulators built through
+#: :func:`make_environment`: ``native``/``1``/``true``/``on`` requires the
+#: compiled core, ``pure``/``0``/``false``/``off`` forces the pure kernel,
+#: and ``auto`` (or unset) uses the compiled core when it is importable.
+NATIVE_ENV = "REPRO_DES_NATIVE"
 
-def make_environment(initial_time: float = 0.0) -> Environment:
+_NATIVE_TRUTHY = ("1", "true", "on", "native")
+_NATIVE_FALSY = ("0", "false", "off", "pure")
+
+#: Per-process cache for the optional compiled core: ``module`` is the
+#: imported ``repro.des.native`` (or None) and ``error`` the import failure
+#: text.  A dict, not rebound globals, so pool workers and the coordinator
+#: each probe exactly once and REP202's worker-divergence rule stays moot
+#: (the probe is pure function-of-the-filesystem, identical in every
+#: process that inherited the same environment).
+_NATIVE_STATE: Dict[str, Any] = {}
+
+
+def _native_module() -> Optional[Any]:
+    if not _NATIVE_STATE:
+        try:
+            from . import native
+        except ImportError as exc:
+            _NATIVE_STATE["module"] = None
+            _NATIVE_STATE["error"] = f"{type(exc).__name__}: {exc}"
+        else:
+            _NATIVE_STATE["module"] = native
+            _NATIVE_STATE["error"] = None
+    return _NATIVE_STATE["module"]
+
+
+def native_available() -> bool:
+    """True when the compiled core (``repro.des._speedups``) imports."""
+    return _native_module() is not None
+
+
+def native_import_error() -> Optional[str]:
+    """Why the compiled core is unavailable (None when it imported)."""
+    _native_module()
+    return _NATIVE_STATE["error"]
+
+
+def resolve_des_core(core: Optional[str] = None) -> str:
+    """Normalize a core request to ``auto``/``native``/``pure``.
+
+    ``core`` is an explicit request (CLI flag); when None, the
+    ``REPRO_DES_NATIVE`` environment variable decides, with unset meaning
+    ``auto``.  Unrecognized values raise :class:`ValueError` rather than
+    silently running on an unintended kernel.
+    """
+    if core is None:
+        raw = os.environ.get(NATIVE_ENV, "").strip().lower()
+        if raw in ("", "auto"):
+            return "auto"
+        if raw in _NATIVE_TRUTHY:
+            return "native"
+        if raw in _NATIVE_FALSY:
+            return "pure"
+        raise ValueError(
+            f"unrecognized {NATIVE_ENV}={raw!r}: expected auto, native, or pure"
+        )
+    mode = core.strip().lower()
+    if mode not in ("auto", "native", "pure"):
+        raise ValueError(
+            f"unrecognized DES core {core!r}: expected auto, native, or pure"
+        )
+    return mode
+
+
+def _recycling_requested() -> bool:
+    return os.environ.get(RECYCLE_ENV, "").strip().lower() in ("1", "true", "on")
+
+
+def selected_core(core: Optional[str] = None) -> str:
+    """Which kernel :func:`make_environment` would build right now.
+
+    Returns ``"native"`` or ``"pure"``.  ``native`` is selected only when
+    requested (or ``auto``), the extension imports, no process-wide tracer
+    is attached, and event recycling is off — tracing and recycling are
+    pure-kernel features, and ``auto`` silently falls back for them.  An
+    explicit ``native`` request with the extension unavailable raises
+    :class:`RuntimeError` (a sweep must never silently change kernels).
+    """
+    mode = resolve_des_core(core)
+    if mode == "native" and not native_available():
+        raise RuntimeError(
+            "DES core 'native' requested but repro.des._speedups is not "
+            f"importable ({native_import_error()}); build it with "
+            "'python setup.py build_ext --inplace' or select auto/pure"
+        )
+    if mode == "pure":
+        return "pure"
+    if not native_available():
+        return "pure"
+    if get_tracer() is not None or _recycling_requested():
+        # Tracing and recycling are pure-kernel features; even an explicit
+        # native request yields to them (the fallback is visible in
+        # telemetry, which reports core == "pure").
+        return "pure"
+    return "native"
+
+
+def make_environment(
+    initial_time: float = 0.0, core: Optional[str] = None
+) -> Environment:
     """The standard environment for simulators.
 
-    Returns a plain :class:`Environment` unless ``REPRO_DES_RECYCLE`` is
-    set to ``1``/``true``/``on``, in which case the event-recycling kernel
-    is used.  Results are bit-identical either way; the switch only trades
-    allocation pressure for pool bookkeeping (see
-    ``benchmarks/bench_des_overhead.py`` for the measured delta).
+    Core selection (see :func:`selected_core`): the compiled kernel is used
+    when available and not ruled out by tracing/recycling; the
+    ``REPRO_DES_NATIVE`` variable or the ``core`` argument pins it to
+    ``native`` (raising if the extension is missing) or ``pure``.  With the
+    pure kernel, ``REPRO_DES_RECYCLE`` set to ``1``/``true``/``on`` selects
+    the event-recycling variant.  Results are bit-identical across all of
+    these switches — they only trade interpreter overhead, allocation
+    pressure, and observability (see ``benchmarks/bench_des_overhead.py``
+    and ``tests/sim/test_native_identity.py``).
     """
-    if os.environ.get(RECYCLE_ENV, "").strip().lower() in ("1", "true", "on"):
+    if selected_core(core) == "native":
+        module = _native_module()
+        assert module is not None  # selected_core() guarantees this
+        return module.NativeEnvironment(initial_time)
+    if _recycling_requested():
         return RecyclingEnvironment(initial_time)
     return Environment(initial_time)
 

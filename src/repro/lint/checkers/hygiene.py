@@ -16,7 +16,12 @@ from typing import Optional
 from ..registry import Rule, register
 from .base import Checker, dotted_parts
 
-__all__ = ["ClockComparisonChecker", "BareExceptChecker", "LibraryPrintChecker"]
+__all__ = [
+    "ClockComparisonChecker",
+    "BareExceptChecker",
+    "LibraryPrintChecker",
+    "SpeedupsImportChecker",
+]
 
 REP301 = Rule(
     "REP301",
@@ -35,6 +40,13 @@ REP303 = Rule(
     "no-print-in-library",
     "bare print() in library code bypasses the observability layer; emit a "
     "trace record or metric (repro.obs), or return the text to the caller",
+)
+REP305 = Rule(
+    "REP305",
+    "no-direct-speedups-import",
+    "importing repro.des._speedups directly bypasses the core-selection "
+    "seam (availability probing, tracer/recycling fallback); construct "
+    "environments through repro.des.engine.make_environment()",
 )
 
 #: Module basenames allowed to print: the CLI surface.
@@ -138,4 +150,46 @@ class LibraryPrintChecker(Checker):
                 "print() in library code; emit via repro.obs (trace/metric) "
                 "or return the text to the caller",
             )
+        self.generic_visit(node)
+
+
+@register(REP305)
+class SpeedupsImportChecker(Checker):
+    """Direct imports of the compiled DES extension are banned.
+
+    ``repro.des._speedups`` is an *optional* accelerator; the only place
+    allowed to touch it is the selection seam in ``repro/des/`` (which
+    probes availability and falls back to the pure kernel when tracing or
+    recycling is on).  Library code importing it directly would crash on
+    pure-only installs and skip the fallback rules.  Tests and tools are
+    exempt — they exercise the extension on purpose.
+    """
+
+    _MESSAGE = (
+        "direct import of the compiled DES core; environments must come "
+        "from repro.des.engine.make_environment() so availability and "
+        "tracing/recycling fallbacks apply"
+    )
+
+    def _in_scope(self) -> bool:
+        haystack = "/" + self.ctx.path.strip("/") + "/"
+        if "/repro/" not in haystack or "/tests/" in haystack:
+            return False
+        return "/repro/des/" not in haystack
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._in_scope():
+            for alias in node.names:
+                if alias.name.split(".")[-1] == "_speedups":
+                    self.report("REP305", node, self._MESSAGE)
+                    break
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._in_scope():
+            module_leaf = (node.module or "").split(".")[-1]
+            if module_leaf == "_speedups" or any(
+                alias.name == "_speedups" for alias in node.names
+            ):
+                self.report("REP305", node, self._MESSAGE)
         self.generic_visit(node)

@@ -85,6 +85,7 @@ def load_run_status(
     wall_time_total = 0.0
     replications_timed = 0
     des_events = 0
+    des_cores: Dict[str, int] = {}
     for name in sorted(docs):
         doc = docs[name]
         if doc.get("kind") != "node":
@@ -103,6 +104,8 @@ def load_run_status(
         wall_time_total += float(doc.get("wall_time_total", 0.0))
         replications_timed += int(doc.get("replications", 0))
         des_events += int(doc.get("des_events", 0))
+        for core, count in (doc.get("des_cores") or {}).items():
+            des_cores[core] = des_cores.get(core, 0) + int(count)
         nodes.append(
             {
                 "node": doc.get("node"),
@@ -160,6 +163,10 @@ def load_run_status(
             "total": replications_total,
         },
         "events_per_second": events_per_second,
+        # All nodes must agree on the kernel core; more than one key here
+        # means a misconfigured fleet (RunTelemetry refuses the same mix).
+        "des_cores": des_cores,
+        "des_core": next(iter(des_cores)) if len(des_cores) == 1 else None,
         "faults": faults,
         "eta_seconds": eta_seconds,
         "nodes": nodes,
@@ -179,8 +186,17 @@ def render_status(status: Dict[str, Any]) -> str:
         f"  replications:  {reps['done']}/{reps['total']}",
     ]
     if status["events_per_second"]:
+        cores = status.get("des_cores") or {}
+        if status.get("des_core"):
+            core_note = f" [{status['des_core']} core]"
+        elif len(cores) > 1:
+            mix = ", ".join(f"{c}={n}" for c, n in sorted(cores.items()))
+            core_note = f" [MIXED CORES: {mix}]"
+        else:
+            core_note = ""
         lines.append(
             f"  des events/s:  {status['events_per_second']:,.0f} (in-worker)"
+            + core_note
         )
     faults = status["faults"]
     if any(faults.values()):

@@ -53,6 +53,12 @@ class RunTelemetry:
     #: DES events processed inside successful replications (summed across
     #: workers; counted by the simulation kernel, shipped with the result).
     des_events: int = 0
+    #: DES events broken down by kernel core (``"pure"`` / ``"native"``).
+    #: A sweep must never silently mix cores — some workers picking up the
+    #: compiled extension while others fall back would still be
+    #: bit-identical, but it voids the perf numbers and hides a broken
+    #: install — so folding a second distinct core into this ledger raises.
+    des_cores: Dict[str, int] = field(default_factory=dict)
     #: Node processes launched by the distributed backend (all rounds).
     nodes: int = 0
     #: Node relaunch rounds forced by crashed/hung nodes.
@@ -67,12 +73,46 @@ class RunTelemetry:
 
     # -- recording --------------------------------------------------------
 
-    def record_replication(self, seconds: float, events: int = 0) -> None:
+    def record_replication(
+        self,
+        seconds: float,
+        events: int = 0,
+        cores: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.replications += 1
         self.wall_times.append(seconds)
         self.des_events += events
+        if cores:
+            self.record_core_events(cores)
+
+    def record_core_events(self, cores: Dict[str, int]) -> None:
+        """Fold per-core DES event counts in; refuse mixed-core runs.
+
+        Raises :class:`RuntimeError` when a second distinct kernel core
+        shows up in one ledger — replications of a sweep must all run on
+        the same core (see :attr:`des_cores`).
+        """
+        for core, events in sorted(cores.items()):
+            if events:
+                self.des_cores[core] = self.des_cores.get(core, 0) + events
+        if len(self.des_cores) > 1:
+            detail = ", ".join(
+                f"{core}={events}" for core, events in sorted(self.des_cores.items())
+            )
+            raise RuntimeError(
+                f"mixed DES cores in one run ({detail}); all replications "
+                "of a sweep must use the same kernel — pin one with "
+                "REPRO_DES_NATIVE/--des-core"
+            )
 
     # -- derived ----------------------------------------------------------
+
+    @property
+    def des_core(self) -> Optional[str]:
+        """The kernel core this run's events executed on, if any ran."""
+        for core in self.des_cores:
+            return core
+        return None
 
     @property
     def events_per_second(self) -> float:
@@ -127,6 +167,8 @@ class RunTelemetry:
         self.trace_dropped += other.trace_dropped
         self.wall_times.extend(other.wall_times)
         self.des_events += other.des_events
+        if other.des_cores:
+            self.record_core_events(other.des_cores)
         self.nodes += other.nodes
         self.node_restarts += other.node_restarts
         self.chunks += other.chunks
@@ -158,6 +200,8 @@ class RunTelemetry:
             "des": {
                 "events": self.des_events,
                 "events_per_second": self.events_per_second,
+                "core": self.des_core,
+                "cores": dict(self.des_cores),
             },
             "distributed": {
                 "nodes": self.nodes,
@@ -214,9 +258,11 @@ class RunTelemetry:
                 + (f", {self.trace_dropped} dropped" if self.trace_dropped else "")
             )
         if self.des_events:
+            core = self.des_core
             lines.append(
                 f"  des events:    {self.des_events} processed "
                 f"({self.events_per_second:,.0f} events/s in-worker)"
+                + (f" [{core} core]" if core else "")
             )
         lines.append(
             f"  wall time:     {self.elapsed:.3f}s elapsed, "

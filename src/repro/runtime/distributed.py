@@ -344,6 +344,9 @@ class ChunkResult:
     wall_times: List[float]
     #: DES events processed across the chunk's replications.
     des_events: int = 0
+    #: Those events broken down by kernel core (``{"pure": n}`` etc.);
+    #: empty in chunk files written before the compiled core existed.
+    des_cores: Dict[str, int] = field(default_factory=dict)
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
@@ -952,6 +955,10 @@ class DistributedCoordinator:
             for seconds in result.wall_times:
                 runner.telemetry.record_replication(seconds)
             runner.telemetry.des_events += result.des_events
+            # Chunk files from before the compiled core carry no breakdown.
+            cores = getattr(result, "des_cores", None)
+            if cores:
+                runner.telemetry.record_core_events(cores)
             runner.telemetry.retries += result.retries
             runner.telemetry.timeouts += result.timeouts
             runner.telemetry.crashes += result.crashes
@@ -1000,6 +1007,7 @@ def run_node_chunks(
         "timeouts": 0,
         "crashes": 0,
         "des_events": 0,
+        "des_cores": {},
         "wall_time_total": 0.0,
     }
     completed = 0
@@ -1018,6 +1026,10 @@ def run_node_chunks(
             return
         last_publish[0] = now
         current_done = telemetry.replications if telemetry is not None else 0
+        des_cores: Dict[str, int] = dict(totals["des_cores"])
+        if telemetry is not None:
+            for core, n in telemetry.des_cores.items():
+                des_cores[core] = des_cores.get(core, 0) + n
         doc = {
             "version": 1,
             "kind": "node",
@@ -1042,6 +1054,7 @@ def run_node_chunks(
             + (telemetry.crashes if telemetry is not None else 0),
             "des_events": totals["des_events"]
             + (telemetry.des_events if telemetry is not None else 0),
+            "des_cores": des_cores,
             "wall_time_total": totals["wall_time_total"]
             + (telemetry.wall_time_total if telemetry is not None else 0.0),
             "started_at": started_wall,
@@ -1170,6 +1183,7 @@ def run_node_chunks(
                 # these straight into its replication ledger.
                 wall_times=list(telemetry.wall_times),
                 des_events=telemetry.des_events,
+                des_cores=dict(telemetry.des_cores),
                 retries=telemetry.retries,
                 timeouts=telemetry.timeouts,
                 crashes=telemetry.crashes,
@@ -1193,6 +1207,8 @@ def run_node_chunks(
         totals["timeouts"] += telemetry.timeouts
         totals["crashes"] += telemetry.crashes
         totals["des_events"] += telemetry.des_events
+        for core, n in telemetry.des_cores.items():
+            totals["des_cores"][core] = totals["des_cores"].get(core, 0) + n
         totals["wall_time_total"] += telemetry.wall_time_total
         completed += 1
         publish("running", force=True)

@@ -76,7 +76,7 @@ from typing import (
     Union,
 )
 
-from ..des.engine import events_processed_total
+from ..des.engine import events_processed_by_core, events_processed_total
 from ..obs.metrics import MetricsRegistry, NullRegistry, get_registry, set_registry
 from ..obs.profiling import merge_profile_stats
 from ..obs.spans import (
@@ -323,6 +323,18 @@ def _observed_call(
     )
 
 
+def _des_core_delta(before: Dict[str, int]) -> Dict[str, int]:
+    """Per-core DES event counts accrued since the ``before`` snapshot
+    (:func:`~repro.des.engine.events_processed_by_core`); zero-event cores
+    are omitted so telemetry sees only the kernel(s) that actually ran."""
+    after = events_processed_by_core()
+    return {
+        core: count - before.get(core, 0)
+        for core, count in after.items()
+        if count - before.get(core, 0) > 0
+    }
+
+
 #: (fn, config, obs request, shm transport) — one pool task.
 _Payload = Tuple[
     Callable[[Any], Any],
@@ -331,9 +343,9 @@ _Payload = Tuple[
     Optional[SharedResultTransport],
 ]
 
-#: (ok, value-or-(exc, tb), worker seconds, DES events, obs snapshot) —
-#: one attempt.
-_Message = Tuple[bool, Any, float, int, Optional[ObsSnapshot]]
+#: (ok, value-or-(exc, tb), worker seconds, DES events, DES events by
+#: core, obs snapshot) — one attempt.
+_Message = Tuple[bool, Any, float, int, Dict[str, int], Optional[ObsSnapshot]]
 
 
 def _call(payload: _Payload) -> _Message:
@@ -347,10 +359,12 @@ def _call(payload: _Payload) -> _Message:
     fn, config, obs, transport = payload
     started = time.perf_counter()
     events_before = events_processed_total()
+    cores_before = events_processed_by_core()
     try:
         result, snapshot = _observed_call(fn, config, obs)
         elapsed = time.perf_counter() - started
         events = events_processed_total() - events_before
+        cores = _des_core_delta(cores_before)
         if transport is not None:
             result = transport.encode(result)
     except Exception as exc:  # noqa: BLE001 - re-raised with context
@@ -359,9 +373,10 @@ def _call(payload: _Payload) -> _Message:
             (exc, traceback.format_exc()),
             time.perf_counter() - started,
             0,
+            {},
             None,
         )
-    return True, result, elapsed, events, snapshot
+    return True, result, elapsed, events, cores, snapshot
 
 
 def _supervised_child(
@@ -374,19 +389,22 @@ def _supervised_child(
     """Entry point of a supervised worker process: one attempt, one config."""
     started = time.perf_counter()
     events_before = events_processed_total()
+    cores_before = events_processed_by_core()
     try:
         result, snapshot = _observed_call(fn, config, obs)
         elapsed = time.perf_counter() - started
         events = events_processed_total() - events_before
+        cores = _des_core_delta(cores_before)
         if transport is not None:
             result = transport.encode(result)
-        message: _Message = (True, result, elapsed, events, snapshot)
+        message: _Message = (True, result, elapsed, events, cores, snapshot)
     except BaseException as exc:  # noqa: BLE001 - serialized to coordinator
         message = (
             False,
             (exc, traceback.format_exc()),
             time.perf_counter() - started,
             0,
+            {},
             None,
         )
     try:
@@ -402,6 +420,7 @@ def _supervised_child(
                 (RuntimeError(f"unpicklable {detail} from worker"), tb),
                 message[2],
                 0,
+                {},
                 None,
             ))
         except Exception:
@@ -828,6 +847,7 @@ class ExperimentRunner:
         for config, index in zip(configs, indices):
             started = time.perf_counter()
             events_before = events_processed_total()
+            cores_before = events_processed_by_core()
             try:
                 out.append(_observed_call(fn, config, obs))
             except Exception as exc:
@@ -846,6 +866,7 @@ class ExperimentRunner:
             self.telemetry.record_replication(
                 elapsed,
                 events_processed_total() - events_before,
+                _des_core_delta(cores_before),
             )
             self._progress()
         return out
@@ -864,7 +885,7 @@ class ExperimentRunner:
         out: List[Tuple[Any, Optional[ObsSnapshot]]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = [(fn, config, obs, transport) for config in configs]
-            for pos, (ok, value, elapsed, events, snapshot) in enumerate(
+            for pos, (ok, value, elapsed, events, cores, snapshot) in enumerate(
                 pool.map(_call, payloads, chunksize=chunk)
             ):
                 if not ok:
@@ -879,7 +900,7 @@ class ExperimentRunner:
                 if ledger is not None:
                     ledger.attempt(indices[pos], "ok", elapsed)
                     ledger.settle(indices[pos], "ok")
-                self.telemetry.record_replication(elapsed, events)
+                self.telemetry.record_replication(elapsed, events, cores)
                 self._progress()
         return out
 
@@ -931,6 +952,7 @@ class ExperimentRunner:
                 attempts += 1
                 started = time.perf_counter()
                 events_before = events_processed_total()
+                cores_before = events_processed_by_core()
                 try:
                     result, snapshot = self._call_with_alarm(attempt, config)
                 except Exception as exc:
@@ -971,6 +993,7 @@ class ExperimentRunner:
                 self.telemetry.record_replication(
                     elapsed,
                     events_processed_total() - events_before,
+                    _des_core_delta(cores_before),
                 )
                 self._progress()
                 break
@@ -1080,7 +1103,7 @@ class ExperimentRunner:
                     proc, pos, _deadline, launched = inflight.pop(conn)  # type: ignore[arg-type]
                     attempts[pos] += 1
                     try:
-                        ok, payload, elapsed, events, snapshot = conn.recv()  # type: ignore[union-attr]
+                        ok, payload, elapsed, events, cores, snapshot = conn.recv()  # type: ignore[union-attr]
                     except (EOFError, OSError):
                         proc.join()
                         settle_failure(
@@ -1103,7 +1126,7 @@ class ExperimentRunner:
                             if ledger is not None:
                                 ledger.attempt(indices[pos], "ok", elapsed)
                                 ledger.settle(indices[pos], "ok")
-                            self.telemetry.record_replication(elapsed, events)
+                            self.telemetry.record_replication(elapsed, events, cores)
                             self._progress()
                         else:
                             cause, tb = payload

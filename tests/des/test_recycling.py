@@ -13,6 +13,7 @@ from repro.des import (
     Condition,
     Environment,
     Event,
+    NATIVE_ENV,
     RECYCLE_ENV,
     RecyclingEnvironment,
     Timeout,
@@ -140,6 +141,9 @@ def test_traced_run_matches_and_bypasses_recycling():
 
 
 def test_make_environment_honors_env_var(monkeypatch):
+    # Pin the DES core to pure so this exercises the recycling switch in
+    # isolation (auto may otherwise hand back a NativeEnvironment).
+    monkeypatch.setenv(NATIVE_ENV, "pure")
     monkeypatch.delenv(RECYCLE_ENV, raising=False)
     assert type(make_environment()) is Environment
     for value in ("1", "true", "ON", " 1 "):
@@ -148,6 +152,17 @@ def test_make_environment_honors_env_var(monkeypatch):
     for value in ("0", "", "off"):
         monkeypatch.setenv(RECYCLE_ENV, value)
         assert type(make_environment()) is Environment
+
+
+def test_recycling_beats_native_core(monkeypatch):
+    # Recycling reuses event objects, which the compiled pump does not
+    # support; when both are requested, recycling wins and the core
+    # silently falls back to pure (visible in telemetry).
+    monkeypatch.setenv(RECYCLE_ENV, "1")
+    monkeypatch.setenv(NATIVE_ENV, "1")
+    env = make_environment()
+    assert type(env) is RecyclingEnvironment
+    assert env.core == "pure"
 
 
 def test_make_environment_passes_initial_time(monkeypatch):

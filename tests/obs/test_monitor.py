@@ -132,6 +132,29 @@ def test_fault_counts_are_summed_across_nodes(finished_run):
     assert faults == {"retries": 2, "timeouts": 4, "crashes": 0, "failures": 2}
 
 
+def test_des_core_summed_and_surfaced(finished_run):
+    """Nodes heartbeat per-core event counts; the monitor sums them and
+    names the core when the fleet agrees, or flags the mix when it doesn't."""
+    for node_id in (0, 1):
+        name = f"node-{node_id}"
+        doc = json.loads(
+            (finished_run / "progress" / f"{name}.json").read_text()
+        )
+        doc.update(des_events=40, des_cores={"native": 40}, wall_time_total=1.0)
+        write_progress_doc(finished_run, name, doc)
+    status = load_run_status(finished_run)
+    assert status["des_cores"] == {"native": 80}
+    assert status["des_core"] == "native"
+    assert "[native core]" in render_status(status)
+
+    doc = json.loads((finished_run / "progress" / "node-1.json").read_text())
+    doc.update(des_cores={"pure": 40})
+    write_progress_doc(finished_run, "node-1", doc)
+    status = load_run_status(finished_run)
+    assert status["des_core"] is None
+    assert "MIXED CORES: native=40, pure=40" in render_status(status)
+
+
 def test_missing_manifest_raises(tmp_path):
     (tmp_path / "manifest.json").write_text("not json")
     with pytest.raises(FileNotFoundError):

@@ -80,7 +80,12 @@ def test_des_events_accumulate_and_rate():
     assert t.des_events == 400
     assert t.events_per_second == pytest.approx(100.0)
     data = t.to_dict()
-    assert data["des"] == {"events": 400, "events_per_second": 100.0}
+    assert data["des"] == {
+        "events": 400,
+        "events_per_second": 100.0,
+        "core": None,
+        "cores": {},
+    }
     assert "des events:" in t.summary()
     assert "400 processed" in t.summary()
 

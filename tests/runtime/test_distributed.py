@@ -223,6 +223,29 @@ def test_empty_batch_short_circuits(tmp_path):
     assert list(tmp_path.iterdir()) == []
 
 
+def test_distributed_run_pins_one_des_core(tmp_path, monkeypatch):
+    """Node subprocesses inherit the kernel pin, ship per-core event counts
+    in their chunk files, and the coordinator's merged telemetry reports a
+    single core — the same one a serial run of the sweep reports."""
+    from repro.des import NATIVE_ENV, native_available
+
+    configs = [
+        figure6_config(policy="plain", horizon=25.0, seed=seed)
+        for seed in (1, 2, 3, 4)
+    ]
+    cores = ["pure"] + (["native"] if native_available() else [])
+    for core in cores:
+        monkeypatch.setenv(NATIVE_ENV, core)
+        serial = ExperimentRunner(jobs=1)
+        serial.run_many(simulate_twocell_stats, configs)
+        assert serial.telemetry.des_core == core
+
+        runner = _distributed(tmp_path / core)
+        runner.run_many(simulate_twocell_stats, configs)
+        assert runner.telemetry.des_core == core
+        assert runner.telemetry.des_cores == serial.telemetry.des_cores
+
+
 def test_plan_shards_matches_coordinator_layout(tmp_path):
     """The on-disk manifest is exactly what plan_shards computes."""
     configs = _configs(7)
